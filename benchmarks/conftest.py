@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper; the
+fixtures here provide the measured demo run (pool + observations on both
+engines) that the figure benchmarks share, so the expensive part happens once
+per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import run_demo_scenario
+
+
+@pytest.fixture(scope="session")
+def demo():
+    """One measured demo run (TPC-H Q1 variants on both engines)."""
+    return run_demo_scenario(scale_factor=0.001, pool_size=12, repeats=2, seed=19)
+
+
+@pytest.fixture()
+def run_once():
+    """Helper fixture: run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(benchmark, function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

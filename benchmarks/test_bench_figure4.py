@@ -1,0 +1,21 @@
+"""Figure 4: query differentials (syntactic diff + per-system performance)."""
+
+from repro.analytics import differential
+
+
+def test_figure4_query_differentials(benchmark, run_once, demo):
+    pool = demo.pool
+    ranked = pool.discriminative(demo.engines[0].label, demo.engines[1].label, top=2)
+    assert ranked, "expected measured queries to rank"
+    left = ranked[0][0]
+    right = pool.entries()[0] if pool.entries()[0] is not left else pool.entries()[1]
+    diff = run_once(benchmark, differential, pool, left, right)
+    print("\n=== Figure 4: query differential ===")
+    for line in diff.diff_lines:
+        print(f"  {line}")
+    print(f"  terms only in A: {diff.left_only_terms}")
+    print(f"  terms only in B: {diff.right_only_terms}")
+    for system, left_time, right_time, ratio in diff.summary_rows():
+        print(f"  {system:<20} A={left_time} B={right_time} ratio={ratio}")
+    assert diff.diff_lines
+    assert diff.timings

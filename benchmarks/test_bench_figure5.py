@@ -1,0 +1,17 @@
+"""Figure 5: the query-sqalpel page (baseline query and its derived grammar)."""
+
+from repro.analytics import grammar_view
+from repro.core import parse_grammar
+
+
+def test_figure5_grammar_page(benchmark, run_once, demo):
+    grammar = parse_grammar(demo.experiment.grammar_text, name=demo.experiment.name)
+    page = run_once(benchmark, grammar_view, demo.experiment.baseline_sql, grammar)
+    print("\n=== Figure 5: query sqalpel page ===")
+    print(f"baseline : {page['baseline'][:100]}...")
+    print(f"rules    : {page['rules']} ({page['lexical_rules']} lexical)")
+    print(f"tags     : {page['tags']}  templates: {page['templates']}  space: {page['space']}")
+    print(page["grammar"])
+    assert page["rules"] >= 7
+    assert page["tags"] >= 10
+    assert int(page["templates"].lstrip(">").rstrip("K")) > 0

@@ -1,0 +1,20 @@
+"""Figure 6: the query-pool page (pool contents, strategies, guidance)."""
+
+from repro.analytics import pool_view
+from repro.pool import Guidance
+
+
+def test_figure6_query_pool_page(benchmark, run_once, demo):
+    guidance = Guidance.from_dict(demo.experiment.guidance)
+    page = run_once(benchmark, pool_view, demo.pool, guidance)
+    print("\n=== Figure 6: query pool page ===")
+    print(f"pool size : {page['size']} (templates available: {page['templates']})")
+    print(f"by origin : {page['by_origin']}")
+    print(f"errors    : {page['errors']}")
+    print(f"guidance  : {page['guidance']}")
+    for entry in page["queries"]:
+        print(f"  [{entry['sequence']:3d}] {entry['origin']:7s} size={entry['size']:2d} "
+              f"{entry['sql'][:80]}")
+    assert page["size"] == len(demo.pool)
+    assert page["by_origin"].get("seed", 0) >= 1
+    assert sum(page["by_origin"].values()) == page["size"]

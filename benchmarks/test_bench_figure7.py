@@ -1,0 +1,21 @@
+"""Figure 7: experiment history (execution times, morph edges, error nodes)."""
+
+from repro.analytics import experiment_history
+
+
+def test_figure7_experiment_history(benchmark, run_once, demo):
+    system = demo.engines[0].label
+    history = run_once(benchmark, experiment_history, demo.pool, system)
+    print(f"\n=== Figure 7: experiment history on {system} ===")
+    for node in history.nodes:
+        elapsed = f"{node.elapsed:.4f}s" if node.elapsed is not None else "   -   "
+        print(f"  [{node.sequence:3d}] {elapsed} size={node.size:2d} origin={node.origin:7s} "
+              f"color={node.color:7s} error={node.error}")
+    for edge in history.edges:
+        print(f"  edge {edge.parent_sequence:3d} -> {edge.child_sequence:3d} "
+              f"({edge.strategy}, {edge.color})")
+    assert len(history.nodes) == len(demo.pool)
+    assert len(history.measured_nodes()) >= len(demo.pool) - len(history.error_nodes())
+    assert history.edges, "morphing must contribute edges to the history"
+    colors = {edge.color for edge in history.edges}
+    assert colors <= {"purple", "green", "blue"}

@@ -1,0 +1,16 @@
+"""Table 1: TPC benchmark reports (counts of publicly accessible results)."""
+
+from repro.reports import table1_rows, table1_text
+from repro.reports.tpc_results import observations
+
+
+def test_table1_tpc_benchmark_reports(benchmark, run_once):
+    rows = run_once(benchmark, table1_rows)
+    assert len(rows) == 14
+    facts = observations()
+    print("\n=== Table 1: TPC benchmarks (http://www.tpc.org/) ===")
+    print(table1_text())
+    print(f"\nobservations: {facts}")
+    # the paper's point: results are scarce and concentrated on few vendors
+    assert facts["benchmarks_without_any_report"] >= 4
+    assert facts["max_reports_single_benchmark"] == 368

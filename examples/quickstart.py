@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: from a baseline SQL query to discriminative queries in ~60 lines.
+
+The script walks the core SQALPEL loop on the paper's Figure 1 example and on
+TPC-H Q1:
+
+1. turn a baseline query into a query-space grammar,
+2. inspect the space (tags / templates / #queries),
+3. build a query pool and grow it with the alter/expand/prune walk,
+4. run every pool query on the two built-in engines,
+5. print the most discriminative queries.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.core import parse_grammar, serialize_grammar, space_report
+from repro.core.dsl import FIGURE1_GRAMMAR
+from repro.driver import measure_query
+from repro.pool import Morpher, QueryPool
+from repro.reports import table1_text
+from repro.sqlparser import extract_grammar
+from repro.tpch import QUERIES
+from repro.workflow import build_engines, build_tpch_database
+
+
+def figure1_example() -> None:
+    print("=" * 72)
+    print("Figure 1 grammar (nation example)")
+    print("=" * 72)
+    grammar = parse_grammar(FIGURE1_GRAMMAR, name="figure1")
+    report = space_report(grammar)
+    print(serialize_grammar(grammar))
+    print(f"tags={report.tags} templates={report.templates} queries={report.space}\n")
+
+
+def tpch_q1_example() -> None:
+    print("=" * 72)
+    print("TPC-H Q1: grammar extraction, pool morphing, discriminative queries")
+    print("=" * 72)
+    grammar = extract_grammar(QUERIES[1])
+    report = space_report(grammar)
+    print(f"extracted grammar: {len(grammar)} rules, tags={report.tags}, "
+          f"templates={report.template_label()}, space={report.space_label()}")
+
+    database = build_tpch_database(scale_factor=0.001)
+    row_engine, column_engine = build_engines(database)
+    print(f"database rows: {database.size_summary()}")
+
+    pool = QueryPool(grammar, seed=42)
+    pool.seed_baseline()
+    pool.seed_random(3)
+    Morpher(pool, seed=42).grow_to(10)
+    print(f"pool: {len(pool)} queries")
+
+    for engine in (row_engine, column_engine):
+        for entry in pool.entries():
+            outcome = measure_query(engine, entry.sql, repeats=2)
+            pool.record(entry, engine.label, outcome.best or 0.0, error=outcome.error,
+                        repeats=outcome.times)
+
+    print("\nmost discriminative queries (rowstore vs columnstore):")
+    for entry, log_ratio in pool.discriminative(row_engine.label, column_engine.label, top=5):
+        ratio = entry.best_time(row_engine.label) / entry.best_time(column_engine.label)
+        print(f"  {ratio:6.1f}x slower on the row store | size={entry.query.size():2d} | "
+              f"{entry.sql[:80]}")
+
+
+def table1_example() -> None:
+    print("\n" + "=" * 72)
+    print("Table 1: how few TPC results are actually published")
+    print("=" * 72)
+    print(table1_text())
+
+
+if __name__ == "__main__":
+    figure1_example()
+    tpch_q1_example()
+    table1_example()

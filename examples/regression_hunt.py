@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Regression hunting between two versions of the same engine.
+
+The paper motivates discriminative benchmarking with exactly this scenario:
+"consider two systems A and B, which may be [...] merely two versions of the
+same system.  System B may be considered an overall better system [...] This
+does not mean that no queries can be handled more efficiently by A."
+
+Here version B of the column engine enables the overflow-guarded expression
+evaluation (the MonetDB ``sum_charge`` anecdote): it is the "safer" build, but
+expression-heavy variants pay for it.  The guided walk finds the variants
+where the regression is largest, and the dominant-component analysis points
+at the responsible lexical term.
+
+Run with ``python examples/regression_hunt.py``.
+"""
+
+from repro.analytics import component_report
+from repro.driver import measure_query
+from repro.engine import ColumnEngine, EngineOptions
+from repro.pool import Morpher, QueryPool
+from repro.sqlparser import extract_grammar
+from repro.tpch import QUERIES
+from repro.workflow import build_tpch_database
+
+
+def main() -> None:
+    database = build_tpch_database(scale_factor=0.002)
+    version_a = ColumnEngine(database, version="2.0")
+    version_b = ColumnEngine(database, version="2.1-guarded",
+                             options=EngineOptions(overflow_guard=True))
+    print(f"comparing {version_a.label} against {version_b.label}")
+
+    grammar = extract_grammar(QUERIES[1])
+    pool = QueryPool(grammar, seed=9)
+    pool.seed_baseline()
+    pool.seed_random(4)
+    Morpher(pool, seed=9).grow_to(14)
+    print(f"pool holds {len(pool)} Q1 variants")
+
+    for engine in (version_a, version_b):
+        for entry in pool.entries():
+            outcome = measure_query(engine, entry.sql, repeats=3)
+            pool.record(entry, engine.label, outcome.best or 0.0, error=outcome.error,
+                        repeats=outcome.times)
+
+    print("\nvariants where the new version regresses the most:")
+    for entry, log_ratio in pool.discriminative(version_b.label, version_a.label, top=5):
+        time_a = entry.best_time(version_a.label)
+        time_b = entry.best_time(version_b.label)
+        print(f"  {time_b / time_a:5.2f}x slower | {entry.sql[:90]}")
+
+    report = component_report(pool, system=version_b.label)
+    print("\nmost expensive lexical terms on the new version:")
+    for contribution in report.dominant(top=3):
+        print(f"  {contribution.term[:70]:<70} marginal={contribution.marginal_cost:+.4f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of *SQALPEL: A database performance platform* (CIDR 2019).
+
+The package is organised in layers:
+
+* :mod:`repro.core` -- the query-space grammar (DSL, templates, space, rendering),
+* :mod:`repro.sqlparser` -- SQL front-end and the query-to-grammar extractor,
+* :mod:`repro.pool` -- the query pool and the alter/expand/prune morphing walk,
+* :mod:`repro.engine` -- the relational engine substrate (row and column engines),
+* :mod:`repro.data` -- deterministic data generators (TPC-H-, SSB-, airtraffic-style),
+* :mod:`repro.tpch` -- TPC-H schema and the 22 query texts,
+* :mod:`repro.platform` -- the performance repository (projects, queue, results, ACL, API),
+* :mod:`repro.driver` -- the ``sqalpel.py`` experiment driver,
+* :mod:`repro.analytics` -- the data series behind the demo's visual analytics,
+* :mod:`repro.reports` -- Table 1 / Table 2 and figure report builders,
+* :mod:`repro.cli` -- the ``repro-sqalpel`` command line tool.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,113 @@
+"""Dominant lexical components (Figure 2).
+
+"Identification of dominant components of the lexical terms in the queries
+may indicate costly ones.  For instance, the dominant term in Q1 for MonetDB
+is ``sum(l_extendedprice*(1 - l_discount) * (1 + l_tax)) as sum_charge``."
+
+Two complementary analyses are provided:
+
+* **per-term cost attribution** -- for every lexical term, compare the mean
+  execution time of pool queries that contain the term with those that do
+  not; the difference is the term's marginal cost, and the most expensive
+  term is the "dominant component",
+* **principal components** -- a PCA over the (queries x terms) presence
+  matrix weighted by execution time, which is what the scatter plot of the
+  figure projects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pool.pool import QueryPool
+
+
+@dataclass
+class TermContribution:
+    """Cost attribution of one lexical term."""
+
+    term: str
+    with_term_mean: float
+    without_term_mean: float
+    queries_with_term: int
+
+    @property
+    def marginal_cost(self) -> float:
+        """Mean extra time of queries containing the term (seconds)."""
+        return self.with_term_mean - self.without_term_mean
+
+
+@dataclass
+class ComponentReport:
+    """The Figure 2 data: term attribution plus the PCA projection."""
+
+    system: str
+    contributions: list[TermContribution] = field(default_factory=list)
+    #: per-query 2-D PCA coordinates (same order as ``query_sqls``)
+    projection: np.ndarray | None = None
+    explained_variance: list[float] = field(default_factory=list)
+    query_sqls: list[str] = field(default_factory=list)
+    terms: list[str] = field(default_factory=list)
+
+    def dominant(self, top: int = 5) -> list[TermContribution]:
+        """The ``top`` terms with the highest marginal cost."""
+        ranked = sorted(self.contributions, key=lambda entry: entry.marginal_cost,
+                        reverse=True)
+        return ranked[:top]
+
+    def dominant_term(self) -> str | None:
+        ranked = self.dominant(top=1)
+        return ranked[0].term if ranked else None
+
+
+def component_report(pool: QueryPool, system: str, components: int = 2) -> ComponentReport:
+    """Build the dominant-component report for one measured system."""
+    measured = [entry for entry in pool.entries() if entry.best_time(system) is not None]
+    report = ComponentReport(system=system)
+    if not measured:
+        return report
+
+    times = np.array([entry.best_time(system) for entry in measured], dtype=float)
+    report.query_sqls = [entry.sql for entry in measured]
+
+    # collect the lexical terms seen across the measured queries
+    terms = sorted({term for entry in measured for term in entry.query.terms})
+    report.terms = terms
+    if not terms:
+        return report
+
+    presence = np.zeros((len(measured), len(terms)), dtype=float)
+    for row, entry in enumerate(measured):
+        for column, term in enumerate(terms):
+            if entry.query.uses(term):
+                presence[row, column] = 1.0
+
+    # per-term attribution
+    for column, term in enumerate(terms):
+        mask = presence[:, column] > 0
+        if mask.any():
+            with_mean = float(times[mask].mean())
+        else:
+            with_mean = 0.0
+        without_mean = float(times[~mask].mean()) if (~mask).any() else 0.0
+        report.contributions.append(TermContribution(
+            term=term,
+            with_term_mean=with_mean,
+            without_term_mean=without_mean,
+            queries_with_term=int(mask.sum()),
+        ))
+
+    # PCA over the time-weighted presence matrix
+    weighted = presence * times[:, np.newaxis]
+    centered = weighted - weighted.mean(axis=0, keepdims=True)
+    if centered.shape[0] >= 2:
+        _, singular_values, right_vectors = np.linalg.svd(centered, full_matrices=False)
+        keep = min(components, right_vectors.shape[0])
+        report.projection = centered @ right_vectors[:keep].T
+        total = float((singular_values ** 2).sum()) or 1.0
+        report.explained_variance = [
+            float(value ** 2) / total for value in singular_values[:keep]
+        ]
+    return report

@@ -1,0 +1,82 @@
+"""Query differentials (Figure 4).
+
+"For this we use a differential page.  It highlights the differences in query
+formulation and gives an overview of the performance on various systems.
+This provides valuable insights to focus experimentation and engineering."
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from repro.pool.pool import PoolEntry, QueryPool
+
+
+@dataclass
+class Differential:
+    """The diff between two query variants plus their measured performance."""
+
+    left_sql: str
+    right_sql: str
+    #: unified-diff lines of the two formulations
+    diff_lines: list[str] = field(default_factory=list)
+    #: lexical terms only present in the left / right variant
+    left_only_terms: list[str] = field(default_factory=list)
+    right_only_terms: list[str] = field(default_factory=list)
+    #: per-system best times: {system: (left_time, right_time)}
+    timings: dict[str, tuple[float | None, float | None]] = field(default_factory=dict)
+
+    def ratio(self, system: str) -> float | None:
+        """right/left time ratio on ``system`` (None when either is missing)."""
+        left, right = self.timings.get(system, (None, None))
+        if not left or not right:
+            return None
+        return right / left
+
+    def summary_rows(self) -> list[tuple]:
+        """(system, left_time, right_time, ratio) rows for tabular output."""
+        rows = []
+        for system, (left, right) in sorted(self.timings.items()):
+            ratio = self.ratio(system)
+            rows.append((system, left, right, ratio))
+        return rows
+
+
+def differential(pool: QueryPool, left: PoolEntry, right: PoolEntry,
+                 systems: list[str] | None = None) -> Differential:
+    """Build the differential page data for two pool entries."""
+    left_terms = set(left.query.terms)
+    right_terms = set(right.query.terms)
+    if systems is None:
+        systems = sorted(left.observed_systems() | right.observed_systems())
+
+    diff_lines = list(difflib.unified_diff(
+        _layout(left.sql), _layout(right.sql),
+        fromfile="variant-a", tofile="variant-b", lineterm="",
+    ))
+    result = Differential(
+        left_sql=left.sql,
+        right_sql=right.sql,
+        diff_lines=diff_lines,
+        left_only_terms=sorted(left_terms - right_terms),
+        right_only_terms=sorted(right_terms - left_terms),
+    )
+    for system in systems:
+        result.timings[system] = (left.best_time(system), right.best_time(system))
+    return result
+
+
+def _layout(sql: str) -> list[str]:
+    """Break a one-line query into clause-per-line form so diffs are readable."""
+    breakers = [" FROM ", " WHERE ", " GROUP BY ", " HAVING ", " ORDER BY ", " LIMIT ",
+                " from ", " where ", " group by ", " having ", " order by ", " limit "]
+    lines = [sql]
+    for breaker in breakers:
+        next_lines: list[str] = []
+        for line in lines:
+            pieces = line.split(breaker)
+            next_lines.append(pieces[0])
+            next_lines.extend(breaker.strip() + " " + piece for piece in pieces[1:])
+        lines = next_lines
+    return [line.strip() for line in lines if line.strip()]

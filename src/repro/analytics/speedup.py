@@ -1,0 +1,107 @@
+"""Relative speedup analysis (Figure 3).
+
+"Relative speedup between different versions of a system can be directly
+visualized.  [...] the base line query SF 1 Q1 runs about a factor 8 slower on
+a 10 times larger database instance.  However, looking at the query variations
+it actually shows a spread of a factor 8-14.  The outliers are of particular
+interest."
+
+The analysis pairs, per pool query, the best time on a *baseline* system with
+the best time on a *comparison* system (two engines, two versions, or the same
+engine over two database sizes) and reports the distribution of the ratios.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.pool.pool import QueryPool
+
+
+@dataclass
+class SpeedupPoint:
+    """One query's speedup ratio between the two systems."""
+
+    sql: str
+    origin: str
+    size: int
+    baseline_time: float
+    comparison_time: float
+
+    @property
+    def factor(self) -> float:
+        """How many times slower the comparison system is (ratio > 1 = slower)."""
+        return self.comparison_time / self.baseline_time
+
+
+@dataclass
+class SpeedupReport:
+    """Distribution of speedup factors over the measured pool."""
+
+    baseline: str
+    comparison: str
+    points: list[SpeedupPoint] = field(default_factory=list)
+
+    @property
+    def baseline_factor(self) -> float | None:
+        """Factor of the seed (baseline) query, when it was measured."""
+        for point in self.points:
+            if point.origin == "seed":
+                return point.factor
+        return None
+
+    def factors(self) -> list[float]:
+        return [point.factor for point in self.points]
+
+    def spread(self) -> tuple[float, float] | None:
+        """(min, max) of the observed factors -- the paper's "spread of 8-14"."""
+        factors = self.factors()
+        if not factors:
+            return None
+        return min(factors), max(factors)
+
+    def median(self) -> float | None:
+        factors = self.factors()
+        return statistics.median(factors) if factors else None
+
+    def outliers(self, threshold: float = 1.5) -> list[SpeedupPoint]:
+        """Points whose factor deviates from the median by ``threshold`` x."""
+        center = self.median()
+        if center is None:
+            return []
+        return [
+            point for point in self.points
+            if point.factor > center * threshold or point.factor < center / threshold
+        ]
+
+    def rows(self) -> list[tuple]:
+        """Tabular form: (sql, origin, size, t_baseline, t_comparison, factor)."""
+        return [
+            (point.sql, point.origin, point.size,
+             point.baseline_time, point.comparison_time, point.factor)
+            for point in self.points
+        ]
+
+
+def speedup_report(pool: QueryPool, baseline: str, comparison: str) -> SpeedupReport:
+    """Build the Figure 3 data series from a measured pool.
+
+    ``baseline`` and ``comparison`` are system labels as recorded in the
+    pool's observations (engine labels, or labels like ``columnstore@sf0.01``
+    when comparing database sizes).
+    """
+    report = SpeedupReport(baseline=baseline, comparison=comparison)
+    for entry in pool.entries():
+        baseline_time = entry.best_time(baseline)
+        comparison_time = entry.best_time(comparison)
+        if baseline_time is None or comparison_time is None:
+            continue
+        report.points.append(SpeedupPoint(
+            sql=entry.sql,
+            origin=entry.origin,
+            size=entry.query.size(),
+            baseline_time=baseline_time,
+            comparison_time=comparison_time,
+        ))
+    return report

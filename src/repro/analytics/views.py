@@ -1,0 +1,53 @@
+"""Grammar-page and pool-page summaries (Figures 5 and 6).
+
+These two figures are form-like GUI pages; their informational content is the
+baseline query with its derived grammar (Figure 5) and the current pool with
+its generation strategies and term guidance (Figure 6).  The view builders
+return plain dictionaries that the CLI and the benchmarks print as tables.
+"""
+
+from __future__ import annotations
+
+from repro.core import serialize_grammar, space_report
+from repro.core.model import Grammar
+from repro.pool.guidance import Guidance
+from repro.pool.pool import QueryPool
+
+
+def grammar_view(baseline_sql: str, grammar: Grammar) -> dict:
+    """The Figure 5 page: baseline query, grammar text, rule and space summary."""
+    report = space_report(grammar)
+    return {
+        "baseline": baseline_sql.strip(),
+        "grammar": serialize_grammar(grammar),
+        "rules": len(grammar),
+        "lexical_rules": len(grammar.lexical_rules()),
+        "tags": report.tags,
+        "templates": report.template_label(),
+        "space": report.space_label(),
+    }
+
+
+def pool_view(pool: QueryPool, guidance: Guidance | None = None) -> dict:
+    """The Figure 6 page: pool contents, per-origin counts and active guidance."""
+    origins: dict[str, int] = {}
+    for entry in pool.entries():
+        origins[entry.origin] = origins.get(entry.origin, 0) + 1
+    guidance = guidance or Guidance()
+    return {
+        "size": len(pool),
+        "templates": len(pool.templates),
+        "truncated": pool.truncated,
+        "by_origin": origins,
+        "errors": len(pool.errors()),
+        "guidance": guidance.describe(),
+        "queries": [
+            {
+                "sequence": entry.sequence,
+                "origin": entry.origin,
+                "size": entry.query.size(),
+                "sql": entry.sql,
+            }
+            for entry in pool.entries()
+        ],
+    }

@@ -1,0 +1,107 @@
+"""``repro-sqalpel`` command line tool.
+
+Sub-commands:
+
+* ``grammar <sql-file>``      -- extract and print the SQALPEL grammar of a query,
+* ``space <sql-file>``        -- print tags / templates / space for a query,
+* ``table1``                  -- print the Table 1 reproduction,
+* ``table2 [--limit N] [--queries 1,6,14]`` -- print the Table 2 reproduction,
+* ``demo``                    -- run the end-to-end demo scenario on a tiny
+  TPC-H instance (grammar -> pool -> queue -> driver -> analytics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="repro-sqalpel",
+                                     description="SQALPEL reproduction tooling")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    grammar_parser = commands.add_parser("grammar", help="extract a grammar from a query")
+    grammar_parser.add_argument("sql_file", help="file containing the baseline SQL query")
+
+    space_parser = commands.add_parser("space", help="query-space statistics of a query")
+    space_parser.add_argument("sql_file", help="file containing the baseline SQL query")
+    space_parser.add_argument("--limit", type=int, default=100_000,
+                              help="hard cap on the number of templates")
+
+    commands.add_parser("table1", help="print the Table 1 reproduction")
+
+    table2_parser = commands.add_parser("table2", help="print the Table 2 reproduction")
+    table2_parser.add_argument("--limit", type=int, default=20_000)
+    table2_parser.add_argument("--queries", default="",
+                               help="comma-separated TPC-H query numbers (default: all)")
+
+    demo_parser = commands.add_parser("demo", help="run the end-to-end demo scenario")
+    demo_parser.add_argument("--scale-factor", type=float, default=0.001)
+    demo_parser.add_argument("--pool-size", type=int, default=12)
+
+    arguments = parser.parse_args(argv)
+    handler = {
+        "grammar": _cmd_grammar,
+        "space": _cmd_space,
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "demo": _cmd_demo,
+    }[arguments.command]
+    return handler(arguments)
+
+
+def _read_sql(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _cmd_grammar(arguments) -> int:
+    from repro.core import serialize_grammar
+    from repro.sqlparser import extract_grammar
+
+    grammar = extract_grammar(_read_sql(arguments.sql_file))
+    sys.stdout.write(serialize_grammar(grammar))
+    return 0
+
+
+def _cmd_space(arguments) -> int:
+    from repro.core import space_report
+    from repro.sqlparser import extract_grammar
+
+    grammar = extract_grammar(_read_sql(arguments.sql_file))
+    report = space_report(grammar, limit=arguments.limit)
+    print(f"tags={report.tags} templates={report.template_label()} "
+          f"space={report.space_label()}")
+    return 0
+
+
+def _cmd_table1(_arguments) -> int:
+    from repro.reports import table1_text
+
+    print(table1_text())
+    return 0
+
+
+def _cmd_table2(arguments) -> int:
+    from repro.reports import table2_text
+
+    query_ids = None
+    if arguments.queries:
+        query_ids = [int(chunk) for chunk in arguments.queries.split(",") if chunk]
+    print(table2_text(limit=arguments.limit, query_ids=query_ids))
+    return 0
+
+
+def _cmd_demo(arguments) -> int:
+    from repro.workflow import run_demo_scenario
+
+    summary = run_demo_scenario(scale_factor=arguments.scale_factor,
+                                pool_size=arguments.pool_size)
+    print(summary.describe())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Core SQALPEL contribution: the query-space grammar machinery.
+
+The subpackage implements, from the bottom up:
+
+* :mod:`repro.core.model` -- the grammar object model (rules, alternatives,
+  references, lexical literals),
+* :mod:`repro.core.dsl` -- the textual SQALPEL grammar language of Figure 1
+  (parser and serialiser),
+* :mod:`repro.core.normalize` -- the normalisation pass that separates lexical
+  token rules from structural rules,
+* :mod:`repro.core.validate` -- grammar validation (missing rules, dead rules,
+  empty rules, duplicate literals),
+* :mod:`repro.core.dialect` -- per-target dialect sections for lexical tokens,
+* :mod:`repro.core.templates` -- recursive-descent template generation under
+  the at-most-once literal rule,
+* :mod:`repro.core.space` -- query-space statistics (tags, templates, space),
+* :mod:`repro.core.render` -- injection of literal tokens into templates to
+  obtain concrete queries.
+
+The public names below form the stable API of the core layer.
+"""
+
+from repro.core.model import (
+    Alternative,
+    Grammar,
+    Literal,
+    Part,
+    Reference,
+    Rule,
+    Text,
+)
+from repro.core.dsl import parse_grammar, serialize_grammar
+from repro.core.normalize import NormalizedGrammar, normalize
+from repro.core.validate import ValidationReport, validate
+from repro.core.dialect import DialectCatalog, apply_dialect
+from repro.core.templates import Template, TemplateGenerator, enumerate_templates
+from repro.core.space import SpaceReport, space_report
+from repro.core.render import ConcreteQuery, QueryRenderer, render_template
+
+__all__ = [
+    "Alternative",
+    "Grammar",
+    "Literal",
+    "Part",
+    "Reference",
+    "Rule",
+    "Text",
+    "parse_grammar",
+    "serialize_grammar",
+    "NormalizedGrammar",
+    "normalize",
+    "ValidationReport",
+    "validate",
+    "DialectCatalog",
+    "apply_dialect",
+    "Template",
+    "TemplateGenerator",
+    "enumerate_templates",
+    "SpaceReport",
+    "space_report",
+    "ConcreteQuery",
+    "QueryRenderer",
+    "render_template",
+]

@@ -1,0 +1,125 @@
+"""Dialect handling for lexical token rules.
+
+The paper: "It assumes that the systems being compared understand more-or-less
+the same SQL dialect [...] Minor differences in syntax are easily accommodated
+using dialect sections for the lexical tokens in the grammar specification."
+
+A dialect section is written in the DSL as ``rule@dialect:`` followed by the
+replacement alternatives.  :func:`apply_dialect` produces a new grammar in
+which every rule that has a section for the requested dialect uses those
+alternatives instead of the default ones.  The :class:`DialectCatalog` is a
+small registry of known dialects with token-level rewrite helpers used by the
+engines and the extractor (e.g. ``LIMIT n`` vs ``FETCH FIRST n ROWS ONLY``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import Alternative, Grammar, Rule
+from repro.errors import DialectError
+
+
+def apply_dialect(grammar: Grammar, dialect: str | None) -> Grammar:
+    """Return a copy of ``grammar`` specialised for ``dialect``.
+
+    When ``dialect`` is None the grammar is returned unchanged (not copied).
+    Unknown dialects raise :class:`DialectError` unless no rule in the grammar
+    declares any dialect section at all (in which case there is nothing to
+    specialise and the grammar is returned as-is).
+    """
+    if dialect is None:
+        return grammar
+    declared = grammar.dialect_names()
+    if declared and dialect not in declared:
+        raise DialectError(
+            f"dialect '{dialect}' is not declared by the grammar "
+            f"(known dialects: {', '.join(sorted(declared)) or 'none'})"
+        )
+
+    specialised = Grammar(rules={}, start=None, name=grammar.name, source=grammar.source)
+    for rule in grammar:
+        alternatives = [
+            Alternative(parts=list(alternative.parts), line=alternative.line)
+            for alternative in rule.alternatives_for(dialect)
+        ]
+        specialised.add_rule(
+            Rule(name=rule.name, alternatives=alternatives, line=rule.line, dialects={})
+        )
+    specialised.start = grammar.start
+    return specialised
+
+
+@dataclass
+class DialectSpec:
+    """Description of one SQL dialect understood by the tool chain."""
+
+    name: str
+    description: str = ""
+    #: token-level textual substitutions applied to rendered queries,
+    #: e.g. {"true": "1"} for engines without boolean literals.
+    substitutions: dict[str, str] = field(default_factory=dict)
+    #: how a row-count limit is expressed; ``{n}`` is replaced by the count.
+    limit_syntax: str = "LIMIT {n}"
+    #: string concatenation operator.
+    concat_operator: str = "||"
+
+
+@dataclass
+class DialectCatalog:
+    """Registry of dialects known to the platform.
+
+    The platform's DBMS catalog references dialect names; the driver asks the
+    catalog to rewrite rendered queries before shipping them to a target
+    engine.
+    """
+
+    dialects: dict[str, DialectSpec] = field(default_factory=dict)
+
+    def register(self, spec: DialectSpec) -> None:
+        """Add or replace a dialect specification."""
+        self.dialects[spec.name] = spec
+
+    def get(self, name: str) -> DialectSpec:
+        """Return the dialect ``name`` or raise :class:`DialectError`."""
+        try:
+            return self.dialects[name]
+        except KeyError:
+            raise DialectError(f"unknown dialect '{name}'") from None
+
+    def names(self) -> list[str]:
+        """Return the registered dialect names, sorted."""
+        return sorted(self.dialects)
+
+    def rewrite(self, sql: str, dialect: str) -> str:
+        """Apply the token-level substitutions of ``dialect`` to ``sql``."""
+        spec = self.get(dialect)
+        rewritten = sql
+        for source, target in spec.substitutions.items():
+            rewritten = rewritten.replace(source, target)
+        return rewritten
+
+    @classmethod
+    def default(cls) -> "DialectCatalog":
+        """Return the catalog used throughout the reproduction.
+
+        ``generic`` is the dialect of the built-in engines; ``rowstore`` and
+        ``columnstore`` are aliases registered so projects can attach distinct
+        dialect sections per engine even though the engines currently accept
+        the same SQL subset.
+        """
+        catalog = cls()
+        catalog.register(DialectSpec(name="generic", description="built-in engine dialect"))
+        catalog.register(
+            DialectSpec(
+                name="rowstore",
+                description="tuple-at-a-time reference engine",
+            )
+        )
+        catalog.register(
+            DialectSpec(
+                name="columnstore",
+                description="vectorised columnar engine",
+            )
+        )
+        return catalog

@@ -1,0 +1,203 @@
+"""Rendering concrete queries from templates.
+
+The final step of query generation "is injection of tokens that embody
+predicates, expressions, and other text snippets" into the template's slots.
+A :class:`ConcreteQuery` records both the rendered SQL text and the literal
+assignment that produced it, so the analytics layer can later attribute cost
+to individual lexical terms (Figure 2) and diff two variants (Figure 4).
+
+Rendering honours the at-most-once rule: within one query a literal (that is,
+one specific grammar line) is used for at most one slot.  Slots of the same
+lexical class therefore receive *distinct* literals, and because order is
+ignored the canonical key of a query sorts the chosen literals per class.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.model import Grammar, Literal, Text
+from repro.core.normalize import NormalizedGrammar, normalize
+from repro.core.templates import Slot, Template
+from repro.errors import RenderError
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class ConcreteQuery:
+    """A concrete query rendered from a template.
+
+    Attributes
+    ----------
+    sql:
+        The rendered SQL text (whitespace-normalised).
+    template:
+        The template the query was rendered from.
+    assignment:
+        The literal chosen for each slot, in slot order.
+    """
+
+    sql: str
+    template: Template
+    assignment: tuple[Literal, ...] = field(default_factory=tuple)
+
+    @property
+    def key(self) -> tuple:
+        """Canonical identity of the query (order of same-class literals ignored)."""
+        per_class: dict[str, list[tuple[str, int]]] = {}
+        for literal in self.assignment:
+            per_class.setdefault(literal.rule, []).append(literal.key)
+        canonical = tuple(
+            (rule, tuple(sorted(keys))) for rule, keys in sorted(per_class.items())
+        )
+        return (self.template.signature, canonical)
+
+    @property
+    def terms(self) -> tuple[str, ...]:
+        """The lexical terms (literal texts) used by the query."""
+        return tuple(literal.text for literal in self.assignment)
+
+    def size(self) -> int:
+        """Number of lexical components in the query."""
+        return len(self.assignment)
+
+    def uses(self, term: str) -> bool:
+        """Return True when the query uses a literal whose text equals ``term``."""
+        return any(literal.text == term for literal in self.assignment)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.sql
+
+
+def _join_elements(template: Template, literals: Sequence[Literal]) -> str:
+    """Splice ``literals`` into the template's slots and normalise whitespace."""
+    rendered: list[str] = []
+    slot_index = 0
+    for element in template.elements:
+        if isinstance(element, Text):
+            rendered.append(element.value)
+        else:
+            rendered.append(literals[slot_index].text)
+            slot_index += 1
+    return _WHITESPACE.sub(" ", "".join(rendered)).strip()
+
+
+class QueryRenderer:
+    """Render templates of one grammar into concrete queries."""
+
+    def __init__(self, grammar: Grammar | NormalizedGrammar):
+        if isinstance(grammar, NormalizedGrammar):
+            self._normalized = grammar
+        else:
+            self._normalized = normalize(grammar)
+
+    # -- single renderings ----------------------------------------------------
+
+    def render(self, template: Template,
+               assignment: Sequence[Literal] | None = None,
+               rng: random.Random | None = None) -> ConcreteQuery:
+        """Render ``template`` with an explicit or randomly drawn assignment.
+
+        With ``assignment=None`` a uniformly random valid assignment is drawn
+        (distinct literals per class).  An explicit assignment must provide
+        one literal per slot, in slot order, each of the slot's class, with no
+        literal repeated.
+        """
+        slots = template.slots
+        if assignment is None:
+            assignment = self._random_assignment(template, rng or random.Random())
+        if len(assignment) != len(slots):
+            raise RenderError(
+                f"template has {len(slots)} slots but {len(assignment)} literals were given"
+            )
+        used: set[tuple[str, int]] = set()
+        for slot, literal in zip(slots, assignment):
+            if literal.rule != slot.rule:
+                raise RenderError(
+                    f"slot of class '{slot.rule}' cannot hold literal of class "
+                    f"'{literal.rule}'"
+                )
+            if literal.key in used:
+                raise RenderError(
+                    f"literal '{literal.text}' (line {literal.line}) used more than once"
+                )
+            used.add(literal.key)
+        sql = _join_elements(template, list(assignment))
+        return ConcreteQuery(sql=sql, template=template, assignment=tuple(assignment))
+
+    def _random_assignment(self, template: Template, rng: random.Random) -> list[Literal]:
+        chosen: list[Literal] = []
+        used: set[tuple[str, int]] = set()
+        for slot in template.slots:
+            pool = [
+                literal
+                for literal in self._normalized.literals_by_rule.get(slot.rule, [])
+                if literal.key not in used
+            ]
+            if not pool:
+                raise RenderError(
+                    f"not enough literals of class '{slot.rule}' to fill the template"
+                )
+            literal = rng.choice(pool)
+            used.add(literal.key)
+            chosen.append(literal)
+        return chosen
+
+    # -- exhaustive renderings --------------------------------------------------
+
+    def render_all(self, template: Template, limit: int | None = None
+                   ) -> Iterator[ConcreteQuery]:
+        """Yield every distinct concrete query of ``template``.
+
+        Completion sets are generated per lexical class as combinations (order
+        ignored) and spliced into slots in a deterministic order, so the
+        number of yielded queries equals
+        :func:`repro.core.space.template_completions`.
+        """
+        slots = template.slots
+        counts = template.slot_counts()
+        per_class_choices: list[list[tuple[Literal, ...]]] = []
+        class_order = sorted(counts)
+        for rule_name in class_order:
+            pool = self._normalized.literals_by_rule.get(rule_name, [])
+            if counts[rule_name] > len(pool):
+                return
+            per_class_choices.append(
+                [combo for combo in itertools.combinations(pool, counts[rule_name])]
+            )
+        produced = 0
+        for selection in itertools.product(*per_class_choices):
+            chosen = {rule: list(combo) for rule, combo in zip(class_order, selection)}
+            assignment: list[Literal] = []
+            cursor = {rule: 0 for rule in class_order}
+            for slot in slots:
+                assignment.append(chosen[slot.rule][cursor[slot.rule]])
+                cursor[slot.rule] += 1
+            yield self.render(template, assignment)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def sample(self, template: Template, count: int,
+               rng: random.Random | None = None) -> list[ConcreteQuery]:
+        """Draw ``count`` random concrete queries (duplicates removed)."""
+        rng = rng or random.Random()
+        queries: dict[tuple, ConcreteQuery] = {}
+        attempts = 0
+        while len(queries) < count and attempts < count * 20:
+            query = self.render(template, rng=rng)
+            queries[query.key] = query
+            attempts += 1
+        return list(queries.values())
+
+
+def render_template(grammar: Grammar, template: Template,
+                    assignment: Sequence[Literal] | None = None,
+                    rng: random.Random | None = None) -> ConcreteQuery:
+    """Convenience wrapper: render one template of ``grammar``."""
+    return QueryRenderer(grammar).render(template, assignment=assignment, rng=rng)

@@ -1,0 +1,89 @@
+"""Query-space statistics: the numbers behind Table 2 of the paper.
+
+For a grammar the interesting sizes are
+
+* **tags** -- the number of lexical literals ("tags") the grammar defines,
+* **templates** -- the number of distinct templates derivable from it under
+  the at-most-once rule (capped by the hard system limit), and
+* **space** -- the number of concrete queries in the language, i.e. the sum
+  over templates of the number of ways their slots can be filled with
+  distinct literals.
+
+Because order is ignored, a template with ``k`` slots of a lexical class that
+defines ``n`` literals can be completed in ``C(n, k)`` ways; the completions
+of different classes are independent, so a template contributes the product
+of its per-class binomials and the space is the sum of those products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.core.model import Grammar
+from repro.core.normalize import NormalizedGrammar, normalize
+from repro.core.templates import (
+    DEFAULT_TEMPLATE_LIMIT,
+    Template,
+    TemplateEnumeration,
+    TemplateGenerator,
+)
+
+
+@dataclass
+class SpaceReport:
+    """Space statistics of one grammar (one row of Table 2)."""
+
+    name: str
+    tags: int
+    templates: int
+    space: int
+    truncated: bool = False
+    limit: int = DEFAULT_TEMPLATE_LIMIT
+
+    def template_label(self) -> str:
+        """Template count formatted as the paper prints it (``>100K`` when capped)."""
+        if self.truncated:
+            return f">{self.limit // 1000}K" if self.limit >= 1000 else f">{self.limit}"
+        return str(self.templates)
+
+    def space_label(self) -> str:
+        """Space size formatted as the paper prints it (``-`` when capped)."""
+        return "-" if self.truncated else str(self.space)
+
+    def as_row(self) -> tuple[str, int, str, str]:
+        """Return (name, tags, templates, space) with paper-style formatting."""
+        return (self.name, self.tags, self.template_label(), self.space_label())
+
+
+def template_completions(template: Template, normalized: NormalizedGrammar) -> int:
+    """Number of distinct concrete queries a single template expands into."""
+    total = 1
+    for rule_name, slots in template.slot_counts().items():
+        available = normalized.literal_count(rule_name)
+        total *= comb(available, slots)
+    return total
+
+
+def space_of(enumeration: TemplateEnumeration, normalized: NormalizedGrammar) -> int:
+    """Total number of concrete queries covered by ``enumeration``.
+
+    When the enumeration was truncated the value is a lower bound; callers
+    should consult ``enumeration.truncated`` (the report helpers below do).
+    """
+    return sum(template_completions(template, normalized) for template in enumeration)
+
+
+def space_report(grammar: Grammar, name: str | None = None,
+                 limit: int = DEFAULT_TEMPLATE_LIMIT) -> SpaceReport:
+    """Compute the (tags, templates, space) row for ``grammar``."""
+    normalized = normalize(grammar)
+    enumeration = TemplateGenerator(normalized, limit=limit).enumerate()
+    return SpaceReport(
+        name=name or grammar.name,
+        tags=normalized.tag_count(),
+        templates=len(enumeration),
+        space=space_of(enumeration, normalized),
+        truncated=enumeration.truncated,
+        limit=limit,
+    )

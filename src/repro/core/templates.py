@@ -1,0 +1,281 @@
+"""Template generation by recursive descent.
+
+A *template* is a sentence derived from the grammar in which every structural
+rule has been expanded and only free text (SQL keywords, punctuation) and
+references to lexical token classes remain.  Templates are the intermediate
+product between the grammar and concrete queries: the final step
+(:mod:`repro.core.render`) injects literal tokens into the template's slots.
+
+Three rules from the paper shape the enumeration:
+
+* **Recursive descent.**  "Generation of concrete sentences from the grammar
+  is implemented with a straight-forward recursive descend algorithm.  This
+  process stops when the parse tree only contains key words and references to
+  lexical tokens."
+* **Order is ignored.**  "Inspired by the observation that most query
+  optimizers normalize expression lists internally, we can ignore order, too,
+  in the query generation.  It suffices to count the lexical tokens during
+  template generation."  Two derivations that use the same lexical classes
+  the same number of times (and the same keyword skeleton) are therefore the
+  same template.
+* **At-most-once literals.**  "We enforce that the literal tokens are used at
+  most once in a query."  A template may not request more slots of a lexical
+  class than that class has literals, and repetition operators are bounded by
+  the available literal budget instead of producing an infinite language.
+
+Finally, "the number of query templates derived from a grammar is capped
+using a hard system limit"; :data:`DEFAULT_TEMPLATE_LIMIT` is that limit and
+enumeration either truncates (reporting ``truncated=True``) or raises
+:class:`repro.errors.SpaceLimitExceeded` depending on the caller's choice.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.model import Alternative, Grammar, Part, Reference, Text
+from repro.core.normalize import NormalizedGrammar, normalize
+from repro.errors import GrammarError, SpaceLimitExceeded
+
+#: The "hard system limit" on the number of templates derived from a grammar.
+DEFAULT_TEMPLATE_LIMIT = 100_000
+
+#: Safety bound on derivation depth, to catch pathological recursion that the
+#: literal budget cannot bound (e.g. structural cycles without lexical rules
+#: that slipped past validation).
+MAX_DEPTH = 64
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A placeholder for a literal of lexical class ``rule`` inside a template."""
+
+    rule: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"${{{self.rule}}}"
+
+
+#: Elements of a template: free text or a lexical slot.
+Element = Text | Slot
+
+
+@dataclass(frozen=True)
+class Template:
+    """A fully expanded query template.
+
+    Attributes
+    ----------
+    elements:
+        The text fragments and lexical slots in derivation order.
+    signature:
+        The canonical identity of the template: the sorted multiset of
+        lexical classes used plus the normalised keyword skeleton.  Two
+        derivations with equal signatures are the same template.
+    """
+
+    elements: tuple[Element, ...]
+    signature: tuple
+
+    @property
+    def slots(self) -> tuple[Slot, ...]:
+        """Lexical slots of the template in derivation order."""
+        return tuple(element for element in self.elements if isinstance(element, Slot))
+
+    def slot_counts(self) -> Counter:
+        """Return how many slots of each lexical class the template has."""
+        return Counter(slot.rule for slot in self.slots)
+
+    def size(self) -> int:
+        """Number of components (lexical slots) in the template.
+
+        The experiment-history figure sizes its nodes by "the number of
+        components in the query"; this is that number.
+        """
+        return len(self.slots)
+
+    def text(self) -> str:
+        """Render the template with ``${class}`` placeholders."""
+        rendered = "".join(
+            element.value if isinstance(element, Text) else str(element)
+            for element in self.elements
+        )
+        return _WHITESPACE.sub(" ", rendered).strip()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text()
+
+
+def _make_template(elements: list[Element]) -> Template:
+    counts = Counter(
+        element.rule for element in elements if isinstance(element, Slot)
+    )
+    skeleton = _WHITESPACE.sub(
+        " ",
+        " ".join(
+            element.value.strip()
+            for element in elements
+            if isinstance(element, Text) and element.value.strip()
+        ),
+    ).strip()
+    signature = (tuple(sorted(counts.items())), skeleton)
+    return Template(elements=tuple(elements), signature=signature)
+
+
+@dataclass
+class TemplateEnumeration:
+    """Outcome of enumerating the templates of a grammar."""
+
+    templates: list[Template] = field(default_factory=list)
+    truncated: bool = False
+    limit: int = DEFAULT_TEMPLATE_LIMIT
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __iter__(self) -> Iterator[Template]:
+        return iter(self.templates)
+
+    def count_label(self) -> str:
+        """Return the template count as the paper prints it (``>100K`` when capped)."""
+        if self.truncated:
+            return f">{self.limit // 1000}K" if self.limit >= 1000 else f">{self.limit}"
+        return str(len(self.templates))
+
+
+class TemplateGenerator:
+    """Enumerate the templates of a grammar under the at-most-once rule.
+
+    Parameters
+    ----------
+    grammar:
+        The grammar (or an already-normalised grammar) to expand.
+    limit:
+        Hard cap on the number of *distinct* templates produced.
+    strict:
+        When True, exceeding the cap raises :class:`SpaceLimitExceeded`;
+        when False (default) enumeration stops and the result is flagged
+        as truncated, which is what the Table 2 reproduction needs for the
+        ``>100K`` entries.
+    """
+
+    def __init__(self, grammar: Grammar | NormalizedGrammar,
+                 limit: int = DEFAULT_TEMPLATE_LIMIT, strict: bool = False):
+        if isinstance(grammar, NormalizedGrammar):
+            self._normalized = grammar
+        else:
+            self._normalized = normalize(grammar)
+        if limit <= 0:
+            raise GrammarError("the template limit must be positive")
+        self.limit = limit
+        self.strict = strict
+
+    # -- public API ---------------------------------------------------------
+
+    def enumerate(self, start: str | None = None) -> TemplateEnumeration:
+        """Enumerate distinct templates reachable from ``start`` (default: start rule)."""
+        normalized = self._normalized
+        origin = start or normalized.start
+        if origin not in normalized.grammar:
+            raise GrammarError(f"unknown start rule '{origin}'")
+
+        budget = Counter(
+            {name: normalized.literal_count(name) for name in normalized.lexical}
+        )
+        result = TemplateEnumeration(limit=self.limit)
+        seen: set[tuple] = set()
+        try:
+            for elements, _used in self._expand_rule(origin, budget, depth=0):
+                template = _make_template(elements)
+                if template.signature in seen:
+                    continue
+                seen.add(template.signature)
+                result.templates.append(template)
+                if len(result.templates) >= self.limit:
+                    result.truncated = True
+                    if self.strict:
+                        raise SpaceLimitExceeded(self.limit)
+                    break
+        except RecursionError as exc:  # pragma: no cover - defensive
+            raise GrammarError("grammar recursion is too deep to expand") from exc
+        return result
+
+    # -- recursive descent ----------------------------------------------------
+
+    def _expand_rule(self, name: str, budget: Counter, depth: int
+                     ) -> Iterator[tuple[list[Element], Counter]]:
+        """Yield (elements, used-literal-count) expansions of rule ``name``."""
+        if depth > MAX_DEPTH:
+            raise GrammarError(
+                f"maximum derivation depth {MAX_DEPTH} exceeded while expanding "
+                f"rule '{name}'"
+            )
+        normalized = self._normalized
+        if normalized.is_lexical(name):
+            if budget[name] >= 1:
+                yield [Slot(name)], Counter({name: 1})
+            return
+        rule = normalized.rule(name)
+        for alternative in rule.alternatives:
+            yield from self._expand_parts(alternative.parts, budget, depth + 1)
+
+    def _expand_parts(self, parts: list[Part], budget: Counter, depth: int
+                      ) -> Iterator[tuple[list[Element], Counter]]:
+        """Expand a sequence of parts left to right, threading the literal budget."""
+        if not parts:
+            yield [], Counter()
+            return
+        first, rest = parts[0], parts[1:]
+        for head_elements, head_used in self._expand_part(first, budget, depth):
+            remaining = budget - head_used
+            for tail_elements, tail_used in self._expand_parts(rest, remaining, depth):
+                yield head_elements + tail_elements, head_used + tail_used
+
+    def _expand_part(self, part: Part, budget: Counter, depth: int
+                     ) -> Iterator[tuple[list[Element], Counter]]:
+        """Expand a single part (text, mandatory, optional or repeated reference)."""
+        if isinstance(part, Text):
+            yield [part], Counter()
+            return
+        if part.repeated:
+            yield from self._expand_repeated(part.name, budget, depth, floor=None)
+            return
+        if part.optional:
+            yield [], Counter()
+        yield from self._expand_rule(part.name, budget, depth)
+
+    def _expand_repeated(self, name: str, budget: Counter, depth: int,
+                         floor: tuple | None) -> Iterator[tuple[list[Element], Counter]]:
+        """Expand ``${name}*`` as zero or more budget-bounded repetitions.
+
+        Because templates ignore order, repetitions are generated as a
+        multiset: each successive repetition's signature must be >= the
+        previous one (``floor``), which avoids enumerating every permutation
+        of the same repetition set.
+        """
+        yield [], Counter()
+        for elements, used in self._expand_rule(name, budget, depth):
+            if not used:
+                # A repetition that consumes no literal would repeat forever;
+                # emit it once and stop.
+                yield elements, used
+                continue
+            signature = tuple(sorted(used.items()))
+            if floor is not None and signature < floor:
+                continue
+            remaining = budget - used
+            for more_elements, more_used in self._expand_repeated(
+                    name, remaining, depth, floor=signature):
+                yield elements + more_elements, used + more_used
+
+
+def enumerate_templates(grammar: Grammar, limit: int = DEFAULT_TEMPLATE_LIMIT,
+                        strict: bool = False, start: str | None = None
+                        ) -> TemplateEnumeration:
+    """Convenience wrapper around :class:`TemplateGenerator`."""
+    return TemplateGenerator(grammar, limit=limit, strict=strict).enumerate(start=start)

@@ -1,0 +1,160 @@
+"""Grammar validation.
+
+The paper: "the validity of the grammar is checked by looking for missing and
+dead code rules."  The validator reports:
+
+* **missing rules** -- referenced but never defined,
+* **dead rules** -- defined but unreachable from the start rule,
+* **empty rules** -- rules without any alternative,
+* **empty lexical alternatives** -- literals whose text is blank,
+* **left-recursive structural cycles that produce no lexical tokens** --
+  cycles between structural rules that never reach a lexical rule can only
+  generate empty or infinite derivations, so they are flagged,
+* **duplicate literal texts inside one lexical rule** -- legal (the paper
+  differentiates them by line number) but reported as a warning.
+
+Findings are split into errors and warnings; :func:`validate` returns a
+:class:`ValidationReport` and :func:`check` raises when errors are present,
+which is the behaviour the platform uses when a project owner uploads a
+grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import Grammar
+from repro.core.normalize import NormalizedGrammar, normalize
+from repro.errors import GrammarValidationError
+
+
+@dataclass
+class ValidationReport:
+    """Result of validating a grammar."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    missing_rules: list[str] = field(default_factory=list)
+    dead_rules: list[str] = field(default_factory=list)
+    empty_rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings do not fail validation)."""
+        return not self.errors
+
+    def summary(self) -> str:
+        """Return a one-line human readable summary."""
+        if self.ok and not self.warnings:
+            return "grammar is valid"
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s): "
+            + "; ".join(self.errors + self.warnings)
+        )
+
+
+def validate(grammar: Grammar) -> ValidationReport:
+    """Validate ``grammar`` and return the findings without raising."""
+    report = ValidationReport()
+    normalized = normalize(grammar, strict=False)
+
+    _check_missing(grammar, report)
+    _check_empty(grammar, report)
+    _check_dead(normalized, report)
+    _check_unproductive_cycles(normalized, report)
+    _check_duplicate_literals(normalized, report)
+    return report
+
+
+def check(grammar: Grammar) -> NormalizedGrammar:
+    """Validate ``grammar`` and raise :class:`GrammarValidationError` on errors.
+
+    Returns the normalised grammar on success so callers that validate before
+    template generation do not normalise twice.
+    """
+    report = validate(grammar)
+    if not report.ok:
+        raise GrammarValidationError(report.errors)
+    return normalize(grammar, strict=True)
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_missing(grammar: Grammar, report: ValidationReport) -> None:
+    for rule in grammar:
+        for referenced in sorted(rule.referenced_names()):
+            if referenced not in grammar:
+                report.missing_rules.append(referenced)
+                report.errors.append(
+                    f"missing rule: '{referenced}' is referenced from '{rule.name}' "
+                    "but never defined"
+                )
+
+
+def _check_empty(grammar: Grammar, report: ValidationReport) -> None:
+    for rule in grammar:
+        if not rule.alternatives:
+            report.empty_rules.append(rule.name)
+            report.errors.append(f"empty rule: '{rule.name}' has no alternatives")
+            continue
+        if rule.is_lexical():
+            for alternative in rule.alternatives:
+                if not alternative.text().strip():
+                    report.errors.append(
+                        f"empty literal: rule '{rule.name}' has a blank literal on "
+                        f"line {alternative.line}"
+                    )
+
+
+def _check_dead(normalized: NormalizedGrammar, report: ValidationReport) -> None:
+    grammar = normalized.grammar
+    if grammar.start is None:
+        return
+    reachable = normalized.reachable.get(grammar.start, set())
+    for rule in grammar:
+        if rule.name not in reachable:
+            report.dead_rules.append(rule.name)
+            report.errors.append(
+                f"dead rule: '{rule.name}' is not reachable from start rule "
+                f"'{grammar.start}'"
+            )
+
+
+def _check_unproductive_cycles(normalized: NormalizedGrammar, report: ValidationReport) -> None:
+    grammar = normalized.grammar
+    for rule in grammar:
+        if rule.name in normalized.lexical:
+            continue
+        reachable = normalized.reachable[rule.name]
+        # A structural rule that participates in a cycle...
+        in_cycle = any(
+            rule.name in normalized.reachable[other]
+            for other in reachable
+            if other != rule.name and other in grammar
+        )
+        if not in_cycle:
+            continue
+        # ...is unproductive when no lexical rule is reachable from it.
+        if not normalized.reachable_lexical[rule.name]:
+            report.errors.append(
+                f"unproductive cycle: rule '{rule.name}' is recursive but never "
+                "reaches a lexical token rule"
+            )
+
+
+def _check_duplicate_literals(normalized: NormalizedGrammar, report: ValidationReport) -> None:
+    for rule_name, literals in normalized.literals_by_rule.items():
+        seen: dict[str, int] = {}
+        for literal in literals:
+            text = literal.text.strip()
+            if text in seen:
+                report.warnings.append(
+                    f"duplicate literal: rule '{rule_name}' defines '{text}' on lines "
+                    f"{seen[text]} and {literal.line}; they are treated as distinct "
+                    "tokens (differentiated by line number)"
+                )
+            else:
+                seen[text] = literal.line

@@ -1,0 +1,135 @@
+"""Air-traffic style data generator.
+
+The demo lists an "airtraffic" sample project; the public dataset behind it
+(the US DOT on-time performance data) is not redistributable here, so this
+module generates a synthetic equivalent with the same analytical shape: a
+``flights`` fact table (carrier, origin, destination, date, departure delay,
+arrival delay, distance, cancellations) plus ``airports`` and ``carriers``
+dimensions.  Delay distributions are skewed (most flights on time, a long
+tail of large delays) so aggregate queries behave like they do on the real
+data.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+AIRTRAFFIC_SCHEMA: dict[str, list[tuple[str, str]]] = {
+    "carriers": [
+        ("carrier_code", "str"),
+        ("carrier_name", "str"),
+    ],
+    "airports": [
+        ("airport_code", "str"),
+        ("airport_name", "str"),
+        ("city", "str"),
+        ("state", "str"),
+    ],
+    "flights": [
+        ("flight_id", "int"),
+        ("flight_date", "date"),
+        ("carrier_code", "str"),
+        ("origin", "str"),
+        ("destination", "str"),
+        ("departure_delay", "float"),
+        ("arrival_delay", "float"),
+        ("distance", "int"),
+        ("cancelled", "int"),
+    ],
+}
+
+_CARRIERS = [
+    ("AA", "American Airlines"), ("DL", "Delta Air Lines"), ("UA", "United Airlines"),
+    ("WN", "Southwest Airlines"), ("B6", "JetBlue Airways"), ("AS", "Alaska Airlines"),
+    ("NK", "Spirit Air Lines"), ("F9", "Frontier Airlines"), ("HA", "Hawaiian Airlines"),
+    ("G4", "Allegiant Air"),
+]
+_AIRPORTS = [
+    ("ATL", "Hartsfield-Jackson", "Atlanta", "GA"), ("LAX", "Los Angeles Intl", "Los Angeles", "CA"),
+    ("ORD", "O'Hare Intl", "Chicago", "IL"), ("DFW", "Dallas/Fort Worth Intl", "Dallas", "TX"),
+    ("DEN", "Denver Intl", "Denver", "CO"), ("JFK", "John F Kennedy Intl", "New York", "NY"),
+    ("SFO", "San Francisco Intl", "San Francisco", "CA"), ("SEA", "Seattle-Tacoma Intl", "Seattle", "WA"),
+    ("LAS", "McCarran Intl", "Las Vegas", "NV"), ("MCO", "Orlando Intl", "Orlando", "FL"),
+    ("MIA", "Miami Intl", "Miami", "FL"), ("PHX", "Sky Harbor Intl", "Phoenix", "AZ"),
+    ("IAH", "George Bush Intl", "Houston", "TX"), ("BOS", "Logan Intl", "Boston", "MA"),
+    ("MSP", "Minneapolis-St Paul Intl", "Minneapolis", "MN"), ("DTW", "Detroit Metro", "Detroit", "MI"),
+    ("FLL", "Fort Lauderdale Intl", "Fort Lauderdale", "FL"), ("PHL", "Philadelphia Intl", "Philadelphia", "PA"),
+    ("CLT", "Charlotte Douglas Intl", "Charlotte", "NC"), ("BWI", "Baltimore/Washington Intl", "Baltimore", "MD"),
+]
+
+
+@dataclass
+class AirTrafficGenerator:
+    """Generates a synthetic air-traffic star schema."""
+
+    flights: int = 20_000
+    seed: int = 1903  # first powered flight
+    year: int = 2018
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.flights <= 0:
+            raise ValueError("flights must be positive")
+        self._rng = random.Random((self.seed, self.flights).__hash__())
+
+    def _delay(self) -> float:
+        """Skewed delay distribution: mostly on-time, long positive tail."""
+        roll = self._rng.random()
+        if roll < 0.55:
+            return round(self._rng.uniform(-10.0, 5.0), 1)
+        if roll < 0.90:
+            return round(self._rng.uniform(5.0, 45.0), 1)
+        return round(self._rng.uniform(45.0, 360.0), 1)
+
+    def generate(self) -> dict[str, list[tuple]]:
+        """Generate carriers, airports and flights tables."""
+        tables: dict[str, list[tuple]] = {
+            "carriers": list(_CARRIERS),
+            "airports": list(_AIRPORTS),
+        }
+        flights: list[tuple] = []
+        start = datetime.date(self.year, 1, 1)
+        codes = [airport[0] for airport in _AIRPORTS]
+        for flight_id in range(1, self.flights + 1):
+            origin = self._rng.choice(codes)
+            destination = self._rng.choice([code for code in codes if code != origin])
+            departure_delay = self._delay()
+            cancelled = 1 if self._rng.random() < 0.015 else 0
+            arrival_delay = 0.0 if cancelled else round(
+                departure_delay + self._rng.uniform(-15.0, 20.0), 1)
+            flights.append((
+                flight_id,
+                (start + datetime.timedelta(days=self._rng.randrange(365))).isoformat(),
+                self._rng.choice(_CARRIERS)[0],
+                origin,
+                destination,
+                0.0 if cancelled else departure_delay,
+                arrival_delay,
+                self._rng.randrange(150, 3000),
+                cancelled,
+            ))
+        tables["flights"] = flights
+        return tables
+
+    def populate(self, database: "Database") -> None:
+        """Create the air-traffic schema on ``database`` and load the rows."""
+        tables = self.generate()
+        for table, columns in AIRTRAFFIC_SCHEMA.items():
+            database.create_table(table, columns)
+            database.insert_rows(table, tables[table])
+
+
+def generate_airtraffic(flights: int = 20_000, seed: int = 1903) -> dict[str, list[tuple]]:
+    """Generate the air-traffic tables with ``flights`` fact rows."""
+    return AirTrafficGenerator(flights=flights, seed=seed).generate()
+
+
+def populate_airtraffic(database: "Database", flights: int = 20_000, seed: int = 1903) -> None:
+    """Create and load the air-traffic schema on ``database``."""
+    AirTrafficGenerator(flights=flights, seed=seed).populate(database)

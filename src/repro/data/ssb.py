@@ -1,0 +1,186 @@
+"""Star Schema Benchmark (SSB) style data generator.
+
+The demo's sample projects include SSBM-inspired cases.  The generator
+produces the classic star schema: a ``lineorder`` fact table plus ``date_dim``,
+``customer_dim``, ``supplier_dim`` and ``part_dim`` dimensions, with the usual
+hierarchies (region -> nation -> city, year -> month).  As with the TPC-H
+generator, output is deterministic for a given ``(scale_factor, seed)``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+SSB_SCHEMA: dict[str, list[tuple[str, str]]] = {
+    "date_dim": [
+        ("d_datekey", "int"),
+        ("d_date", "date"),
+        ("d_year", "int"),
+        ("d_month", "int"),
+        ("d_weeknum", "int"),
+    ],
+    "customer_dim": [
+        ("c_custkey", "int"),
+        ("c_name", "str"),
+        ("c_city", "str"),
+        ("c_nation", "str"),
+        ("c_region", "str"),
+        ("c_mktsegment", "str"),
+    ],
+    "supplier_dim": [
+        ("s_suppkey", "int"),
+        ("s_name", "str"),
+        ("s_city", "str"),
+        ("s_nation", "str"),
+        ("s_region", "str"),
+    ],
+    "part_dim": [
+        ("p_partkey", "int"),
+        ("p_name", "str"),
+        ("p_mfgr", "str"),
+        ("p_category", "str"),
+        ("p_brand", "str"),
+        ("p_color", "str"),
+    ],
+    "lineorder": [
+        ("lo_orderkey", "int"),
+        ("lo_linenumber", "int"),
+        ("lo_custkey", "int"),
+        ("lo_partkey", "int"),
+        ("lo_suppkey", "int"),
+        ("lo_orderdate", "int"),
+        ("lo_quantity", "float"),
+        ("lo_extendedprice", "float"),
+        ("lo_discount", "float"),
+        ("lo_revenue", "float"),
+        ("lo_supplycost", "float"),
+    ],
+}
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = {
+    "AFRICA": ["ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"],
+    "AMERICA": ["ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"],
+    "ASIA": ["CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"],
+    "EUROPE": ["FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"],
+    "MIDDLE EAST": ["EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"],
+}
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_COLORS = ["red", "green", "blue", "yellow", "purple", "white", "black", "orange"]
+_MFGRS = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"]
+
+
+@dataclass
+class SSBGenerator:
+    """Generates the SSB star schema at a given scale factor."""
+
+    scale_factor: float = 0.01
+    seed: int = 47
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self._rng = random.Random((self.seed, round(self.scale_factor * 1_000_000)).__hash__())
+
+    def _counts(self) -> dict[str, int]:
+        return {
+            "customer_dim": max(int(30_000 * self.scale_factor), 20),
+            "supplier_dim": max(int(2_000 * self.scale_factor), 10),
+            "part_dim": max(int(20_000 * self.scale_factor), 20),
+            "lineorder": max(int(6_000_000 * self.scale_factor), 200),
+        }
+
+    def _city(self, nation: str) -> str:
+        return f"{nation[:9]:<9}{self._rng.randrange(10)}"
+
+    def generate(self) -> dict[str, list[tuple]]:
+        """Generate all five SSB tables keyed by table name."""
+        counts = self._counts()
+        tables: dict[str, list[tuple]] = {}
+
+        dates: list[tuple] = []
+        start = datetime.date(1992, 1, 1)
+        for offset in range(0, 2557):  # seven years of days
+            day = start + datetime.timedelta(days=offset)
+            key = day.year * 10_000 + day.month * 100 + day.day
+            dates.append((key, day.isoformat(), day.year, day.month, day.isocalendar()[1]))
+        tables["date_dim"] = dates
+
+        customers = []
+        for key in range(1, counts["customer_dim"] + 1):
+            region = self._rng.choice(_REGIONS)
+            nation = self._rng.choice(_NATIONS[region])
+            customers.append((
+                key, f"Customer#{key:09d}", self._city(nation), nation, region,
+                self._rng.choice(_SEGMENTS),
+            ))
+        tables["customer_dim"] = customers
+
+        suppliers = []
+        for key in range(1, counts["supplier_dim"] + 1):
+            region = self._rng.choice(_REGIONS)
+            nation = self._rng.choice(_NATIONS[region])
+            suppliers.append((
+                key, f"Supplier#{key:09d}", self._city(nation), nation, region,
+            ))
+        tables["supplier_dim"] = suppliers
+
+        parts = []
+        for key in range(1, counts["part_dim"] + 1):
+            mfgr = self._rng.choice(_MFGRS)
+            category = f"{mfgr}{self._rng.randrange(1, 6)}"
+            brand = f"{category}{self._rng.randrange(1, 41)}"
+            parts.append((
+                key, f"part {key}", mfgr, category, brand, self._rng.choice(_COLORS),
+            ))
+        tables["part_dim"] = parts
+
+        lineorders = []
+        orderkey = 0
+        while len(lineorders) < counts["lineorder"]:
+            orderkey += 1
+            datekey = dates[self._rng.randrange(len(dates))][0]
+            custkey = self._rng.randrange(1, counts["customer_dim"] + 1)
+            for linenumber in range(1, self._rng.randrange(1, 8)):
+                quantity = float(self._rng.randrange(1, 51))
+                price = round(quantity * self._rng.uniform(100.0, 1000.0), 2)
+                discount = round(self._rng.uniform(0.0, 0.10), 2)
+                lineorders.append((
+                    orderkey,
+                    linenumber,
+                    custkey,
+                    self._rng.randrange(1, counts["part_dim"] + 1),
+                    self._rng.randrange(1, counts["supplier_dim"] + 1),
+                    datekey,
+                    quantity,
+                    price,
+                    discount,
+                    round(price * (1 - discount), 2),
+                    round(price * 0.6, 2),
+                ))
+        tables["lineorder"] = lineorders[: counts["lineorder"]]
+        return tables
+
+    def populate(self, database: "Database") -> None:
+        """Create the SSB schema on ``database`` and load the generated rows."""
+        tables = self.generate()
+        for table, columns in SSB_SCHEMA.items():
+            database.create_table(table, columns)
+            database.insert_rows(table, tables[table])
+
+
+def generate_ssb(scale_factor: float = 0.01, seed: int = 47) -> dict[str, list[tuple]]:
+    """Generate the SSB tables at ``scale_factor``."""
+    return SSBGenerator(scale_factor=scale_factor, seed=seed).generate()
+
+
+def populate_ssb(database: "Database", scale_factor: float = 0.01, seed: int = 47) -> None:
+    """Create and load the SSB schema on ``database``."""
+    SSBGenerator(scale_factor=scale_factor, seed=seed).populate(database)

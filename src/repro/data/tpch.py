@@ -1,0 +1,288 @@
+"""Deterministic TPC-H-style data generator.
+
+The generator reproduces the *structure* of dbgen output -- the same schema,
+key relationships (every ``lineitem`` row joins an ``orders`` row, every
+``orders`` row joins a ``customer`` row, ...), value domains (return flags,
+ship modes, market segments, date ranges 1992-1998) and approximate
+distributions -- at laptop scale factors.  It is **not** a byte-compatible
+dbgen replacement: the paper's experiments only need a database whose query
+behaviour is TPC-H-shaped, which this provides while staying deterministic
+for a given ``(scale_factor, seed)`` pair.
+
+Rows are generated as plain tuples in schema column order, so they can be
+loaded into either engine layout or written to CSV.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.tpch.schema import TPCH_BASE_ROWS, TPCH_SCHEMA, TPCH_TABLES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = [
+    f"{size} {kind}"
+    for size in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+]
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+    "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+    "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+]
+_COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "final", "special",
+    "express", "regular", "pending", "ironic", "even", "bold", "silent", "unusual",
+    "requests", "deposits", "packages", "accounts", "instructions", "theodolites",
+    "foxes", "pinto", "beans", "dependencies", "excuses", "platelets", "asymptotes",
+    "Customer", "Complaints", "sleep", "wake", "nag", "haggle", "cajole", "detect",
+]
+
+_START_DATE = datetime.date(1992, 1, 1)
+_END_DATE = datetime.date(1998, 12, 1)
+_DATE_RANGE_DAYS = (_END_DATE - _START_DATE).days
+
+
+@dataclass
+class TPCHGenerator:
+    """Generates the eight TPC-H tables at a given scale factor.
+
+    Parameters
+    ----------
+    scale_factor:
+        Fraction of the SF-1 cardinalities (0.001 gives a ~6k-row lineitem).
+    seed:
+        Seed for the deterministic pseudo-random stream.
+    """
+
+    scale_factor: float = 0.01
+    seed: int = 20190113  # CIDR 2019 opening day; any fixed constant works.
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self._rng = random.Random((self.seed, round(self.scale_factor * 1_000_000)).__hash__())
+
+    # -- helpers --------------------------------------------------------------
+
+    def _rows(self, table: str) -> int:
+        if table == "region":
+            return 5
+        if table == "nation":
+            return 25
+        scaled = int(TPCH_BASE_ROWS[table] * self.scale_factor)
+        return max(scaled, 10)
+
+    def _comment(self, words: int = 4) -> str:
+        return " ".join(self._rng.choice(_COMMENT_WORDS) for _ in range(words))
+
+    def _date(self) -> datetime.date:
+        return _START_DATE + datetime.timedelta(days=self._rng.randrange(_DATE_RANGE_DAYS))
+
+    def _phone(self, nationkey: int) -> str:
+        return (f"{10 + nationkey}-{self._rng.randrange(100, 999)}-"
+                f"{self._rng.randrange(100, 999)}-{self._rng.randrange(1000, 9999)}")
+
+    # -- table generators ----------------------------------------------------------
+
+    def region(self) -> list[tuple]:
+        return [(key, name, self._comment()) for key, name in enumerate(_REGIONS)]
+
+    def nation(self) -> list[tuple]:
+        return [
+            (key, name, regionkey, self._comment())
+            for key, (name, regionkey) in enumerate(_NATIONS)
+        ]
+
+    def supplier(self) -> list[tuple]:
+        rows = []
+        for key in range(1, self._rows("supplier") + 1):
+            nationkey = self._rng.randrange(25)
+            comment = self._comment()
+            if key % 13 == 0:
+                comment = "Customer Complaints " + comment
+            rows.append((
+                key,
+                f"Supplier#{key:09d}",
+                self._comment(2),
+                nationkey,
+                self._phone(nationkey),
+                round(self._rng.uniform(-999.99, 9999.99), 2),
+                comment,
+            ))
+        return rows
+
+    def customer(self) -> list[tuple]:
+        rows = []
+        for key in range(1, self._rows("customer") + 1):
+            nationkey = self._rng.randrange(25)
+            rows.append((
+                key,
+                f"Customer#{key:09d}",
+                self._comment(2),
+                nationkey,
+                self._phone(nationkey),
+                round(self._rng.uniform(-999.99, 9999.99), 2),
+                self._rng.choice(_SEGMENTS),
+                self._comment(),
+            ))
+        return rows
+
+    def part(self) -> list[tuple]:
+        rows = []
+        for key in range(1, self._rows("part") + 1):
+            name = " ".join(self._rng.sample(_NAME_WORDS, 5))
+            mfgr = self._rng.randrange(1, 6)
+            brand = f"Brand#{mfgr}{self._rng.randrange(1, 6)}"
+            p_type = (f"{self._rng.choice(_TYPE_SYLL1)} {self._rng.choice(_TYPE_SYLL2)} "
+                      f"{self._rng.choice(_TYPE_SYLL3)}")
+            rows.append((
+                key,
+                name,
+                f"Manufacturer#{mfgr}",
+                brand,
+                p_type,
+                self._rng.randrange(1, 51),
+                self._rng.choice(_CONTAINERS),
+                round(900 + (key % 1000) + self._rng.uniform(0, 100), 2),
+                self._comment(3),
+            ))
+        return rows
+
+    def partsupp(self, part_count: int, supplier_count: int) -> list[tuple]:
+        rows = []
+        per_part = 4
+        for partkey in range(1, part_count + 1):
+            for offset in range(per_part):
+                suppkey = ((partkey + offset * (supplier_count // per_part + 1))
+                           % supplier_count) + 1
+                rows.append((
+                    partkey,
+                    suppkey,
+                    self._rng.randrange(1, 10_000),
+                    round(self._rng.uniform(1.0, 1000.0), 2),
+                    self._comment(5),
+                ))
+        return rows
+
+    def orders(self, customer_count: int) -> list[tuple]:
+        rows = []
+        for key in range(1, self._rows("orders") + 1):
+            orderdate = self._date()
+            status = self._rng.choice(["O", "F", "P"])
+            rows.append((
+                key,
+                self._rng.randrange(1, customer_count + 1),
+                status,
+                round(self._rng.uniform(1000.0, 400_000.0), 2),
+                orderdate.isoformat(),
+                self._rng.choice(_PRIORITIES),
+                f"Clerk#{self._rng.randrange(1, 1000):09d}",
+                0,
+                self._comment() + (" special requests" if key % 17 == 0 else ""),
+            ))
+        return rows
+
+    def lineitem(self, order_rows: list[tuple], part_count: int,
+                 supplier_count: int) -> list[tuple]:
+        rows = []
+        for order in order_rows:
+            orderkey = order[0]
+            orderdate = datetime.date.fromisoformat(order[4])
+            lines = self._rng.randrange(1, 8)
+            for linenumber in range(1, lines + 1):
+                partkey = self._rng.randrange(1, part_count + 1)
+                suppkey = self._rng.randrange(1, supplier_count + 1)
+                quantity = float(self._rng.randrange(1, 51))
+                extendedprice = round(quantity * self._rng.uniform(900.0, 2000.0), 2)
+                shipdate = orderdate + datetime.timedelta(days=self._rng.randrange(1, 122))
+                commitdate = orderdate + datetime.timedelta(days=self._rng.randrange(30, 91))
+                receiptdate = shipdate + datetime.timedelta(days=self._rng.randrange(1, 31))
+                returnflag = "R" if receiptdate <= datetime.date(1995, 6, 17) and self._rng.random() < 0.5 else (
+                    "A" if receiptdate <= datetime.date(1995, 6, 17) else "N")
+                linestatus = "F" if shipdate <= datetime.date(1995, 6, 17) else "O"
+                rows.append((
+                    orderkey,
+                    partkey,
+                    suppkey,
+                    linenumber,
+                    quantity,
+                    extendedprice,
+                    round(self._rng.uniform(0.0, 0.10), 2),
+                    round(self._rng.uniform(0.0, 0.08), 2),
+                    returnflag,
+                    linestatus,
+                    shipdate.isoformat(),
+                    commitdate.isoformat(),
+                    receiptdate.isoformat(),
+                    self._rng.choice(_SHIP_INSTRUCT),
+                    self._rng.choice(_SHIP_MODES),
+                    self._comment(3),
+                ))
+        return rows
+
+    # -- public API -------------------------------------------------------------------
+
+    def generate(self) -> dict[str, list[tuple]]:
+        """Generate all eight tables and return them keyed by table name."""
+        tables: dict[str, list[tuple]] = {}
+        tables["region"] = self.region()
+        tables["nation"] = self.nation()
+        tables["supplier"] = self.supplier()
+        tables["customer"] = self.customer()
+        tables["part"] = self.part()
+        tables["partsupp"] = self.partsupp(len(tables["part"]), len(tables["supplier"]))
+        tables["orders"] = self.orders(len(tables["customer"]))
+        tables["lineitem"] = self.lineitem(
+            tables["orders"], len(tables["part"]), len(tables["supplier"])
+        )
+        return tables
+
+    def populate(self, database: "Database") -> None:
+        """Create the TPC-H schema on ``database`` and load the generated rows."""
+        tables = self.generate()
+        for table in TPCH_TABLES:
+            database.create_table(table, TPCH_SCHEMA[table])
+            database.insert_rows(table, tables[table])
+
+
+def generate_tpch(scale_factor: float = 0.01, seed: int = 20190113) -> dict[str, list[tuple]]:
+    """Generate TPC-H tables at ``scale_factor`` and return them as row lists."""
+    return TPCHGenerator(scale_factor=scale_factor, seed=seed).generate()
+
+
+def populate_tpch(database: "Database", scale_factor: float = 0.01,
+                  seed: int = 20190113) -> None:
+    """Create and load the TPC-H schema on ``database``."""
+    TPCHGenerator(scale_factor=scale_factor, seed=seed).populate(database)

@@ -1,0 +1,118 @@
+"""Transports the driver uses to talk to the platform.
+
+Two interchangeable clients implement the same small protocol (`next_task`,
+`submit_result`, `results`):
+
+* :class:`HTTPClient` talks JSON over HTTP to a deployed
+  :class:`repro.platform.webapp.PlatformServer` -- the remote-contributor
+  setup of the paper, and
+* :class:`InProcessClient` calls a :class:`PlatformService` directly -- used
+  by tests, benchmarks and single-machine experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Protocol
+
+from repro.errors import TransportError
+from repro.platform.models import Experiment, Task
+from repro.platform.service import PlatformService
+
+
+class PlatformClient(Protocol):
+    """Protocol shared by the HTTP and in-process transports."""
+
+    def next_task(self, experiment_id: int, dbms: str | None = None) -> dict | None: ...
+
+    def submit_result(self, task_id: int, times: list[float], error: str | None,
+                      load_averages: dict, extras: dict) -> dict: ...
+
+    def results(self, experiment_id: int) -> list[dict]: ...
+
+
+class HTTPClient:
+    """JSON-over-HTTP transport (the remote ``sqalpel.py`` setup)."""
+
+    def __init__(self, base_url: str, contributor_key: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.contributor_key = contributor_key
+        self.timeout = timeout
+
+    # -- raw helpers -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict | list:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(url, data=data, method=method)
+        request.add_header("Content-Type", "application/json")
+        request.add_header("X-Sqalpel-Key", self.contributor_key)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            raise TransportError(f"{method} {path} failed with {exc.code}: {detail}") from exc
+        except urllib.error.URLError as exc:
+            raise TransportError(f"cannot reach the platform at {url}: {exc}") from exc
+
+    def ping(self) -> dict:
+        return self._request("GET", "/api/ping")
+
+    # -- protocol ------------------------------------------------------------------
+
+    def next_task(self, experiment_id: int, dbms: str | None = None) -> dict | None:
+        payload = {"experiment": experiment_id}
+        if dbms:
+            payload["dbms"] = dbms
+        response = self._request("POST", "/api/task", payload)
+        return response.get("task")
+
+    def submit_result(self, task_id: int, times: list[float], error: str | None,
+                      load_averages: dict, extras: dict) -> dict:
+        payload = {
+            "task": task_id,
+            "times": times,
+            "error": error,
+            "load_averages": load_averages,
+            "extras": extras,
+        }
+        response = self._request("POST", "/api/result", payload)
+        return response.get("result", {})
+
+    def results(self, experiment_id: int) -> list[dict]:
+        return self._request("GET", f"/api/results?experiment={experiment_id}")
+
+
+class InProcessClient:
+    """Direct transport over a :class:`PlatformService` instance."""
+
+    def __init__(self, service: PlatformService, contributor_key: str):
+        self.service = service
+        self.contributor_key = contributor_key
+
+    def _contributor(self):
+        return self.service.authenticate(self.contributor_key)
+
+    def _experiment(self, experiment_id: int) -> Experiment:
+        return self.service.store.experiment(experiment_id)
+
+    def next_task(self, experiment_id: int, dbms: str | None = None) -> dict | None:
+        task = self.service.next_task(self._contributor(), self._experiment(experiment_id),
+                                      dbms_label=dbms)
+        return task.to_dict() if task is not None else None
+
+    def submit_result(self, task_id: int, times: list[float], error: str | None,
+                      load_averages: dict, extras: dict) -> dict:
+        task: Task = self.service.store.task(task_id)
+        result = self.service.submit_result(self._contributor(), task, times=times,
+                                            error=error, load_averages=load_averages,
+                                            extras=extras)
+        return result.to_dict()
+
+    def results(self, experiment_id: int) -> list[dict]:
+        experiment = self._experiment(experiment_id)
+        viewer = self._contributor()
+        return [record.to_dict() for record in self.service.results(experiment, viewer=viewer)]

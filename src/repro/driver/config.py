@@ -1,0 +1,96 @@
+"""Driver configuration.
+
+"The experiment driver is locally controlled using a configuration file.  It
+specifies the DBMS and host used in the experimental run and the project
+contributed to.  Furthermore, it uses a separately supplied key to identify
+the source of the results without disclosing the contributor's identity."
+
+The configuration file uses INI syntax (``configparser``), e.g.::
+
+    [sqalpel]
+    server = http://127.0.0.1:8080
+    key = 6f1f7...
+    project = tpch-sf001
+    experiment = 1
+
+    [target]
+    dbms = columnstore-1.0
+    host = laptop
+    repeats = 5
+    timeout = 60
+"""
+
+from __future__ import annotations
+
+import configparser
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class DriverConfig:
+    """Validated driver configuration."""
+
+    key: str
+    dbms: str
+    host: str
+    server: str | None = None
+    project: str | None = None
+    experiment: int | None = None
+    repeats: int = 5
+    timeout: float = 60.0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigError("the contributor key is required")
+        if not self.dbms:
+            raise ConfigError("the target DBMS label is required")
+        if not self.host:
+            raise ConfigError("the host name is required")
+        if self.repeats <= 0:
+            raise ConfigError("repeats must be a positive integer")
+        if self.timeout <= 0:
+            raise ConfigError("timeout must be positive")
+
+
+def load_config(path: str | Path) -> DriverConfig:
+    """Read and validate a driver configuration file."""
+    parser = configparser.ConfigParser()
+    read = parser.read(str(path))
+    if not read:
+        raise ConfigError(f"cannot read configuration file '{path}'")
+    if "sqalpel" not in parser:
+        raise ConfigError("the configuration must contain a [sqalpel] section")
+    sqalpel = parser["sqalpel"]
+    target = parser["target"] if "target" in parser else {}
+
+    experiment_raw = sqalpel.get("experiment", "")
+    try:
+        experiment = int(experiment_raw) if experiment_raw else None
+    except ValueError:
+        raise ConfigError("experiment must be an integer id") from None
+
+    try:
+        repeats = int(target.get("repeats", "5"))
+        timeout = float(target.get("timeout", "60"))
+    except ValueError:
+        raise ConfigError("repeats must be an integer and timeout a number") from None
+
+    extras = {
+        key: value
+        for key, value in (parser["extras"].items() if "extras" in parser else [])
+    }
+    return DriverConfig(
+        key=sqalpel.get("key", ""),
+        dbms=target.get("dbms", sqalpel.get("dbms", "")),
+        host=target.get("host", sqalpel.get("host", "")),
+        server=sqalpel.get("server") or None,
+        project=sqalpel.get("project") or None,
+        experiment=experiment,
+        repeats=repeats,
+        timeout=timeout,
+        extras=extras,
+    )

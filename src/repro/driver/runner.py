@@ -1,0 +1,118 @@
+"""The driver's execution loop.
+
+"Its basic interaction is to call the sqalpel webserver for a task from a
+project/experiment pool, execute it, and report the findings. [...] By default
+each experiment is run five times and the wall clock time for each step is
+reported.  When available, the system load at the beginning and end of the
+experimental run is kept around. [...] An open-ended key-value list structure
+can be returned to keep system specific performance indicators for post
+inspection."
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.driver.client import PlatformClient
+from repro.driver.config import DriverConfig
+from repro.engine.engine import Engine
+
+
+def read_load_averages() -> dict:
+    """Return the 1/5/15-minute CPU load averages (empty when unavailable)."""
+    try:
+        one, five, fifteen = os.getloadavg()
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX platforms
+        return {}
+    return {"load1": one, "load5": five, "load15": fifteen}
+
+
+@dataclass
+class RunOutcome:
+    """Measurements of one query executed by the driver."""
+
+    sql: str
+    times: list[float] = field(default_factory=list)
+    error: str | None = None
+    rows: int = 0
+    load_before: dict = field(default_factory=dict)
+    load_after: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def best(self) -> float | None:
+        return min(self.times) if self.times else None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+def measure_query(engine: Engine, sql: str, repeats: int = 5,
+                  timeout: float | None = None) -> RunOutcome:
+    """Run ``sql`` ``repeats`` times on ``engine`` and collect the wall-clock times.
+
+    Errors are captured, not raised: a failing query is a first-class outcome
+    in SQALPEL (it shows up as a yellow node in the experiment history).  When
+    a single repetition exceeds ``timeout`` seconds the remaining repetitions
+    are skipped.
+    """
+    outcome = RunOutcome(sql=sql, load_before=read_load_averages())
+    for _ in range(repeats):
+        started = time.perf_counter()
+        try:
+            result = engine.execute(sql)
+        except Exception as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            break
+        elapsed = time.perf_counter() - started
+        outcome.times.append(elapsed)
+        outcome.rows = len(result.rows)
+        if timeout is not None and elapsed > timeout:
+            break
+    outcome.load_after = read_load_averages()
+    outcome.extras = {
+        "engine": engine.label,
+        "strategy": engine.strategy(),
+        "rows": outcome.rows,
+        "options": engine.options.describe(),
+    }
+    return outcome
+
+
+@dataclass
+class ExperimentDriver:
+    """Pulls tasks from the platform, runs them on a local engine, reports back."""
+
+    client: PlatformClient
+    engine: Engine
+    config: DriverConfig
+
+    def run_once(self, experiment_id: int) -> dict | None:
+        """Fetch and execute a single task; return the submitted result payload."""
+        task = self.client.next_task(experiment_id, dbms=self.config.dbms)
+        if task is None:
+            return None
+        outcome = measure_query(self.engine, task["query_sql"],
+                                repeats=self.config.repeats,
+                                timeout=self.config.timeout)
+        load = {"before": outcome.load_before, "after": outcome.load_after}
+        return self.client.submit_result(
+            task_id=task["id"],
+            times=outcome.times,
+            error=outcome.error,
+            load_averages=load,
+            extras=outcome.extras,
+        )
+
+    def run_all(self, experiment_id: int, max_tasks: int | None = None) -> int:
+        """Drain the experiment's queue; return how many tasks were executed."""
+        executed = 0
+        while max_tasks is None or executed < max_tasks:
+            submitted = self.run_once(experiment_id)
+            if submitted is None:
+                break
+            executed += 1
+        return executed

@@ -1,0 +1,38 @@
+"""Relational engine substrate.
+
+The paper runs experiments against real DBMSs (MonetDB and any JDBC system);
+this reproduction substitutes two pure-Python engines that understand the
+same SQL dialect but differ fundamentally in execution model:
+
+* :class:`RowEngine` -- a tuple-at-a-time interpreter (row store, nested-loop
+  and hash joins, per-row expression interpretation),
+* :class:`ColumnEngine` -- a vectorised engine over numpy column arrays
+  (column store, bulk filters, hash joins on key vectors, vectorised
+  expression evaluation).
+
+Both are configurable with :class:`EngineOptions` feature flags so an
+experiment can also compare two *versions* of the same engine (e.g. with and
+without predicate push-down, or with the overflow-guarded expression
+evaluation that the paper's MonetDB anecdote describes).
+
+The shared pieces are the catalog/storage (:class:`Database`), the SQL
+front-end (:mod:`repro.sqlparser`) and the logical planner.
+"""
+
+from repro.engine.catalog import Catalog, ColumnDef, TableSchema
+from repro.engine.database import Database
+from repro.engine.result import QueryResult
+from repro.engine.engine import ColumnEngine, Engine, EngineOptions, RowEngine, create_engine
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "TableSchema",
+    "Database",
+    "QueryResult",
+    "Engine",
+    "EngineOptions",
+    "RowEngine",
+    "ColumnEngine",
+    "create_engine",
+]

@@ -1,0 +1,138 @@
+"""Database: catalog plus row storage, shared by both engine kinds.
+
+Rows are stored once, in row-major form with values coerced to their declared
+logical type.  The column engine derives numpy column arrays lazily (and
+caches them) from the same storage, so both engines always see identical
+data -- a prerequisite for discriminative benchmarking, where only the
+execution model may differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.catalog import Catalog, ColumnDef, TableSchema
+from repro.engine.types import coerce_value, date_to_ordinal
+from repro.errors import CatalogError, ExecutionError
+
+
+@dataclass
+class ColumnarTable:
+    """Column-major view of one table (numpy arrays keyed by column name)."""
+
+    schema: TableSchema
+    columns: dict[str, np.ndarray]
+    length: int
+
+
+class Database:
+    """An in-memory database instance: catalog + rows (+ cached column views)."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self.catalog = Catalog()
+        self._rows: dict[str, list[tuple]] = {}
+        self._columnar: dict[str, ColumnarTable] = {}
+
+    # -- DDL / DML -----------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: Iterable[tuple[str, str]] | Iterable[ColumnDef]) -> TableSchema:
+        """Create table ``name`` and return its schema."""
+        schema = self.catalog.create_table(name, columns)
+        self._rows[schema.name] = []
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        """Drop table ``name`` and its data."""
+        self.catalog.drop_table(name)
+        self._rows.pop(name.lower(), None)
+        self._columnar.pop(name.lower(), None)
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Append ``rows`` (sequences in column order) to table ``name``."""
+        schema = self.catalog.table(name)
+        storage = self._rows[schema.name]
+        count = 0
+        for row in rows:
+            if len(row) != len(schema):
+                raise ExecutionError(
+                    f"table '{name}' expects {len(schema)} values per row, got {len(row)}"
+                )
+            coerced = tuple(
+                coerce_value(value, column.type_name)
+                for value, column in zip(row, schema.columns)
+            )
+            storage.append(coerced)
+            count += 1
+        self._columnar.pop(schema.name, None)
+        return count
+
+    # -- access ------------------------------------------------------------------
+
+    def row_count(self, name: str) -> int:
+        """Number of rows currently stored in table ``name``."""
+        return len(self._rows[self.catalog.table(name).name])
+
+    def rows(self, name: str) -> list[tuple]:
+        """Return the row list of table ``name`` (not a copy; treat as read-only)."""
+        return self._rows[self.catalog.table(name).name]
+
+    def columnar(self, name: str) -> ColumnarTable:
+        """Return (building and caching if needed) the column view of ``name``."""
+        schema = self.catalog.table(name)
+        cached = self._columnar.get(schema.name)
+        if cached is not None:
+            return cached
+        rows = self._rows[schema.name]
+        columns: dict[str, np.ndarray] = {}
+        for index, column in enumerate(schema.columns):
+            values = [row[index] for row in rows]
+            columns[column.name] = _to_array(values, column.type_name)
+        view = ColumnarTable(schema=schema, columns=columns, length=len(rows))
+        self._columnar[schema.name] = view
+        return view
+
+    def table_names(self) -> list[str]:
+        """Names of all tables in the database."""
+        return self.catalog.table_names()
+
+    def size_summary(self) -> dict[str, int]:
+        """Row count per table -- handy for experiment documentation."""
+        return {name: self.row_count(name) for name in self.table_names()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.catalog
+
+
+def _to_array(values: list, type_name: str) -> np.ndarray:
+    """Build the numpy array for one column, honouring the logical type."""
+    if type_name == "int":
+        return np.array([0 if value is None else value for value in values], dtype=np.int64)
+    if type_name == "float":
+        return np.array(
+            [np.nan if value is None else value for value in values], dtype=np.float64
+        )
+    if type_name == "bool":
+        return np.array([bool(value) for value in values], dtype=bool)
+    if type_name == "date":
+        ordinals = [
+            np.iinfo(np.int64).min if value is None else date_to_ordinal(value)
+            for value in values
+        ]
+        return np.array(ordinals, dtype=np.int64)
+    return np.array(["" if value is None else str(value) for value in values], dtype=object)
+
+
+def database_from_tables(tables: dict[str, list[tuple]],
+                         schema: dict[str, list[tuple[str, str]]],
+                         name: str = "db") -> Database:
+    """Build a :class:`Database` from generator output (rows + column defs)."""
+    database = Database(name=name)
+    for table, columns in schema.items():
+        database.create_table(table, columns)
+        database.insert_rows(table, tables.get(table, []))
+    return database

@@ -1,0 +1,163 @@
+"""Engine facades: the "target systems" experiments run against.
+
+An :class:`Engine` couples a :class:`Database` with an execution strategy and
+a set of :class:`EngineOptions` feature flags.  Engines are what the platform
+registers in its DBMS catalog and what the experiment driver executes queries
+on; two engines (or two differently-configured versions of one engine) are
+the systems A and B of the paper's discriminative-benchmarking story.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.engine.database import Database
+from repro.engine.executor_column import ColumnExecutor
+from repro.engine.executor_row import RowExecutor
+from repro.engine.result import QueryResult
+from repro.errors import EngineError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_select
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Feature flags distinguishing engine versions.
+
+    Attributes
+    ----------
+    predicate_pushdown:
+        Apply single-table predicates while scanning instead of after joins.
+    hash_joins:
+        Use hash joins for equi-join conditions (nested loops otherwise).
+    overflow_guard:
+        Column engine only: widen and materialise arithmetic intermediates,
+        mimicking the overflow-guarded expression evaluation the paper's
+        MonetDB Q1 anecdote describes.
+    """
+
+    predicate_pushdown: bool = True
+    hash_joins: bool = True
+    overflow_guard: bool = False
+
+    def describe(self) -> dict[str, bool]:
+        """Return the options as a plain dict (for platform catalog entries)."""
+        return {
+            "predicate_pushdown": self.predicate_pushdown,
+            "hash_joins": self.hash_joins,
+            "overflow_guard": self.overflow_guard,
+        }
+
+
+@dataclass
+class Engine:
+    """Base class: a named engine bound to a database instance."""
+
+    database: Database
+    name: str = "engine"
+    version: str = "1.0"
+    options: EngineOptions = field(default_factory=EngineOptions)
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``name-version`` label used in results and figures."""
+        return f"{self.name}-{self.version}"
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, sql: str | ast.Select) -> QueryResult:
+        """Execute ``sql`` (text or parsed AST) and return a :class:`QueryResult`."""
+        select = parse_select(sql) if isinstance(sql, str) else sql
+        started = time.perf_counter()
+        columns, rows = self._run(select)
+        elapsed = time.perf_counter() - started
+        return QueryResult(columns=columns, rows=rows, elapsed=elapsed, engine=self.label)
+
+    def explain(self, sql: str | ast.Select) -> dict:
+        """Return a light-weight description of how the engine would run ``sql``."""
+        select = parse_select(sql) if isinstance(sql, str) else sql
+        return {
+            "engine": self.label,
+            "strategy": self.strategy(),
+            "tables": [ref.name for ref in select.table_refs()],
+            "aggregated": select.has_aggregates() or bool(select.group_by),
+            "subqueries": len(select.subqueries()),
+            "options": self.options.describe(),
+        }
+
+    def with_version(self, version: str, **option_overrides) -> "Engine":
+        """Return a new engine sharing the database but with different options."""
+        options = replace(self.options, **option_overrides)
+        return type(self)(database=self.database, name=self.name, version=version,
+                          options=options)
+
+    # -- overridables ------------------------------------------------------------
+
+    def strategy(self) -> str:
+        """Execution-model label ('row' or 'column')."""
+        raise NotImplementedError
+
+    def _run(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+        raise NotImplementedError
+
+
+class RowEngine(Engine):
+    """Tuple-at-a-time engine (the "row store" target system)."""
+
+    def __init__(self, database: Database, name: str = "rowstore", version: str = "1.0",
+                 options: EngineOptions | None = None):
+        super().__init__(database=database, name=name, version=version,
+                         options=options or EngineOptions())
+
+    def strategy(self) -> str:
+        return "row"
+
+    def _run(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+        executor = RowExecutor(
+            self.database,
+            predicate_pushdown=self.options.predicate_pushdown,
+            hash_joins=self.options.hash_joins,
+        )
+        return executor.execute(select)
+
+
+class ColumnEngine(Engine):
+    """Vectorised engine (the "column store" target system)."""
+
+    def __init__(self, database: Database, name: str = "columnstore", version: str = "1.0",
+                 options: EngineOptions | None = None):
+        super().__init__(database=database, name=name, version=version,
+                         options=options or EngineOptions())
+
+    def strategy(self) -> str:
+        return "column"
+
+    def _run(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+        executor = ColumnExecutor(
+            self.database,
+            predicate_pushdown=self.options.predicate_pushdown,
+            hash_joins=self.options.hash_joins,
+            overflow_guard=self.options.overflow_guard,
+        )
+        return executor.execute(select)
+
+
+_ENGINE_KINDS = {
+    "rowstore": RowEngine,
+    "row": RowEngine,
+    "columnstore": ColumnEngine,
+    "column": ColumnEngine,
+}
+
+
+def create_engine(kind: str, database: Database, version: str = "1.0",
+                  options: EngineOptions | None = None) -> Engine:
+    """Create an engine of ``kind`` ('rowstore' or 'columnstore') over ``database``."""
+    try:
+        factory = _ENGINE_KINDS[kind.lower()]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine kind '{kind}' (expected one of {', '.join(sorted(set(_ENGINE_KINDS)))})"
+        ) from None
+    return factory(database=database, version=version, options=options)

@@ -1,0 +1,746 @@
+"""Vectorised (column store) executor.
+
+The pipeline mirrors :mod:`repro.engine.executor_row` but every step operates
+on numpy column arrays:
+
+1. FROM items are materialised as :class:`ColFrame` column sets (base tables
+   come from the database's cached columnar views, derived tables are
+   executed recursively),
+2. single-relation predicates are applied as boolean masks at scan time
+   (when push-down is enabled),
+3. equi-joins run as hash joins producing index vectors that gather both
+   sides,
+4. residual predicates are evaluated column-at-a-time; predicates containing
+   subqueries fall back to row-at-a-time evaluation for that predicate only
+   (subqueries themselves run through a row executor),
+5. grouping builds a group-id vector and computes aggregates with
+   ``np.bincount`` / ``minimum.at`` style kernels,
+6. projection, DISTINCT, ORDER BY and LIMIT materialise the final rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.executor_row import RowExecutor
+from repro.engine.expression import evaluate as row_evaluate
+from repro.engine.planner import (
+    ColumnInfo,
+    Scope,
+    classify_conjuncts,
+    output_columns,
+)
+from repro.engine.types import infer_type
+from repro.engine.vector import ColFrame, VectorEvaluator, VectorFallback, _to_python
+from repro.errors import ExecutionError, PlanError
+from repro.sqlparser import ast
+
+
+class _FallbackRowEnv:
+    """Row environment over one index of a ColFrame (for subquery predicates)."""
+
+    __slots__ = ("executor", "frame", "index", "_row_cache")
+
+    def __init__(self, executor: "ColumnExecutor", frame: ColFrame, index: int):
+        self.executor = executor
+        self.frame = frame
+        self.index = index
+        self._row_cache: tuple | None = None
+
+    def lookup(self, ref: ast.ColumnRef) -> Any:
+        position = self.frame.position(ref)
+        if position is None:
+            raise ExecutionError(f"unknown column '{ref.qualified}'")
+        if self._row_cache is None:
+            self._row_cache = self.frame.row(self.index)
+        return self._row_cache[position]
+
+    def run_subquery(self, select: ast.Select) -> list[tuple]:
+        return self.executor.run_subquery(select, outer_env=self)
+
+
+class ColumnExecutor:
+    """Executes SELECT blocks against a :class:`Database` column-at-a-time."""
+
+    def __init__(self, database: Database, predicate_pushdown: bool = True,
+                 hash_joins: bool = True, overflow_guard: bool = False):
+        self.database = database
+        self.predicate_pushdown = predicate_pushdown
+        self.hash_joins = hash_joins
+        self.overflow_guard = overflow_guard
+        self._row_executor = RowExecutor(database, predicate_pushdown=predicate_pushdown,
+                                         hash_joins=hash_joins)
+        self._uncorrelated_cache: dict[str, list[tuple]] = {}
+
+    def _evaluator(self, frame: ColFrame) -> VectorEvaluator:
+        return VectorEvaluator(frame, overflow_guard=self.overflow_guard)
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+        """Execute ``select`` and return (output column names, rows)."""
+        self._uncorrelated_cache = {}
+        frame, names = self._execute_block(select)
+        rows = frame.rows()
+        rows = self._order(select, names, rows)
+        rows = self._limit(select, rows)
+        return names, rows
+
+    def run_subquery(self, select: ast.Select, outer_env: _FallbackRowEnv | None
+                     ) -> list[tuple]:
+        """Execute a nested SELECT for a fallback predicate (row semantics)."""
+        from repro.sqlparser.printer import to_sql
+
+        key = to_sql(select)
+        if key in self._uncorrelated_cache:
+            return self._uncorrelated_cache[key]
+        try:
+            frame, _names = self._execute_block(select)
+            rows = frame.rows()
+            self._uncorrelated_cache[key] = rows
+            return rows
+        except (VectorFallback, ExecutionError, PlanError):
+            # correlated (or otherwise non-vectorisable) subquery: delegate to
+            # the row executor with the current fallback row as outer context.
+            return self._row_executor.run_subquery(
+                select, outer=None if outer_env is None else _RowEnvBridge(outer_env))
+
+
+    # -- block execution -------------------------------------------------------
+
+    def _execute_block(self, select: ast.Select) -> tuple[ColFrame, list[str]]:
+        frames = [self._materialise(item) for item in select.from_items]
+        scope = Scope(columns=[column for frame in frames for column in frame.columns])
+        classified = classify_conjuncts(select.where, scope)
+
+        if self.predicate_pushdown:
+            frames = [self._apply_pushdown(frame, classified) for frame in frames]
+            residual = list(classified.residual)
+        else:
+            residual = [
+                predicate
+                for predicates in classified.single.values()
+                for predicate in predicates
+            ] + list(classified.residual)
+
+        frame = self._join_frames(frames, classified)
+        frame = self._filter(frame, residual)
+
+        if select.group_by or select.having is not None or select.has_aggregates():
+            frame, names = self._aggregate(select, frame)
+        else:
+            frame, names = self._project(select, frame)
+
+        if select.distinct:
+            frame = self._distinct(frame)
+        return frame, names
+
+    # -- FROM materialisation ----------------------------------------------------
+
+    def _materialise(self, item: ast.TableExpression) -> ColFrame:
+        if isinstance(item, ast.TableRef):
+            view = self.database.columnar(item.name)
+            columns = [
+                ColumnInfo(binding=item.binding, name=column.name, type_name=column.type_name)
+                for column in view.schema.columns
+            ]
+            arrays = [view.columns[column.name] for column in view.schema.columns]
+            return ColFrame(columns=columns, arrays=arrays, length=view.length)
+        if isinstance(item, ast.SubqueryRef):
+            frame, names = self._execute_block(item.subquery)
+            columns = [
+                ColumnInfo(binding=item.alias, name=name, type_name=column.type_name)
+                for name, column in zip(names, frame.columns)
+            ]
+            return ColFrame(columns=columns, arrays=frame.arrays, length=frame.length)
+        if isinstance(item, ast.Join):
+            return self._materialise_join(item)
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    def _materialise_join(self, join: ast.Join) -> ColFrame:
+        left = self._materialise(join.left)
+        right = self._materialise(join.right)
+        equi, residual = self._split_join_condition(join.condition, left, right)
+
+        if join.kind == "right":
+            swapped = ast.Join(left=join.right, right=join.left, kind="left",
+                               condition=join.condition)
+            frame = self._materialise_join(swapped)
+            width_right = len(right.columns)
+            reordered = frame.arrays[width_right:] + frame.arrays[:width_right]
+            columns = frame.columns[width_right:] + frame.columns[:width_right]
+            return ColFrame(columns=columns, arrays=reordered, length=frame.length)
+
+        keep_unmatched = join.kind == "left"
+        return self._hash_join(left, right, equi, residual, keep_unmatched)
+
+    def _split_join_condition(self, condition: ast.Expression | None,
+                              left: ColFrame, right: ColFrame
+                              ) -> tuple[list[tuple[int, int]], list[ast.Expression]]:
+        equi: list[tuple[int, int]] = []
+        residual: list[ast.Expression] = []
+        for conjunct in ast.conjuncts(condition):
+            if (isinstance(conjunct, ast.Comparison) and conjunct.operator == "="
+                    and isinstance(conjunct.left, ast.ColumnRef)
+                    and isinstance(conjunct.right, ast.ColumnRef)):
+                left_position = left.position(conjunct.left)
+                right_position = right.position(conjunct.right)
+                if left_position is not None and right_position is not None:
+                    equi.append((left_position, right_position))
+                    continue
+                left_position = left.position(conjunct.right)
+                right_position = right.position(conjunct.left)
+                if left_position is not None and right_position is not None:
+                    equi.append((left_position, right_position))
+                    continue
+            residual.append(conjunct)
+        return equi, residual
+
+    def _hash_join(self, left: ColFrame, right: ColFrame, equi: list[tuple[int, int]],
+                   residual: list[ast.Expression], keep_unmatched_left: bool) -> ColFrame:
+        """Hash join two frames on ``equi`` position pairs, apply residual after."""
+        columns = left.columns + right.columns
+
+        if not equi:
+            # cross join via index replication
+            left_indexes = np.repeat(np.arange(left.length), right.length)
+            right_indexes = np.tile(np.arange(right.length), left.length)
+        else:
+            table: dict[tuple, list[int]] = {}
+            right_keys = [right.arrays[position] for _, position in equi]
+            for index in range(right.length):
+                key = tuple(array[index] for array in right_keys)
+                table.setdefault(key, []).append(index)
+            left_keys = [left.arrays[position] for position, _ in equi]
+            left_list: list[int] = []
+            right_list: list[int] = []
+            unmatched: list[int] = []
+            for index in range(left.length):
+                key = tuple(array[index] for array in left_keys)
+                matches = table.get(key)
+                if matches:
+                    left_list.extend([index] * len(matches))
+                    right_list.extend(matches)
+                elif keep_unmatched_left:
+                    unmatched.append(index)
+            left_indexes = np.array(left_list, dtype=np.int64)
+            right_indexes = np.array(right_list, dtype=np.int64)
+
+        left_arrays = [array[left_indexes] for array in left.arrays]
+        right_arrays = [array[right_indexes] for array in right.arrays]
+        joined = ColFrame(columns=columns, arrays=left_arrays + right_arrays,
+                          length=len(left_indexes))
+        if residual:
+            evaluator = self._evaluator(joined)
+            mask = np.ones(joined.length, dtype=bool)
+            for predicate in residual:
+                mask &= evaluator.evaluate_predicate(predicate)
+            matched_left = left_indexes[mask] if keep_unmatched_left else None
+            joined = joined.mask(mask)
+        else:
+            matched_left = left_indexes if keep_unmatched_left else None
+
+        if keep_unmatched_left:
+            if equi and not residual:
+                missing = np.array(unmatched, dtype=np.int64)
+            else:
+                matched = np.zeros(left.length, dtype=bool)
+                if matched_left is not None and len(matched_left):
+                    matched[matched_left] = True
+                if equi:
+                    # rows that never matched the hash table are also unmatched
+                    pass
+                missing = np.arange(left.length)[~matched]
+                if equi:
+                    hash_unmatched = np.array(unmatched, dtype=np.int64)
+                    missing = np.union1d(missing, hash_unmatched)
+            if len(missing):
+                pad_left = [array[missing] for array in left.arrays]
+                pad_right = [
+                    _null_array(len(missing), column.type_name)
+                    for column in right.columns
+                ]
+                joined = _concat_frames(joined, ColFrame(columns=columns,
+                                                         arrays=pad_left + pad_right,
+                                                         length=len(missing)))
+        return joined
+
+    # -- filtering / joining ---------------------------------------------------------
+
+    def _apply_pushdown(self, frame: ColFrame, classified) -> ColFrame:
+        bindings = {column.binding.lower() for column in frame.columns}
+        predicates: list[ast.Expression] = []
+        for binding in bindings:
+            predicates.extend(classified.single.get(binding, []))
+        if not predicates:
+            return frame
+        return self._filter(frame, predicates)
+
+    def _filter(self, frame: ColFrame, predicates: list[ast.Expression]) -> ColFrame:
+        if not predicates or frame.length == 0:
+            return frame
+        evaluator = self._evaluator(frame)
+        mask = np.ones(frame.length, dtype=bool)
+        for predicate in predicates:
+            try:
+                mask &= evaluator.evaluate_predicate(predicate)
+            except VectorFallback:
+                mask &= self._fallback_predicate(frame, predicate)
+        return frame.mask(mask)
+
+    def _fallback_predicate(self, frame: ColFrame, predicate: ast.Expression) -> np.ndarray:
+        """Row-at-a-time evaluation of one predicate (subqueries and friends)."""
+        mask = np.zeros(frame.length, dtype=bool)
+        for index in range(frame.length):
+            env = _FallbackRowEnv(self, frame, index)
+            mask[index] = bool(row_evaluate(predicate, env))
+        return mask
+
+    def _join_frames(self, frames: list[ColFrame], classified) -> ColFrame:
+        if not frames:
+            raise PlanError("a query block needs at least one FROM item")
+        equi_joins = list(classified.equi_joins)
+        current = frames[0]
+        remaining = frames[1:]
+        while remaining:
+            chosen_index = None
+            for index, frame in enumerate(remaining):
+                if self._connecting(current, frame, equi_joins):
+                    chosen_index = index
+                    break
+            if chosen_index is None:
+                chosen_index = 0
+            next_frame = remaining.pop(chosen_index)
+            connecting = self._connecting(current, next_frame, equi_joins)
+            for entry in connecting:
+                equi_joins.remove(entry)
+            positions = []
+            for left_ref, right_ref, _ in connecting:
+                if current.position(left_ref) is not None:
+                    positions.append((current.position(left_ref), next_frame.position(right_ref)))
+                else:
+                    positions.append((current.position(right_ref), next_frame.position(left_ref)))
+            current = self._hash_join(current, next_frame, positions, [], False)
+        return current
+
+    def _connecting(self, left: ColFrame, right: ColFrame, equi_joins):
+        found = []
+        for left_ref, right_ref, conjunct in equi_joins:
+            if left.position(left_ref) is not None and right.position(right_ref) is not None:
+                found.append((left_ref, right_ref, conjunct))
+            elif left.position(right_ref) is not None and right.position(left_ref) is not None:
+                found.append((left_ref, right_ref, conjunct))
+        return found
+
+    # -- projection ---------------------------------------------------------------------
+
+    def _project(self, select: ast.Select, frame: ColFrame) -> tuple[ColFrame, list[str]]:
+        scope = Scope(columns=list(frame.columns))
+        names = output_columns(select, scope)
+        evaluator = self._evaluator(frame)
+        arrays: list[np.ndarray] = []
+        columns: list[ColumnInfo] = []
+        for position, item in enumerate(select.items):
+            if isinstance(item.expression, ast.Star):
+                star = item.expression
+                for column, array in zip(frame.columns, frame.arrays):
+                    if star.table is None or column.binding.lower() == star.table.lower():
+                        arrays.append(array)
+                        columns.append(ColumnInfo("", column.name, column.type_name))
+                continue
+            try:
+                value = evaluator.evaluate(item.expression)
+            except VectorFallback:
+                value = self._fallback_column(frame, item.expression)
+            array = self._as_array(value, frame.length)
+            arrays.append(array)
+            columns.append(ColumnInfo("", item.output_name(position),
+                                      self._column_type(item.expression, frame, array)))
+        return ColFrame(columns=columns, arrays=arrays, length=frame.length), names
+
+    def _fallback_column(self, frame: ColFrame, expression: ast.Expression) -> np.ndarray:
+        values = []
+        for index in range(frame.length):
+            env = _FallbackRowEnv(self, frame, index)
+            values.append(row_evaluate(expression, env))
+        return np.array(values, dtype=object)
+
+    def _as_array(self, value: Any, length: int) -> np.ndarray:
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(length, value, dtype=object if isinstance(value, str) else None)
+
+    def _column_type(self, expression: ast.Expression, frame: ColFrame,
+                     array: np.ndarray) -> str:
+        if isinstance(expression, ast.ColumnRef):
+            position = frame.position(expression)
+            if position is not None:
+                return frame.columns[position].type_name
+        if array.dtype == np.int64:
+            return "int"
+        if array.dtype == np.float64:
+            return "float"
+        if array.dtype == bool:
+            return "bool"
+        if len(array):
+            return infer_type(array[0])
+        return "str"
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def _aggregate(self, select: ast.Select, frame: ColFrame) -> tuple[ColFrame, list[str]]:
+        scope = Scope(columns=list(frame.columns))
+        names = output_columns(select, scope)
+        evaluator = self._evaluator(frame)
+
+        if select.group_by:
+            keys = []
+            for expression in select.group_by:
+                try:
+                    value = evaluator.evaluate(expression)
+                except VectorFallback:
+                    value = self._fallback_column(frame, expression)
+                keys.append(self._as_array(value, frame.length))
+            group_ids, first_index, group_count = _group_ids(keys, frame.length)
+        else:
+            group_ids = np.zeros(frame.length, dtype=np.int64)
+            first_index = np.zeros(1 if frame.length else 0, dtype=np.int64)
+            group_count = 1
+
+        aggregator = _GroupAggregator(self, frame, evaluator, group_ids, first_index,
+                                      group_count)
+
+        if select.having is not None:
+            having = aggregator.evaluate(select.having)
+            keep = np.array([bool(value) for value in having], dtype=bool)
+        else:
+            keep = np.ones(group_count, dtype=bool)
+
+        arrays: list[np.ndarray] = []
+        columns: list[ColumnInfo] = []
+        for position, item in enumerate(select.items):
+            values = aggregator.evaluate(item.expression)
+            values = np.asarray(values)
+            arrays.append(values[keep])
+            columns.append(ColumnInfo("", item.output_name(position),
+                                      self._column_type(item.expression, frame,
+                                                        np.asarray(values))))
+        length = int(keep.sum())
+        if group_count == 0 and not select.group_by:
+            # aggregate over an empty input still produces one row
+            length = 1
+            arrays = [np.array([None], dtype=object) for _ in arrays] if not arrays else [
+                np.array([_empty_aggregate_value(item.expression)], dtype=object)
+                for item in select.items
+            ]
+        return ColFrame(columns=columns, arrays=arrays, length=length), names
+
+    # -- distinct / order / limit -----------------------------------------------------------
+
+    def _distinct(self, frame: ColFrame) -> ColFrame:
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for index in range(frame.length):
+            row = frame.row(index)
+            if row not in seen:
+                seen.add(row)
+                keep.append(index)
+        return frame.take(np.array(keep, dtype=np.int64))
+
+    def _order(self, select: ast.Select, names: list[str], rows: list[tuple]) -> list[tuple]:
+        if not select.order_by:
+            return rows
+        lowered = [name.lower() for name in names]
+        ordered = list(rows)
+        for item in reversed(select.order_by):
+            position = self._order_position(item, lowered, select)
+            ordered.sort(key=lambda row: (row[position] is None, row[position]),
+                         reverse=item.descending)
+        return ordered
+
+    def _order_position(self, item: ast.OrderItem, lowered: list[str],
+                        select: ast.Select) -> int:
+        from repro.sqlparser.printer import to_sql
+
+        expression = item.expression
+        if isinstance(expression, ast.ColumnRef) and expression.table is None:
+            name = expression.name.lower()
+            if name in lowered:
+                return lowered.index(name)
+        if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
+            return expression.value - 1
+        rendered = to_sql(expression)
+        for index, select_item in enumerate(select.items):
+            if to_sql(select_item.expression) == rendered:
+                return index
+        raise PlanError(
+            f"ORDER BY expression '{rendered}' is not part of the select list")
+
+    def _limit(self, select: ast.Select, rows: list[tuple]) -> list[tuple]:
+        start = select.offset or 0
+        if select.limit is None:
+            return rows[start:] if start else rows
+        return rows[start:start + select.limit]
+
+
+class _RowEnvBridge:
+    """Adapts a :class:`_FallbackRowEnv` to the row executor's outer-env shape."""
+
+    def __init__(self, env: _FallbackRowEnv):
+        self._env = env
+        self.frame = _BridgeFrame(env.frame)
+        self.row = env.frame.row(env.index)
+        self.outer = None
+
+
+class _BridgeFrame:
+    """Minimal RowFrame-compatible facade over a ColFrame."""
+
+    def __init__(self, frame: ColFrame):
+        self._frame = frame
+        self.columns = frame.columns
+
+    def position(self, ref: ast.ColumnRef) -> int | None:
+        return self._frame.position(ref)
+
+    def scope(self, outer: Scope | None = None) -> Scope:
+        return Scope(columns=list(self.columns), outer=outer)
+
+
+class _GroupAggregator:
+    """Evaluates (possibly aggregate) expressions per group, vectorised."""
+
+    def __init__(self, executor: ColumnExecutor, frame: ColFrame,
+                 evaluator: VectorEvaluator, group_ids: np.ndarray,
+                 first_index: np.ndarray, group_count: int):
+        self.executor = executor
+        self.frame = frame
+        self.evaluator = evaluator
+        self.group_ids = group_ids
+        self.first_index = first_index
+        self.group_count = group_count
+
+    # -- public ------------------------------------------------------------------
+
+    def evaluate(self, expression: ast.Expression) -> np.ndarray:
+        """Return one value per group for ``expression``."""
+        if isinstance(expression, ast.FunctionCall) and expression.is_aggregate:
+            return self._aggregate_call(expression)
+        if not self._has_aggregate(expression):
+            return self._first_row_values(expression)
+        if isinstance(expression, ast.BinaryOp):
+            left = self.evaluate(expression.left)
+            right = self.evaluate(expression.right)
+            return _combine(expression.operator, left, right)
+        if isinstance(expression, ast.UnaryOp):
+            value = self.evaluate(expression.operand)
+            return -value if expression.operator == "-" else value
+        if isinstance(expression, ast.Comparison):
+            left = self.evaluate(expression.left)
+            right = self.evaluate(expression.right)
+            return _compare_groups(expression.operator, left, right)
+        if isinstance(expression, ast.CaseWhen):
+            result = np.full(self.group_count, None, dtype=object)
+            decided = np.zeros(self.group_count, dtype=bool)
+            for condition, branch in expression.branches:
+                mask = np.array([bool(v) for v in self.evaluate(condition)]) & ~decided
+                values = self.evaluate(branch)
+                result[mask] = np.asarray(values, dtype=object)[mask]
+                decided |= mask
+            if expression.default is not None:
+                default = self.evaluate(expression.default)
+                result[~decided] = np.asarray(default, dtype=object)[~decided]
+            return result
+        if isinstance(expression, ast.Cast):
+            return self.evaluate(expression.operand)
+        raise ExecutionError(
+            f"cannot aggregate expression node {type(expression).__name__} column-wise")
+
+    # -- internals -------------------------------------------------------------------
+
+    def _has_aggregate(self, expression: ast.Expression) -> bool:
+        return ast.has_local_aggregate(expression)
+
+    def _vector(self, expression: ast.Expression) -> np.ndarray:
+        try:
+            value = self.evaluator.evaluate(expression)
+        except VectorFallback:
+            value = self.executor._fallback_column(self.frame, expression)
+        return self.executor._as_array(value, self.frame.length)
+
+    def _first_row_values(self, expression: ast.Expression) -> np.ndarray:
+        values = self._vector(expression)
+        if len(self.first_index) == 0:
+            return np.array([], dtype=values.dtype)
+        return values[self.first_index]
+
+    def _aggregate_call(self, call: ast.FunctionCall) -> np.ndarray:
+        name = call.name.lower()
+        if name == "count":
+            if not call.arguments or isinstance(call.arguments[0], ast.Star):
+                return np.bincount(self.group_ids, minlength=self.group_count).astype(np.int64)
+            values = self._vector(call.arguments[0])
+            if call.distinct:
+                return self._count_distinct(values)
+            valid = ~_null_mask(values)
+            return np.bincount(self.group_ids[valid], minlength=self.group_count).astype(np.int64)
+
+        values = self._vector(call.arguments[0])
+        if call.distinct:
+            values, group_ids = self._distinct_pairs(values)
+        else:
+            group_ids = self.group_ids
+        valid = ~_null_mask(values)
+        group_ids = group_ids[valid]
+        numeric = values[valid]
+        counts = np.bincount(group_ids, minlength=self.group_count)
+
+        if name in ("sum", "avg"):
+            sums = np.bincount(group_ids, weights=numeric.astype(np.float64),
+                               minlength=self.group_count)
+            if name == "sum":
+                return _mask_empty(sums, counts)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                averages = sums / counts
+            return _mask_empty(averages, counts)
+        if name in ("min", "max"):
+            return self._min_max(numeric, group_ids, counts, name)
+        raise ExecutionError(f"unknown aggregate function '{name}'")
+
+    def _min_max(self, values: np.ndarray, group_ids: np.ndarray,
+                 counts: np.ndarray, name: str) -> np.ndarray:
+        if values.dtype.kind in ("i", "f"):
+            fill = np.inf if name == "min" else -np.inf
+            accumulator = np.full(self.group_count, fill, dtype=np.float64)
+            operator = np.minimum if name == "min" else np.maximum
+            operator.at(accumulator, group_ids, values.astype(np.float64))
+            return _mask_empty(accumulator, counts)
+        # strings / objects: python loop per row
+        accumulator: list[Any] = [None] * self.group_count
+        for value, group in zip(values, group_ids):
+            current = accumulator[group]
+            if current is None:
+                accumulator[group] = value
+            elif (value < current) if name == "min" else (value > current):
+                accumulator[group] = value
+        return np.array(accumulator, dtype=object)
+
+    def _count_distinct(self, values: np.ndarray) -> np.ndarray:
+        sets: list[set] = [set() for _ in range(self.group_count)]
+        nulls = _null_mask(values)
+        for index in range(len(values)):
+            if not nulls[index]:
+                sets[self.group_ids[index]].add(values[index])
+        return np.array([len(bucket) for bucket in sets], dtype=np.int64)
+
+    def _distinct_pairs(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for index in range(len(values)):
+            key = (int(self.group_ids[index]), values[index])
+            if key not in seen:
+                seen.add(key)
+                keep.append(index)
+        keep_array = np.array(keep, dtype=np.int64)
+        return values[keep_array], self.group_ids[keep_array]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _group_ids(keys: list[np.ndarray], length: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Assign a dense group id per row from the grouping key columns."""
+    ids = np.empty(length, dtype=np.int64)
+    first: list[int] = []
+    mapping: dict[tuple, int] = {}
+    for index in range(length):
+        key = tuple(array[index] for array in keys)
+        group = mapping.get(key)
+        if group is None:
+            group = len(mapping)
+            mapping[key] = group
+            first.append(index)
+        ids[index] = group
+    return ids, np.array(first, dtype=np.int64), len(mapping)
+
+
+def _null_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype == np.float64:
+        return np.isnan(values)
+    if values.dtype == object:
+        return np.array([value is None for value in values], dtype=bool)
+    return np.zeros(len(values), dtype=bool)
+
+
+def _mask_empty(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Replace aggregate outputs of empty groups with None."""
+    if (counts > 0).all():
+        return values
+    result = values.astype(object)
+    result[counts == 0] = None
+    return result
+
+
+def _combine(operator: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return left / right
+    if operator == "%":
+        return left % right
+    raise ExecutionError(f"unsupported aggregate operator '{operator}'")
+
+
+def _compare_groups(operator: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if operator == "=":
+        return left == right
+    if operator == "<>":
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise ExecutionError(f"unsupported comparison operator '{operator}'")
+
+
+def _null_array(length: int, type_name: str) -> np.ndarray:
+    if type_name == "float":
+        return np.full(length, np.nan, dtype=np.float64)
+    # integers and dates have no in-band null in the columnar layout, so the
+    # padding side of an outer join switches to object arrays holding None.
+    return np.full(length, None, dtype=object)
+
+
+def _concat_frames(first: ColFrame, second: ColFrame) -> ColFrame:
+    arrays = []
+    for left, right in zip(first.arrays, second.arrays):
+        if left.dtype != right.dtype:
+            left = left.astype(object)
+            right = right.astype(object)
+        arrays.append(np.concatenate([left, right]))
+    return ColFrame(columns=list(first.columns), arrays=arrays,
+                    length=first.length + second.length)
+
+
+def _empty_aggregate_value(expression: ast.Expression) -> Any:
+    if isinstance(expression, ast.FunctionCall) and expression.name.lower() == "count":
+        return 0
+    return None

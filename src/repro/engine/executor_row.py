@@ -1,0 +1,519 @@
+"""Tuple-at-a-time (row store) executor.
+
+The execution pipeline for one SELECT block is:
+
+1. materialise every FROM item into a :class:`RowFrame` (base tables read
+   straight from storage, derived tables executed recursively, explicit JOINs
+   folded into a frame),
+2. apply single-relation filters at scan time when predicate push-down is
+   enabled,
+3. join the frames left-to-right, preferring hash joins on the equi-join
+   conditions extracted from WHERE, falling back to nested-loop cross joins,
+4. apply the residual predicates (including all predicates that contain
+   subqueries -- correlated subqueries are re-executed per row, uncorrelated
+   ones are cached),
+5. group / aggregate / HAVING,
+6. project, de-duplicate (DISTINCT), sort, LIMIT/OFFSET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.database import Database
+from repro.engine.expression import evaluate, evaluate_aggregate
+from repro.engine.planner import (
+    ClassifiedPredicates,
+    ColumnInfo,
+    Scope,
+    classify_conjuncts,
+    contains_aggregate,
+    contains_subquery,
+    output_columns,
+)
+from repro.errors import ExecutionError, PlanError
+from repro.sqlparser import ast
+from repro.sqlparser.printer import to_sql
+
+
+@dataclass
+class RowFrame:
+    """An intermediate relation: visible columns plus row tuples."""
+
+    columns: list[ColumnInfo]
+    rows: list[tuple]
+    _index: dict[tuple[str, str], int] = field(default_factory=dict, repr=False)
+    _by_name: dict[str, list[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild the column lookup structures after columns changed."""
+        self._index = {}
+        self._by_name = {}
+        for position, column in enumerate(self.columns):
+            self._index[(column.binding.lower(), column.name.lower())] = position
+            self._by_name.setdefault(column.name.lower(), []).append(position)
+
+    def position(self, ref: ast.ColumnRef) -> int | None:
+        """Column position of ``ref`` in this frame, or None when absent."""
+        if ref.table:
+            return self._index.get((ref.table.lower(), ref.name.lower()))
+        positions = self._by_name.get(ref.name.lower())
+        if not positions:
+            return None
+        return positions[0]
+
+    def scope(self, outer: Scope | None = None) -> Scope:
+        """Build a name-resolution scope over this frame."""
+        return Scope(columns=list(self.columns), outer=outer)
+
+
+class _RowEnv:
+    """Expression environment for one row of a frame (plus outer rows)."""
+
+    __slots__ = ("executor", "frame", "row", "outer")
+
+    def __init__(self, executor: "RowExecutor", frame: RowFrame, row: tuple,
+                 outer: "_RowEnv | None" = None):
+        self.executor = executor
+        self.frame = frame
+        self.row = row
+        self.outer = outer
+
+    def lookup(self, ref: ast.ColumnRef) -> Any:
+        env: _RowEnv | None = self
+        while env is not None:
+            position = env.frame.position(ref)
+            if position is not None:
+                return env.row[position]
+            env = env.outer
+        raise ExecutionError(f"unknown column '{ref.qualified}'")
+
+    def run_subquery(self, select: ast.Select) -> list[tuple]:
+        return self.executor.run_subquery(select, outer=self)
+
+
+class RowExecutor:
+    """Executes SELECT blocks against a :class:`Database` one tuple at a time."""
+
+    def __init__(self, database: Database, predicate_pushdown: bool = True,
+                 hash_joins: bool = True):
+        self.database = database
+        self.predicate_pushdown = predicate_pushdown
+        self.hash_joins = hash_joins
+        self._uncorrelated_cache: dict[str, list[tuple]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+        """Execute ``select`` and return (output column names, rows)."""
+        self._uncorrelated_cache = {}
+        return self._execute_block(select, outer=None)
+
+    def run_subquery(self, select: ast.Select, outer: "_RowEnv | None") -> list[tuple]:
+        """Execute a nested SELECT, caching uncorrelated results."""
+        correlated = self._is_correlated(select, outer)
+        cache_key = to_sql(select) if not correlated else None
+        if cache_key is not None and cache_key in self._uncorrelated_cache:
+            return self._uncorrelated_cache[cache_key]
+        _, rows = self._execute_block(select, outer=outer if correlated else None)
+        if cache_key is not None:
+            self._uncorrelated_cache[cache_key] = rows
+        return rows
+
+    # -- block execution -------------------------------------------------------
+
+    def _execute_block(self, select: ast.Select, outer: "_RowEnv | None"
+                       ) -> tuple[list[str], list[tuple]]:
+        frames = [self._materialise(item, outer) for item in select.from_items]
+        scope = Scope(columns=[column for frame in frames for column in frame.columns],
+                      outer=self._chain_outer_scope(outer))
+        classified = classify_conjuncts(select.where, scope)
+
+        if self.predicate_pushdown:
+            # single-relation predicates are applied while scanning each input.
+            frames = [self._apply_pushdown(frame, classified, outer) for frame in frames]
+            residual = list(classified.residual)
+        else:
+            # without push-down the same predicates run after all joins; the
+            # equi-join conditions still drive the hash joins (otherwise every
+            # multi-table query degenerates to an unusable cross product).
+            residual = [
+                predicate
+                for predicates in classified.single.values()
+                for predicate in predicates
+            ] + list(classified.residual)
+
+        frame = self._join_frames(frames, classified, select, outer)
+        frame = self._filter(frame, residual, outer)
+
+        if select.group_by or select.having is not None or self._needs_aggregation(select):
+            columns, rows = self._aggregate(select, frame, outer)
+        else:
+            columns, rows = self._project(select, frame, outer)
+
+        if select.distinct:
+            rows = list(dict.fromkeys(rows))
+        rows = self._order(select, columns, rows, frame)
+        rows = self._limit(select, rows)
+        return columns, rows
+
+    def _chain_outer_scope(self, outer: "_RowEnv | None") -> Scope | None:
+        if outer is None:
+            return None
+        return outer.frame.scope(outer=outer.outer.frame.scope() if outer.outer else None)
+
+    def _needs_aggregation(self, select: ast.Select) -> bool:
+        return select.has_aggregates()
+
+    # -- FROM materialisation ----------------------------------------------------
+
+    def _materialise(self, item: ast.TableExpression, outer: "_RowEnv | None") -> RowFrame:
+        if isinstance(item, ast.TableRef):
+            schema = self.database.catalog.table(item.name)
+            columns = [
+                ColumnInfo(binding=item.binding, name=column.name, type_name=column.type_name)
+                for column in schema.columns
+            ]
+            return RowFrame(columns=columns, rows=list(self.database.rows(item.name)))
+        if isinstance(item, ast.SubqueryRef):
+            names, rows = self._execute_block(item.subquery, outer=outer)
+            columns = [
+                ColumnInfo(binding=item.alias, name=name, type_name="str")
+                for name in names
+            ]
+            return RowFrame(columns=columns, rows=rows)
+        if isinstance(item, ast.Join):
+            return self._materialise_join(item, outer)
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    def _materialise_join(self, join: ast.Join, outer: "_RowEnv | None") -> RowFrame:
+        left = self._materialise(join.left, outer)
+        right = self._materialise(join.right, outer)
+        columns = left.columns + right.columns
+        combined = RowFrame(columns=columns, rows=[])
+
+        condition = join.condition
+        equi, residual = self._split_join_condition(condition, left, right)
+
+        if join.kind in ("inner", "cross"):
+            rows = self._hash_join_rows(left, right, equi, residual, combined, outer,
+                                        keep_unmatched_left=False)
+        elif join.kind == "left":
+            rows = self._hash_join_rows(left, right, equi, residual, combined, outer,
+                                        keep_unmatched_left=True)
+        elif join.kind == "right":
+            # express RIGHT as LEFT with the operands swapped, then reorder.
+            swapped_columns = right.columns + left.columns
+            swapped = RowFrame(columns=swapped_columns, rows=[])
+            swapped_equi = [(r, l) for (l, r) in equi]
+            swapped_rows = self._hash_join_rows(right, left, swapped_equi, residual, swapped,
+                                                outer, keep_unmatched_left=True)
+            width_right = len(right.columns)
+            rows = [row[width_right:] + row[:width_right] for row in swapped_rows]
+        else:
+            raise PlanError(f"unsupported join kind '{join.kind}'")
+        combined.rows = rows
+        return combined
+
+    def _split_join_condition(self, condition: ast.Expression | None,
+                              left: RowFrame, right: RowFrame
+                              ) -> tuple[list[tuple[ast.ColumnRef, ast.ColumnRef]],
+                                         list[ast.Expression]]:
+        """Separate hashable equi-conjuncts of an explicit JOIN condition."""
+        equi: list[tuple[ast.ColumnRef, ast.ColumnRef]] = []
+        residual: list[ast.Expression] = []
+        for conjunct in ast.conjuncts(condition):
+            if (isinstance(conjunct, ast.Comparison) and conjunct.operator == "="
+                    and isinstance(conjunct.left, ast.ColumnRef)
+                    and isinstance(conjunct.right, ast.ColumnRef)):
+                left_ref, right_ref = conjunct.left, conjunct.right
+                if left.position(left_ref) is not None and right.position(right_ref) is not None:
+                    equi.append((left_ref, right_ref))
+                    continue
+                if left.position(right_ref) is not None and right.position(left_ref) is not None:
+                    equi.append((right_ref, left_ref))
+                    continue
+            residual.append(conjunct)
+        return equi, residual
+
+    def _hash_join_rows(self, left: RowFrame, right: RowFrame,
+                        equi: list[tuple[ast.ColumnRef, ast.ColumnRef]],
+                        residual: list[ast.Expression], combined: RowFrame,
+                        outer: "_RowEnv | None", keep_unmatched_left: bool) -> list[tuple]:
+        """Join two frames with an optional hash phase plus residual filtering."""
+        null_padding = (None,) * len(right.columns)
+        rows: list[tuple] = []
+
+        if equi and self.hash_joins:
+            right_positions = [right.position(ref) for _, ref in equi]
+            left_positions = [left.position(ref) for ref, _ in equi]
+            table: dict[tuple, list[tuple]] = {}
+            for row in right.rows:
+                key = tuple(row[position] for position in right_positions)
+                table.setdefault(key, []).append(row)
+            for left_row in left.rows:
+                key = tuple(left_row[position] for position in left_positions)
+                matched = False
+                for right_row in table.get(key, ()):
+                    candidate = left_row + right_row
+                    if self._passes(residual, combined, candidate, outer):
+                        rows.append(candidate)
+                        matched = True
+                if keep_unmatched_left and not matched:
+                    rows.append(left_row + null_padding)
+            return rows
+
+        for left_row in left.rows:
+            matched = False
+            for right_row in right.rows:
+                candidate = left_row + right_row
+                condition = residual + [
+                    ast.Comparison("=", left_ref, right_ref) for left_ref, right_ref in equi
+                ]
+                if self._passes(condition, combined, candidate, outer):
+                    rows.append(candidate)
+                    matched = True
+            if keep_unmatched_left and not matched:
+                rows.append(left_row + null_padding)
+        return rows
+
+    def _passes(self, predicates: list[ast.Expression], frame: RowFrame, row: tuple,
+                outer: "_RowEnv | None") -> bool:
+        if not predicates:
+            return True
+        env = _RowEnv(self, frame, row, outer)
+        return all(bool(evaluate(predicate, env)) for predicate in predicates)
+
+    # -- filtering / joining ---------------------------------------------------------
+
+    def _apply_pushdown(self, frame: RowFrame, classified: ClassifiedPredicates,
+                        outer: "_RowEnv | None") -> RowFrame:
+        bindings = {column.binding.lower() for column in frame.columns}
+        predicates: list[ast.Expression] = []
+        for binding in bindings:
+            predicates.extend(classified.single.get(binding, []))
+        if not predicates:
+            return frame
+        kept = [row for row in frame.rows if self._passes(predicates, frame, row, outer)]
+        return RowFrame(columns=frame.columns, rows=kept)
+
+    def _join_frames(self, frames: list[RowFrame], classified: ClassifiedPredicates | None,
+                     select: ast.Select, outer: "_RowEnv | None") -> RowFrame:
+        if not frames:
+            return RowFrame(columns=[], rows=[()])
+        equi_joins = list(classified.equi_joins) if classified is not None else []
+        current = frames[0]
+        remaining = frames[1:]
+
+        while remaining:
+            # prefer a frame connected to the current one through an equi-join.
+            chosen_index = None
+            for index, frame in enumerate(remaining):
+                if self._connecting_joins(current, frame, equi_joins):
+                    chosen_index = index
+                    break
+            if chosen_index is None:
+                chosen_index = 0
+            next_frame = remaining.pop(chosen_index)
+            connecting = self._connecting_joins(current, next_frame, equi_joins)
+            for join in connecting:
+                equi_joins.remove(join)
+            current = self._pairwise_join(current, next_frame, connecting, outer)
+        return current
+
+    def _connecting_joins(self, left: RowFrame, right: RowFrame,
+                          equi_joins: list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]]
+                          ) -> list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]]:
+        connecting = []
+        for left_ref, right_ref, conjunct in equi_joins:
+            if left.position(left_ref) is not None and right.position(right_ref) is not None:
+                connecting.append((left_ref, right_ref, conjunct))
+            elif left.position(right_ref) is not None and right.position(left_ref) is not None:
+                connecting.append((left_ref, right_ref, conjunct))
+        return connecting
+
+    def _pairwise_join(self, left: RowFrame, right: RowFrame,
+                       connecting: list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]],
+                       outer: "_RowEnv | None") -> RowFrame:
+        columns = left.columns + right.columns
+        combined = RowFrame(columns=columns, rows=[])
+        if connecting and self.hash_joins:
+            left_positions = []
+            right_positions = []
+            for left_ref, right_ref, _ in connecting:
+                if left.position(left_ref) is not None:
+                    left_positions.append(left.position(left_ref))
+                    right_positions.append(right.position(right_ref))
+                else:
+                    left_positions.append(left.position(right_ref))
+                    right_positions.append(right.position(left_ref))
+            table: dict[tuple, list[tuple]] = {}
+            for row in right.rows:
+                key = tuple(row[position] for position in right_positions)
+                table.setdefault(key, []).append(row)
+            rows = []
+            for left_row in left.rows:
+                key = tuple(left_row[position] for position in left_positions)
+                for right_row in table.get(key, ()):
+                    rows.append(left_row + right_row)
+            combined.rows = rows
+            return combined
+        # cross join (with any connecting predicates applied per pair)
+        predicates = [conjunct for _, _, conjunct in connecting]
+        rows = []
+        for left_row in left.rows:
+            for right_row in right.rows:
+                candidate = left_row + right_row
+                if self._passes(predicates, combined, candidate, outer):
+                    rows.append(candidate)
+        combined.rows = rows
+        return combined
+
+    def _filter(self, frame: RowFrame, predicates: list[ast.Expression],
+                outer: "_RowEnv | None") -> RowFrame:
+        if not predicates:
+            return frame
+        kept = [row for row in frame.rows if self._passes(predicates, frame, row, outer)]
+        return RowFrame(columns=frame.columns, rows=kept)
+
+    # -- projection / aggregation ----------------------------------------------------
+
+    def _project(self, select: ast.Select, frame: RowFrame, outer: "_RowEnv | None"
+                 ) -> tuple[list[str], list[tuple]]:
+        scope = frame.scope()
+        columns = output_columns(select, scope)
+        rows: list[tuple] = []
+        star_positions = self._star_positions(select, frame)
+        for row in frame.rows:
+            env = _RowEnv(self, frame, row, outer)
+            values: list[Any] = []
+            for item in select.items:
+                if isinstance(item.expression, ast.Star):
+                    values.extend(row[position] for position in star_positions[id(item)])
+                else:
+                    values.append(evaluate(item.expression, env))
+            rows.append(tuple(values))
+        return columns, rows
+
+    def _star_positions(self, select: ast.Select, frame: RowFrame) -> dict[int, list[int]]:
+        positions: dict[int, list[int]] = {}
+        for item in select.items:
+            if isinstance(item.expression, ast.Star):
+                star = item.expression
+                selected = [
+                    index for index, column in enumerate(frame.columns)
+                    if star.table is None or column.binding.lower() == star.table.lower()
+                ]
+                positions[id(item)] = selected
+        return positions
+
+    def _aggregate(self, select: ast.Select, frame: RowFrame, outer: "_RowEnv | None"
+                   ) -> tuple[list[str], list[tuple]]:
+        scope = frame.scope()
+        columns = output_columns(select, scope)
+
+        groups: dict[tuple, list[_RowEnv]] = {}
+        if select.group_by:
+            for row in frame.rows:
+                env = _RowEnv(self, frame, row, outer)
+                key = tuple(evaluate(expression, env) for expression in select.group_by)
+                groups.setdefault(key, []).append(env)
+        else:
+            groups[()] = [_RowEnv(self, frame, row, outer) for row in frame.rows]
+
+        rows: list[tuple] = []
+        for envs in groups.values():
+            if select.having is not None:
+                if not bool(evaluate_aggregate(select.having, envs)):
+                    continue
+            rows.append(tuple(
+                evaluate_aggregate(item.expression, envs) for item in select.items
+            ))
+        return columns, rows
+
+    # -- ordering / limits -----------------------------------------------------------------
+
+    def _order(self, select: ast.Select, columns: list[str], rows: list[tuple],
+               frame: RowFrame) -> list[tuple]:
+        if not select.order_by:
+            return rows
+        lowered = [name.lower() for name in columns]
+        ordered = list(rows)
+        for item in reversed(select.order_by):
+            key_function = self._order_key(item, lowered, select, frame)
+            ordered.sort(key=key_function, reverse=item.descending)
+        return ordered
+
+    def _order_key(self, item: ast.OrderItem, lowered_columns: list[str],
+                   select: ast.Select, frame: RowFrame):
+        expression = item.expression
+        position: int | None = None
+        if isinstance(expression, ast.ColumnRef) and expression.table is None:
+            name = expression.name.lower()
+            if name in lowered_columns:
+                position = lowered_columns.index(name)
+        if position is None and isinstance(expression, ast.Literal) and isinstance(
+                expression.value, int):
+            position = expression.value - 1
+        if position is None:
+            # fall back to matching the rendered expression against select items
+            rendered = to_sql(expression)
+            for index, select_item in enumerate(select.items):
+                if to_sql(select_item.expression) == rendered:
+                    position = index
+                    break
+        if position is None:
+            raise PlanError(
+                f"ORDER BY expression '{to_sql(expression)}' is not part of the select list"
+            )
+
+        def key(row: tuple):
+            value = row[position]
+            return (value is None, value)
+
+        return key
+
+    def _limit(self, select: ast.Select, rows: list[tuple]) -> list[tuple]:
+        start = select.offset or 0
+        if select.limit is None:
+            return rows[start:] if start else rows
+        return rows[start:start + select.limit]
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _is_correlated(self, select: ast.Select, outer: "_RowEnv | None") -> bool:
+        """Heuristic correlation test: any column not resolvable locally."""
+        if outer is None:
+            return False
+        local_bindings: list[ColumnInfo] = []
+        for item in select.from_items:
+            local_bindings.extend(self._item_columns(item))
+        local = Scope(columns=local_bindings)
+        for node in select.walk():
+            if isinstance(node, ast.ColumnRef) and local.resolve_local(node) is None:
+                return True
+        return False
+
+    def _item_columns(self, item: ast.TableExpression) -> list[ColumnInfo]:
+        if isinstance(item, ast.TableRef):
+            try:
+                schema = self.database.catalog.table(item.name)
+            except Exception:
+                return []
+            return [
+                ColumnInfo(binding=item.binding, name=column.name, type_name=column.type_name)
+                for column in schema.columns
+            ]
+        if isinstance(item, ast.SubqueryRef):
+            scope = Scope(columns=[])
+            names = output_columns(item.subquery, scope) if not any(
+                isinstance(entry.expression, ast.Star) for entry in item.subquery.items
+            ) else []
+            return [ColumnInfo(binding=item.alias, name=name, type_name="str") for name in names]
+        if isinstance(item, ast.Join):
+            return self._item_columns(item.left) + self._item_columns(item.right)
+        return []

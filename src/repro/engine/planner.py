@@ -1,0 +1,203 @@
+"""Shared query analysis: binding resolution and predicate classification.
+
+Both engines execute the same logical pipeline; this module contains the
+analysis they share:
+
+* :class:`ColumnInfo` / :class:`Scope` -- name resolution of (possibly
+  qualified) column references against the FROM-clause bindings, with a link
+  to an outer scope for correlated subqueries,
+* :func:`classify_conjuncts` -- splits the WHERE clause into single-relation
+  filters (push-down candidates), equi-join conditions, and residual
+  predicates (anything referencing several relations, outer columns or
+  subqueries),
+* :func:`contains_subquery` / :func:`contains_aggregate` -- structural tests
+  used when choosing execution strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.sqlparser import ast
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One column visible inside a query block."""
+
+    binding: str
+    name: str
+    type_name: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.binding.lower(), self.name.lower())
+
+
+@dataclass
+class Scope:
+    """Name-resolution scope: the columns of the current block plus an outer link."""
+
+    columns: list[ColumnInfo] = field(default_factory=list)
+    outer: "Scope | None" = None
+
+    def add(self, column: ColumnInfo) -> None:
+        self.columns.append(column)
+
+    def extend(self, columns: list[ColumnInfo]) -> None:
+        self.columns.extend(columns)
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve_local(self, ref: ast.ColumnRef) -> ColumnInfo | None:
+        """Resolve ``ref`` against this scope only (None when not found)."""
+        name = ref.name.lower()
+        if ref.table:
+            table = ref.table.lower()
+            for column in self.columns:
+                if column.binding.lower() == table and column.name.lower() == name:
+                    return column
+            return None
+        matches = [column for column in self.columns if column.name.lower() == name]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            # Ambiguity across bindings: prefer an exact single match per
+            # binding order; TPC-H never needs more than this.
+            return matches[0]
+        return matches[0]
+
+    def resolve(self, ref: ast.ColumnRef) -> tuple[ColumnInfo, bool]:
+        """Resolve ``ref`` here or in an outer scope.
+
+        Returns ``(column, is_outer)``; raises :class:`PlanError` when the
+        name cannot be resolved anywhere.
+        """
+        local = self.resolve_local(ref)
+        if local is not None:
+            return local, False
+        outer = self.outer
+        while outer is not None:
+            found = outer.resolve_local(ref)
+            if found is not None:
+                return found, True
+            outer = outer.outer
+        raise PlanError(f"unknown column '{ref.qualified}'")
+
+    def is_local(self, ref: ast.ColumnRef) -> bool:
+        """True when ``ref`` resolves in this scope (not an outer one)."""
+        return self.resolve_local(ref) is not None
+
+    def bindings_of(self, expression: ast.Expression) -> set[str]:
+        """Return the local binding names referenced by ``expression``.
+
+        Columns that only resolve in an outer scope are ignored (they do not
+        constrain the local join order); unknown columns raise
+        :class:`PlanError`.
+        """
+        bindings: set[str] = set()
+        for ref in ast.column_refs(expression):
+            column, is_outer = self.resolve(ref)
+            if not is_outer:
+                bindings.add(column.binding.lower())
+        return bindings
+
+
+# ---------------------------------------------------------------------------
+# predicate classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClassifiedPredicates:
+    """The WHERE clause split by the role each conjunct plays."""
+
+    #: conjuncts that reference exactly one relation and no subquery,
+    #: keyed by binding name -- push-down candidates.
+    single: dict[str, list[ast.Expression]] = field(default_factory=dict)
+    #: equality joins between two relations: (left ref, right ref, conjunct).
+    equi_joins: list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]] = field(
+        default_factory=list
+    )
+    #: everything else (multi-relation non-equi predicates, predicates with
+    #: subqueries, predicates referencing outer columns).
+    residual: list[ast.Expression] = field(default_factory=list)
+
+    def all_predicates(self) -> list[ast.Expression]:
+        """Every conjunct, in classification order (used when push-down is off)."""
+        ordered: list[ast.Expression] = []
+        for predicates in self.single.values():
+            ordered.extend(predicates)
+        ordered.extend(join for _, _, join in self.equi_joins)
+        ordered.extend(self.residual)
+        return ordered
+
+
+def contains_subquery(expression: ast.Expression) -> bool:
+    """True when ``expression`` contains any nested SELECT."""
+    return any(isinstance(node, ast.Select) for node in expression.walk())
+
+
+def contains_aggregate(expression: ast.Expression) -> bool:
+    """True when ``expression`` contains an aggregate call outside any subquery."""
+    return ast.has_local_aggregate(expression)
+
+
+def classify_conjuncts(where: ast.Expression | None, scope: Scope) -> ClassifiedPredicates:
+    """Split the WHERE clause of a block into push-down / join / residual parts."""
+    classified = ClassifiedPredicates()
+    for conjunct in ast.conjuncts(where):
+        if contains_subquery(conjunct):
+            classified.residual.append(conjunct)
+            continue
+        try:
+            bindings = scope.bindings_of(conjunct)
+        except PlanError:
+            classified.residual.append(conjunct)
+            continue
+        if _is_equi_join(conjunct, scope):
+            left, right = conjunct.left, conjunct.right  # type: ignore[union-attr]
+            classified.equi_joins.append((left, right, conjunct))
+            continue
+        if len(bindings) == 1:
+            binding = next(iter(bindings))
+            classified.single.setdefault(binding, []).append(conjunct)
+        elif len(bindings) == 0:
+            # constant or purely-outer predicate: keep it as residual so it is
+            # still evaluated (possibly per outer row).
+            classified.residual.append(conjunct)
+        else:
+            classified.residual.append(conjunct)
+    return classified
+
+
+def _is_equi_join(conjunct: ast.Expression, scope: Scope) -> bool:
+    """True for ``a.x = b.y`` between two *different* local relations."""
+    if not isinstance(conjunct, ast.Comparison) or conjunct.operator != "=":
+        return False
+    if conjunct.quantifier is not None:
+        return False
+    left, right = conjunct.left, conjunct.right
+    if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.ColumnRef):
+        return False
+    if not scope.is_local(left) or not scope.is_local(right):
+        return False
+    left_info = scope.resolve_local(left)
+    right_info = scope.resolve_local(right)
+    assert left_info is not None and right_info is not None
+    return left_info.binding.lower() != right_info.binding.lower()
+
+
+def output_columns(select: ast.Select, scope: Scope) -> list[str]:
+    """Compute the output column names of a block (aliases, names, colN)."""
+    names: list[str] = []
+    for position, item in enumerate(select.items):
+        if isinstance(item.expression, ast.Star):
+            star = item.expression
+            for column in scope.columns:
+                if star.table is None or column.binding.lower() == star.table.lower():
+                    names.append(column.name)
+            continue
+        names.append(item.output_name(position))
+    return names

@@ -1,0 +1,49 @@
+"""Query result container returned by both engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one query.
+
+    Attributes
+    ----------
+    columns:
+        Output column names, in projection order.
+    rows:
+        Result rows as tuples.
+    elapsed:
+        Wall-clock execution time in seconds (excludes parsing when the
+        caller passes an already-parsed AST).
+    engine:
+        Name of the engine that produced the result.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    elapsed: float = 0.0
+    engine: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self):
+        """Return the single value of a 1x1 result (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        """Return one output column as a list of values."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        """Return the rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]

@@ -1,0 +1,48 @@
+"""The SQALPEL platform: a shareable repository of performance projects.
+
+Section 4 of the paper describes a GitHub-inspired SaaS for performance
+projects: users, a global DBMS catalog and hardware/platform catalog, public
+and private projects with owners / contributors / readers, experiments
+(a baseline query turned into a grammar plus a query pool), an execution
+queue with timeouts, contributed results, and comments.
+
+This subpackage implements that platform as a library:
+
+* :mod:`repro.platform.models` -- the entities,
+* :mod:`repro.platform.store` -- sqlite3-backed persistence,
+* :mod:`repro.platform.service` -- the application service with access
+  control (the operations the web GUI exposes),
+* :mod:`repro.platform.webapp` -- a WSGI JSON API exposing the service, used
+  by the remote experiment driver.
+"""
+
+from repro.platform.models import (
+    Comment,
+    DBMSEntry,
+    Experiment,
+    HostEntry,
+    Project,
+    ResultRecord,
+    Task,
+    User,
+    Visibility,
+)
+from repro.platform.store import Store
+from repro.platform.service import PlatformService
+from repro.platform.webapp import create_wsgi_app, PlatformServer
+
+__all__ = [
+    "Comment",
+    "DBMSEntry",
+    "Experiment",
+    "HostEntry",
+    "Project",
+    "ResultRecord",
+    "Task",
+    "User",
+    "Visibility",
+    "Store",
+    "PlatformService",
+    "create_wsgi_app",
+    "PlatformServer",
+]

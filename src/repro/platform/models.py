@@ -1,0 +1,250 @@
+"""Platform entities.
+
+Every entity is a plain dataclass with a ``to_dict`` / ``from_dict`` pair so
+the sqlite store and the JSON API can exchange them without extra mapping
+code.  Identifiers are integers assigned by the store.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import asdict, dataclass, field
+
+
+class Visibility(str, enum.Enum):
+    """Project visibility, mirroring the public/private split of Section 4.2."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+
+
+class TaskStatus(str, enum.Enum):
+    """Lifecycle of one queued query execution."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+    EXPIRED = "expired"
+
+
+@dataclass
+class User:
+    """A registered platform user.
+
+    The paper: "A straightforward user administration is provided based on a
+    unique nickname and a valid email to reach out to its owner.  Email
+    addresses are never exposed in the interface."  ``contributor_key`` is the
+    "separately supplied key to identify the source of the results without
+    disclosing the contributor's identity".
+    """
+
+    nickname: str
+    email: str
+    id: int | None = None
+    contributor_key: str = ""
+    created_at: float = field(default_factory=time.time)
+
+    def public_view(self) -> dict:
+        """The user as shown in the interface: no email, no key."""
+        return {"id": self.id, "nickname": self.nickname}
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "User":
+        return cls(**payload)
+
+
+@dataclass
+class DBMSEntry:
+    """One entry of the global DBMS catalog."""
+
+    name: str
+    version: str
+    dialect: str = "generic"
+    description: str = ""
+    settings: dict = field(default_factory=dict)
+    id: int | None = None
+
+    def label(self) -> str:
+        return f"{self.name}-{self.version}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DBMSEntry":
+        return cls(**payload)
+
+
+@dataclass
+class HostEntry:
+    """One entry of the hardware platform catalog.
+
+    The demo spans "platforms ranging from a Raspberry Pi up to Intel Xeon
+    E5-4657L servers with 1TB RAM"; entries carry enough metadata to document
+    the measurement context.
+    """
+
+    name: str
+    cpu: str = ""
+    memory_gb: float = 0.0
+    os: str = ""
+    description: str = ""
+    id: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HostEntry":
+        return cls(**payload)
+
+
+@dataclass
+class Project:
+    """A performance project: the unit of ownership, sharing and moderation."""
+
+    name: str
+    owner_id: int
+    synopsis: str = ""
+    visibility: Visibility = Visibility.PUBLIC
+    attribution: str = ""
+    contributor_ids: list[int] = field(default_factory=list)
+    created_at: float = field(default_factory=time.time)
+    id: int | None = None
+
+    def is_public(self) -> bool:
+        return self.visibility is Visibility.PUBLIC
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["visibility"] = self.visibility.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Project":
+        payload = dict(payload)
+        payload["visibility"] = Visibility(payload.get("visibility", "public"))
+        return cls(**payload)
+
+
+@dataclass
+class Experiment:
+    """One experiment of a project: a baseline query and its grammar/pool state."""
+
+    project_id: int
+    name: str
+    baseline_sql: str
+    grammar_text: str
+    dbms_id: int | None = None
+    host_id: int | None = None
+    guidance: dict = field(default_factory=dict)
+    template_limit: int = 100_000
+    repeats: int = 5
+    timeout_seconds: float = 60.0
+    created_at: float = field(default_factory=time.time)
+    id: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Experiment":
+        return cls(**payload)
+
+
+@dataclass
+class Task:
+    """One queued query execution: a pool query waiting for / undergoing a run.
+
+    "Each query is ran against a single DBMS + host combination.  The
+    execution status is tracked in a queue, which enables killing queries that
+    got stuck or when the results of an experiment are not delivered within a
+    specified timeout interval."
+    """
+
+    experiment_id: int
+    query_sql: str
+    query_key: str
+    dbms_label: str
+    host_name: str
+    origin: str = "seed"
+    parent_key: str | None = None
+    size: int = 0
+    status: str = TaskStatus.PENDING.value
+    assigned_to: str | None = None
+    assigned_at: float | None = None
+    timeout_seconds: float = 60.0
+    created_at: float = field(default_factory=time.time)
+    id: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Task":
+        return cls(**payload)
+
+
+@dataclass
+class ResultRecord:
+    """One contributed measurement for a task.
+
+    "By default each experiment is run five times and the wall clock time for
+    each step is reported. [...] An open-ended key-value list structure can be
+    returned to keep system specific performance indicators for post
+    inspection."
+    """
+
+    task_id: int
+    experiment_id: int
+    contributor_key: str
+    dbms_label: str
+    host_name: str
+    query_sql: str
+    times: list[float] = field(default_factory=list)
+    error: str | None = None
+    load_averages: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    hidden: bool = False
+    created_at: float = field(default_factory=time.time)
+    id: int | None = None
+
+    @property
+    def best(self) -> float | None:
+        """Fastest of the repeated runs (None for failed runs)."""
+        return min(self.times) if self.times else None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResultRecord":
+        return cls(**payload)
+
+
+@dataclass
+class Comment:
+    """A registered user's comment on a project."""
+
+    project_id: int
+    user_id: int
+    text: str
+    created_at: float = field(default_factory=time.time)
+    id: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Comment":
+        return cls(**payload)

@@ -1,0 +1,394 @@
+"""Application service: the operations the SQALPEL web GUI and driver rely on.
+
+The service enforces the access-control model of Section 4.2:
+
+* anyone may read **public** projects (description and results) but only
+  contributors may submit results,
+* **private** projects are invisible to non-members; "for contributors the
+  information shielding is lifted",
+* the **project owner** is the moderator: they manage the grammar, expand the
+  query pool, manage result visibility, and invite contributors,
+* "A project declared public may not contain references to private DBMS and
+  host settings" -- enforced when an experiment is attached to a project.
+
+It also owns the execution queue ("The execution status is tracked in a
+queue, which enables killing queries that got stuck or when the results of an
+experiment are not delivered within a specified timeout interval").
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+
+from repro.core import parse_grammar, serialize_grammar, validate
+from repro.core.templates import DEFAULT_TEMPLATE_LIMIT
+from repro.errors import AccessDenied, ConflictError, NotFound, ValidationError
+from repro.platform.models import (
+    Comment,
+    DBMSEntry,
+    Experiment,
+    HostEntry,
+    Project,
+    ResultRecord,
+    Task,
+    TaskStatus,
+    User,
+    Visibility,
+)
+from repro.platform.store import Store
+from repro.pool.guidance import Guidance
+from repro.pool.morph import Morpher, Strategy
+from repro.pool.pool import QueryPool
+from repro.sqlparser import extract_grammar
+from repro.sqlparser.extract import ExtractionOptions
+
+
+class PlatformService:
+    """Facade over the store implementing the platform's use cases."""
+
+    def __init__(self, store: Store | None = None):
+        self.store = store or Store()
+
+    # ------------------------------------------------------------------ users
+
+    def register_user(self, nickname: str, email: str) -> User:
+        """Register a user; nicknames are unique, the contributor key is generated."""
+        if not nickname or not email or "@" not in email:
+            raise ValidationError("a nickname and a valid email address are required")
+        if self.store.user_by_nickname(nickname) is not None:
+            raise ConflictError(f"nickname '{nickname}' is already registered")
+        user = User(nickname=nickname, email=email,
+                    contributor_key=secrets.token_hex(16))
+        self.store.insert("users", user)
+        return user
+
+    def authenticate(self, contributor_key: str) -> User:
+        """Resolve a contributor key to its user (the driver's credential)."""
+        user = self.store.user_by_key(contributor_key)
+        if user is None:
+            raise AccessDenied("unknown contributor key")
+        return user
+
+    def list_users(self) -> list[dict]:
+        """Public views of all users (no email addresses, per Section 5.2)."""
+        return [user.public_view() for user in self.store.users()]
+
+    # ------------------------------------------------------------- catalogs
+
+    def register_dbms(self, name: str, version: str, dialect: str = "generic",
+                      description: str = "", settings: dict | None = None) -> DBMSEntry:
+        """Add a DBMS (+ configuration) to the global catalog."""
+        entry = DBMSEntry(name=name, version=version, dialect=dialect,
+                          description=description, settings=settings or {})
+        self.store.insert("dbms_catalog", entry)
+        return entry
+
+    def register_host(self, name: str, cpu: str = "", memory_gb: float = 0.0,
+                      os: str = "", description: str = "") -> HostEntry:
+        """Add a hardware platform to the catalog."""
+        entry = HostEntry(name=name, cpu=cpu, memory_gb=memory_gb, os=os,
+                          description=description)
+        self.store.insert("host_catalog", entry)
+        return entry
+
+    def dbms_catalog(self) -> list[DBMSEntry]:
+        return self.store.dbms_catalog()
+
+    def host_catalog(self) -> list[HostEntry]:
+        return self.store.host_catalog()
+
+    # ------------------------------------------------------------- projects
+
+    def create_project(self, owner: User, name: str, synopsis: str = "",
+                       visibility: Visibility | str = Visibility.PUBLIC,
+                       attribution: str = "") -> Project:
+        """Create a project owned (and moderated) by ``owner``."""
+        if isinstance(visibility, str):
+            visibility = Visibility(visibility)
+        if any(project.name == name for project in self.store.projects()):
+            raise ConflictError(f"a project named '{name}' already exists")
+        project = Project(name=name, owner_id=owner.id, synopsis=synopsis,
+                          visibility=visibility, attribution=attribution)
+        self.store.insert("projects", project)
+        return project
+
+    def invite_contributor(self, acting: User, project: Project, invitee: User) -> Project:
+        """Owner-only: add ``invitee`` to the project's contributors."""
+        self._require_owner(acting, project)
+        if invitee.id not in project.contributor_ids:
+            project.contributor_ids.append(invitee.id)
+            self.store.update("projects", project)
+        return project
+
+    def set_visibility(self, acting: User, project: Project,
+                       visibility: Visibility | str) -> Project:
+        """Owner-only: flip a project between public and private."""
+        self._require_owner(acting, project)
+        project.visibility = Visibility(visibility) if isinstance(visibility, str) else visibility
+        self.store.update("projects", project)
+        return project
+
+    def list_projects(self, viewer: User | None = None) -> list[Project]:
+        """Projects visible to ``viewer`` (public ones plus their memberships)."""
+        return [project for project in self.store.projects()
+                if self._can_read(viewer, project)]
+
+    def get_project(self, project_id: int, viewer: User | None = None) -> Project:
+        project = self.store.project(project_id)
+        if not self._can_read(viewer, project):
+            raise AccessDenied("this project is private")
+        return project
+
+    def add_comment(self, user: User, project: Project, text: str) -> Comment:
+        """Registered users can comment on projects they can read."""
+        if not self._can_read(user, project):
+            raise AccessDenied("this project is private")
+        if not text.strip():
+            raise ValidationError("a comment needs a non-empty text")
+        comment = Comment(project_id=project.id, user_id=user.id, text=text)
+        self.store.insert("comments", comment)
+        return comment
+
+    def comments(self, project: Project, viewer: User | None = None) -> list[Comment]:
+        if not self._can_read(viewer, project):
+            raise AccessDenied("this project is private")
+        return self.store.comments(project.id)
+
+    # -------------------------------------------------------------- experiments
+
+    def add_experiment(self, acting: User, project: Project, name: str,
+                       baseline_sql: str, dbms: DBMSEntry | None = None,
+                       host: HostEntry | None = None,
+                       grammar_text: str | None = None,
+                       template_limit: int = DEFAULT_TEMPLATE_LIMIT,
+                       repeats: int = 5, timeout_seconds: float = 60.0,
+                       guidance: Guidance | None = None) -> Experiment:
+        """Attach an experiment to a project.
+
+        The baseline query is converted into a SQALPEL grammar (unless an
+        explicit, e.g. manually edited, grammar text is supplied), validated,
+        and stored in its textual form so the owner can keep editing it.
+        """
+        self._require_owner(acting, project)
+        if project.is_public() and dbms is not None and dbms.settings.get("private"):
+            raise ValidationError(
+                "a public project may not reference private DBMS settings")
+        if grammar_text is None:
+            grammar = extract_grammar(baseline_sql, ExtractionOptions(name=name))
+            grammar_text = serialize_grammar(grammar)
+        else:
+            grammar = parse_grammar(grammar_text, name=name)
+        report = validate(grammar)
+        if not report.ok:
+            raise ValidationError(f"grammar is invalid: {report.summary()}")
+        experiment = Experiment(
+            project_id=project.id,
+            name=name,
+            baseline_sql=baseline_sql,
+            grammar_text=grammar_text,
+            dbms_id=dbms.id if dbms else None,
+            host_id=host.id if host else None,
+            guidance=(guidance or Guidance()).describe(),
+            template_limit=template_limit,
+            repeats=repeats,
+            timeout_seconds=timeout_seconds,
+        )
+        self.store.insert("experiments", experiment)
+        return experiment
+
+    def update_grammar(self, acting: User, experiment: Experiment,
+                       grammar_text: str) -> Experiment:
+        """Owner-only manual grammar edit (e.g. fusing rules to shrink the space)."""
+        project = self.store.project(experiment.project_id)
+        self._require_owner(acting, project)
+        report = validate(parse_grammar(grammar_text, name=experiment.name))
+        if not report.ok:
+            raise ValidationError(f"grammar is invalid: {report.summary()}")
+        experiment.grammar_text = grammar_text
+        self.store.update("experiments", experiment)
+        return experiment
+
+    def experiments(self, project: Project, viewer: User | None = None) -> list[Experiment]:
+        if not self._can_read(viewer, project):
+            raise AccessDenied("this project is private")
+        return self.store.experiments(project.id)
+
+    def build_pool(self, experiment: Experiment, seed: int = 0) -> QueryPool:
+        """Instantiate the query pool of an experiment from its stored grammar."""
+        grammar = parse_grammar(experiment.grammar_text, name=experiment.name)
+        return QueryPool(grammar, template_limit=experiment.template_limit, seed=seed)
+
+    # ------------------------------------------------------------------ queue
+
+    def enqueue_pool(self, acting: User, experiment: Experiment, pool: QueryPool,
+                     dbms_label: str, host_name: str) -> list[Task]:
+        """Owner-only: queue every pool entry for one DBMS + host combination."""
+        project = self.store.project(experiment.project_id)
+        self._require_owner(acting, project)
+        existing = {
+            (task.query_key, task.dbms_label, task.host_name)
+            for task in self.store.tasks(experiment.id)
+        }
+        created: list[Task] = []
+        for entry in pool.entries():
+            key = (repr(entry.key), dbms_label, host_name)
+            if key in existing:
+                continue
+            task = Task(
+                experiment_id=experiment.id,
+                query_sql=entry.sql,
+                query_key=repr(entry.key),
+                dbms_label=dbms_label,
+                host_name=host_name,
+                origin=entry.origin,
+                parent_key=repr(entry.parent_key) if entry.parent_key else None,
+                size=entry.query.size(),
+                timeout_seconds=experiment.timeout_seconds,
+            )
+            self.store.insert("tasks", task)
+            created.append(task)
+        return created
+
+    def next_task(self, contributor: User, experiment: Experiment,
+                  dbms_label: str | None = None) -> Task | None:
+        """Hand the next pending task of an experiment to a contributor."""
+        project = self.store.project(experiment.project_id)
+        self._require_contributor(contributor, project)
+        self.expire_stuck_tasks(experiment)
+        for task in self.store.tasks(experiment.id):
+            if task.status != TaskStatus.PENDING.value:
+                continue
+            if dbms_label is not None and task.dbms_label != dbms_label:
+                continue
+            task.status = TaskStatus.RUNNING.value
+            task.assigned_to = contributor.contributor_key
+            task.assigned_at = time.time()
+            self.store.update("tasks", task)
+            return task
+        return None
+
+    def kill_task(self, acting: User, task: Task) -> Task:
+        """Owner-only: kill a stuck task."""
+        experiment = self.store.experiment(task.experiment_id)
+        project = self.store.project(experiment.project_id)
+        self._require_owner(acting, project)
+        task.status = TaskStatus.KILLED.value
+        self.store.update("tasks", task)
+        return task
+
+    def expire_stuck_tasks(self, experiment: Experiment) -> list[Task]:
+        """Expire running tasks whose results were not delivered within the timeout."""
+        expired: list[Task] = []
+        now = time.time()
+        for task in self.store.tasks(experiment.id):
+            if task.status != TaskStatus.RUNNING.value or task.assigned_at is None:
+                continue
+            if now - task.assigned_at > task.timeout_seconds:
+                task.status = TaskStatus.EXPIRED.value
+                self.store.update("tasks", task)
+                expired.append(task)
+        return expired
+
+    def queue_status(self, experiment: Experiment) -> dict[str, int]:
+        """Counts per task status for one experiment."""
+        counts: dict[str, int] = {}
+        for task in self.store.tasks(experiment.id):
+            counts[task.status] = counts.get(task.status, 0) + 1
+        return counts
+
+    # ----------------------------------------------------------------- results
+
+    def submit_result(self, contributor: User, task: Task, times: list[float],
+                      error: str | None = None, load_averages: dict | None = None,
+                      extras: dict | None = None) -> ResultRecord:
+        """Record the outcome of a task run by ``contributor``."""
+        experiment = self.store.experiment(task.experiment_id)
+        project = self.store.project(experiment.project_id)
+        self._require_contributor(contributor, project)
+        if error is None and not times:
+            raise ValidationError("a successful run must report at least one timing")
+        result = ResultRecord(
+            task_id=task.id,
+            experiment_id=task.experiment_id,
+            contributor_key=contributor.contributor_key,
+            dbms_label=task.dbms_label,
+            host_name=task.host_name,
+            query_sql=task.query_sql,
+            times=list(times),
+            error=error,
+            load_averages=load_averages or {},
+            extras=extras or {},
+        )
+        self.store.insert("results", result)
+        task.status = TaskStatus.FAILED.value if error else TaskStatus.DONE.value
+        self.store.update("tasks", task)
+        return result
+
+    def set_result_hidden(self, acting: User, result: ResultRecord, hidden: bool) -> ResultRecord:
+        """Owner-only: hide a result pending clarification ("keep these results private")."""
+        experiment = self.store.experiment(result.experiment_id)
+        project = self.store.project(experiment.project_id)
+        self._require_owner(acting, project)
+        result.hidden = hidden
+        self.store.update("results", result)
+        return result
+
+    def results(self, experiment: Experiment, viewer: User | None = None,
+                include_hidden: bool = False) -> list[ResultRecord]:
+        """Results of an experiment, respecting visibility rules."""
+        project = self.store.project(experiment.project_id)
+        if not self._can_read(viewer, project):
+            raise AccessDenied("this project is private")
+        records = self.store.results(experiment.id)
+        if include_hidden and viewer is not None and self._is_member(viewer, project):
+            return records
+        return [record for record in records if not record.hidden]
+
+    def export_results_csv(self, experiment: Experiment, viewer: User | None = None) -> str:
+        """CSV export of an experiment's results ("exported in CSV for post-processing")."""
+        import csv
+        import io
+
+        records = self.results(experiment, viewer=viewer)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["result_id", "task_id", "dbms", "host", "query",
+                         "best_seconds", "times", "error"])
+        for record in records:
+            writer.writerow([
+                record.id, record.task_id, record.dbms_label, record.host_name,
+                record.query_sql, record.best,
+                ";".join(f"{value:.6f}" for value in record.times), record.error or "",
+            ])
+        return buffer.getvalue()
+
+    # ----------------------------------------------------- pool morphing helper
+
+    def grow_pool(self, experiment: Experiment, pool: QueryPool, steps: int,
+                  strategy: str | None = None, seed: int | None = None) -> int:
+        """Morph the pool ``steps`` times using the experiment's stored guidance."""
+        guidance = Guidance.from_dict(experiment.guidance)
+        morpher = Morpher(pool, guidance=guidance, seed=seed)
+        chosen = Strategy(strategy) if strategy else None
+        return len(morpher.run(steps, strategy=chosen))
+
+    # ------------------------------------------------------------ access control
+
+    def _require_owner(self, user: User, project: Project) -> None:
+        if user is None or user.id != project.owner_id:
+            raise AccessDenied("only the project owner may perform this operation")
+
+    def _require_contributor(self, user: User, project: Project) -> None:
+        if user is None or not self._is_member(user, project):
+            raise AccessDenied("only project contributors may perform this operation")
+
+    def _is_member(self, user: User, project: Project) -> bool:
+        return user is not None and (
+            user.id == project.owner_id or user.id in project.contributor_ids
+        )
+
+    def _can_read(self, user: User | None, project: Project) -> bool:
+        if project.is_public():
+            return True
+        return user is not None and self._is_member(user, project)

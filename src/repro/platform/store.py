@@ -1,0 +1,186 @@
+"""sqlite3-backed persistence for the platform.
+
+Every entity is stored as a JSON document in a two-column table
+(``id INTEGER PRIMARY KEY, body TEXT``).  The document approach keeps the
+store schema-stable while the entity dataclasses evolve, and an in-memory
+database (``path=":memory:"``) makes tests and the in-process driver cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Callable, Iterable, TypeVar
+
+from repro.errors import NotFound
+from repro.platform import models
+
+_TABLES = (
+    "users",
+    "dbms_catalog",
+    "host_catalog",
+    "projects",
+    "experiments",
+    "tasks",
+    "results",
+    "comments",
+)
+
+T = TypeVar("T")
+
+
+class Store:
+    """Thread-safe JSON-document store over sqlite3."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
+        self._create_tables()
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def _create_tables(self) -> None:
+        with self._lock:
+            for table in _TABLES:
+                self._connection.execute(
+                    f"CREATE TABLE IF NOT EXISTS {table} "
+                    "(id INTEGER PRIMARY KEY AUTOINCREMENT, body TEXT NOT NULL)"
+                )
+            self._connection.commit()
+
+    # -- generic operations ------------------------------------------------------
+
+    def insert(self, table: str, entity) -> int:
+        """Insert ``entity`` (anything with to_dict) and return its new id."""
+        payload = entity.to_dict()
+        payload.pop("id", None)
+        with self._lock:
+            cursor = self._connection.execute(
+                f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+            )
+            self._connection.commit()
+            entity.id = int(cursor.lastrowid)
+            return entity.id
+
+    def update(self, table: str, entity) -> None:
+        """Persist the current state of ``entity`` (must already have an id)."""
+        if entity.id is None:
+            raise NotFound(f"cannot update an unsaved entity in '{table}'")
+        payload = entity.to_dict()
+        payload.pop("id", None)
+        with self._lock:
+            cursor = self._connection.execute(
+                f"UPDATE {table} SET body = ? WHERE id = ?",
+                (json.dumps(payload), entity.id),
+            )
+            self._connection.commit()
+            if cursor.rowcount == 0:
+                raise NotFound(f"no entity with id {entity.id} in '{table}'")
+
+    def delete(self, table: str, entity_id: int) -> None:
+        with self._lock:
+            cursor = self._connection.execute(
+                f"DELETE FROM {table} WHERE id = ?", (entity_id,)
+            )
+            self._connection.commit()
+            if cursor.rowcount == 0:
+                raise NotFound(f"no entity with id {entity_id} in '{table}'")
+
+    def get(self, table: str, entity_id: int, factory: Callable[[dict], T]) -> T:
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT id, body FROM {table} WHERE id = ?", (entity_id,)
+            ).fetchone()
+        if row is None:
+            raise NotFound(f"no entity with id {entity_id} in '{table}'")
+        return self._build(row, factory)
+
+    def all(self, table: str, factory: Callable[[dict], T]) -> list[T]:
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT id, body FROM {table} ORDER BY id"
+            ).fetchall()
+        return [self._build(row, factory) for row in rows]
+
+    def find(self, table: str, factory: Callable[[dict], T],
+             predicate: Callable[[T], bool]) -> list[T]:
+        return [entity for entity in self.all(table, factory) if predicate(entity)]
+
+    @staticmethod
+    def _build(row: Iterable, factory: Callable[[dict], T]) -> T:
+        entity_id, body = row
+        payload = json.loads(body)
+        payload["id"] = int(entity_id)
+        return factory(payload)
+
+    # -- typed convenience accessors ----------------------------------------------
+
+    def users(self) -> list[models.User]:
+        return self.all("users", models.User.from_dict)
+
+    def user(self, user_id: int) -> models.User:
+        return self.get("users", user_id, models.User.from_dict)
+
+    def user_by_nickname(self, nickname: str) -> models.User | None:
+        matches = self.find("users", models.User.from_dict,
+                            lambda user: user.nickname == nickname)
+        return matches[0] if matches else None
+
+    def user_by_key(self, contributor_key: str) -> models.User | None:
+        matches = self.find("users", models.User.from_dict,
+                            lambda user: user.contributor_key == contributor_key)
+        return matches[0] if matches else None
+
+    def projects(self) -> list[models.Project]:
+        return self.all("projects", models.Project.from_dict)
+
+    def project(self, project_id: int) -> models.Project:
+        return self.get("projects", project_id, models.Project.from_dict)
+
+    def dbms_catalog(self) -> list[models.DBMSEntry]:
+        return self.all("dbms_catalog", models.DBMSEntry.from_dict)
+
+    def dbms(self, dbms_id: int) -> models.DBMSEntry:
+        return self.get("dbms_catalog", dbms_id, models.DBMSEntry.from_dict)
+
+    def host_catalog(self) -> list[models.HostEntry]:
+        return self.all("host_catalog", models.HostEntry.from_dict)
+
+    def host(self, host_id: int) -> models.HostEntry:
+        return self.get("host_catalog", host_id, models.HostEntry.from_dict)
+
+    def experiments(self, project_id: int | None = None) -> list[models.Experiment]:
+        experiments = self.all("experiments", models.Experiment.from_dict)
+        if project_id is None:
+            return experiments
+        return [experiment for experiment in experiments
+                if experiment.project_id == project_id]
+
+    def experiment(self, experiment_id: int) -> models.Experiment:
+        return self.get("experiments", experiment_id, models.Experiment.from_dict)
+
+    def tasks(self, experiment_id: int | None = None) -> list[models.Task]:
+        tasks = self.all("tasks", models.Task.from_dict)
+        if experiment_id is None:
+            return tasks
+        return [task for task in tasks if task.experiment_id == experiment_id]
+
+    def task(self, task_id: int) -> models.Task:
+        return self.get("tasks", task_id, models.Task.from_dict)
+
+    def results(self, experiment_id: int | None = None) -> list[models.ResultRecord]:
+        results = self.all("results", models.ResultRecord.from_dict)
+        if experiment_id is None:
+            return results
+        return [result for result in results if result.experiment_id == experiment_id]
+
+    def result(self, result_id: int) -> models.ResultRecord:
+        return self.get("results", result_id, models.ResultRecord.from_dict)
+
+    def comments(self, project_id: int) -> list[models.Comment]:
+        return self.find("comments", models.Comment.from_dict,
+                         lambda comment: comment.project_id == project_id)

@@ -1,0 +1,176 @@
+"""WSGI JSON API exposing the platform service.
+
+The paper's GUI is a Flask/Bokeh web application; the reproduction exposes the
+same operations as a JSON-over-HTTP API on the standard library's ``wsgiref``
+server so the remote experiment driver can interact with a deployment exactly
+the way ``sqalpel.py`` does: request a task from a project pool, execute it
+locally and report the findings.
+
+Endpoints (all JSON; the contributor key travels in the ``X-Sqalpel-Key``
+header):
+
+====================  ======  ==============================================
+path                  method  purpose
+====================  ======  ==============================================
+``/api/ping``         GET     liveness probe / version
+``/api/projects``     GET     projects visible to the caller
+``/api/experiments``  GET     experiments of a project (``?project=<id>``)
+``/api/task``         POST    assign the next pending task of an experiment
+``/api/result``       POST    submit the measurements for a task
+``/api/results``      GET     results of an experiment (``?experiment=<id>``)
+``/api/queue``        GET     queue status of an experiment
+====================  ======  ==============================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable
+from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+from repro import __version__
+from repro.errors import AccessDenied, NotFound, PlatformError, ValidationError
+from repro.platform.service import PlatformService
+
+
+def create_wsgi_app(service: PlatformService) -> Callable:
+    """Build the WSGI application closure over ``service``."""
+
+    def application(environ, start_response):
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        query = _parse_query(environ.get("QUERY_STRING", ""))
+        key = environ.get("HTTP_X_SQALPEL_KEY", "")
+        try:
+            body = _read_body(environ)
+            status, payload = _dispatch(service, method, path, query, key, body)
+        except AccessDenied as exc:
+            status, payload = "403 Forbidden", {"error": str(exc)}
+        except NotFound as exc:
+            status, payload = "404 Not Found", {"error": str(exc)}
+        except ValidationError as exc:
+            status, payload = "400 Bad Request", {"error": str(exc)}
+        except PlatformError as exc:
+            status, payload = "400 Bad Request", {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = "500 Internal Server Error", {"error": str(exc)}
+        encoded = json.dumps(payload).encode("utf-8")
+        start_response(status, [
+            ("Content-Type", "application/json"),
+            ("Content-Length", str(len(encoded))),
+        ])
+        return [encoded]
+
+    return application
+
+
+def _parse_query(query_string: str) -> dict:
+    from urllib.parse import parse_qs
+
+    parsed = parse_qs(query_string)
+    return {key: values[0] for key, values in parsed.items()}
+
+
+def _read_body(environ) -> dict:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    if length <= 0:
+        return {}
+    raw = environ["wsgi.input"].read(length)
+    if not raw:
+        return {}
+    return json.loads(raw.decode("utf-8"))
+
+
+def _dispatch(service: PlatformService, method: str, path: str, query: dict,
+              key: str, body: dict) -> tuple[str, dict | list]:
+    viewer = service.store.user_by_key(key) if key else None
+
+    if path == "/api/ping" and method == "GET":
+        return "200 OK", {"status": "ok", "version": __version__}
+
+    if path == "/api/projects" and method == "GET":
+        projects = service.list_projects(viewer)
+        return "200 OK", [project.to_dict() for project in projects]
+
+    if path == "/api/experiments" and method == "GET":
+        project = service.get_project(int(query["project"]), viewer)
+        experiments = service.experiments(project, viewer)
+        return "200 OK", [experiment.to_dict() for experiment in experiments]
+
+    if path == "/api/queue" and method == "GET":
+        experiment = service.store.experiment(int(query["experiment"]))
+        service.get_project(experiment.project_id, viewer)
+        return "200 OK", service.queue_status(experiment)
+
+    if path == "/api/task" and method == "POST":
+        contributor = service.authenticate(key)
+        experiment = service.store.experiment(int(body["experiment"]))
+        task = service.next_task(contributor, experiment,
+                                 dbms_label=body.get("dbms"))
+        if task is None:
+            return "200 OK", {"task": None}
+        return "200 OK", {"task": task.to_dict()}
+
+    if path == "/api/result" and method == "POST":
+        contributor = service.authenticate(key)
+        task = service.store.task(int(body["task"]))
+        result = service.submit_result(
+            contributor,
+            task,
+            times=list(body.get("times", [])),
+            error=body.get("error"),
+            load_averages=body.get("load_averages") or {},
+            extras=body.get("extras") or {},
+        )
+        return "200 OK", {"result": result.to_dict()}
+
+    if path == "/api/results" and method == "GET":
+        experiment = service.store.experiment(int(query["experiment"]))
+        records = service.results(experiment, viewer=viewer)
+        return "200 OK", [record.to_dict() for record in records]
+
+    raise NotFound(f"no endpoint for {method} {path}")
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request handler that does not spam stderr with access logs."""
+
+    def log_message(self, format, *args):  # noqa: A002 - signature fixed by stdlib
+        pass
+
+
+class PlatformServer:
+    """A background HTTP server wrapping the WSGI app (used by driver tests/examples)."""
+
+    def __init__(self, service: PlatformService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._server = make_server(host, port, create_wsgi_app(service),
+                                   handler_class=_QuietHandler)
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PlatformServer":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server.server_close()
+
+    def __enter__(self) -> "PlatformServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,14 @@
+"""Query pool and morphing strategies (the guided random walk of Section 3.2)."""
+
+from repro.pool.pool import PoolEntry, QueryPool
+from repro.pool.morph import MorphAction, Morpher, Strategy
+from repro.pool.guidance import Guidance
+
+__all__ = [
+    "PoolEntry",
+    "QueryPool",
+    "MorphAction",
+    "Morpher",
+    "Strategy",
+    "Guidance",
+]

@@ -1,0 +1,68 @@
+"""Lexical-term guidance for pool expansion.
+
+The demo's query-pool page offers "fine grained control [...] by explicitly
+specifying what lexical terms should or should not be included in the queries
+being generated.  This helps to avoid performing experiments where the
+performance impact is already known from previous experiments."
+
+A :class:`Guidance` object captures that control: include-terms that every
+generated query must contain, exclude-terms that no generated query may
+contain, and an optional restriction on which morphing strategies are active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.render import ConcreteQuery
+
+
+@dataclass
+class Guidance:
+    """Constraints steering pool expansion."""
+
+    #: lexical terms (literal texts) every candidate query must include.
+    include_terms: set[str] = field(default_factory=set)
+    #: lexical terms no candidate query may include.
+    exclude_terms: set[str] = field(default_factory=set)
+    #: subset of strategy names to use; empty means all of alter/expand/prune.
+    strategies: set[str] = field(default_factory=set)
+
+    def allows(self, query: ConcreteQuery) -> bool:
+        """Return True when ``query`` satisfies the include/exclude constraints."""
+        terms = set(query.terms)
+        if self.include_terms and not self.include_terms.issubset(terms):
+            return False
+        if self.exclude_terms and terms & self.exclude_terms:
+            return False
+        return True
+
+    def allows_strategy(self, name: str) -> bool:
+        """Return True when strategy ``name`` may be used under this guidance."""
+        return not self.strategies or name in self.strategies
+
+    def merged_with(self, other: "Guidance") -> "Guidance":
+        """Combine two guidance objects (union of constraints)."""
+        return Guidance(
+            include_terms=self.include_terms | other.include_terms,
+            exclude_terms=self.exclude_terms | other.exclude_terms,
+            strategies=self.strategies | other.strategies,
+        )
+
+    def describe(self) -> dict:
+        """Plain-dict form for storage in the platform."""
+        return {
+            "include_terms": sorted(self.include_terms),
+            "exclude_terms": sorted(self.exclude_terms),
+            "strategies": sorted(self.strategies),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict | None) -> "Guidance":
+        """Inverse of :meth:`describe`."""
+        payload = payload or {}
+        return cls(
+            include_terms=set(payload.get("include_terms", [])),
+            exclude_terms=set(payload.get("exclude_terms", [])),
+            strategies=set(payload.get("strategies", [])),
+        )

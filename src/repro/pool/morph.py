@@ -1,0 +1,218 @@
+"""Morphing strategies: alter, expand, prune (Section 3.2).
+
+* **Alter** -- "We randomly pick a query from the pool and replace a literal.
+  The result is added to the pool unless it was already known."
+* **Expand** -- "We take a query from the pool and search for a template that
+  is slightly larger."  The query's literal assignment is kept and extended
+  with fresh literals for the additional slots.
+* **Prune** -- "The reverse operation for expanding a query is to search for
+  a template with slightly fewer lexical classes.  It is the preferred method
+  to identify the contribution of sub-queries in highly complex queries."
+
+The :class:`Morpher` drives the guided random walk: it repeatedly applies a
+strategy (optionally restricted by :class:`~repro.pool.guidance.Guidance`) to
+grow the pool, recording for every new entry which parent and action produced
+it -- exactly the provenance the experiment-history figure (Figure 7) draws
+as dashed, colour-coded edges.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.render import ConcreteQuery
+from repro.core.templates import Template
+from repro.pool.guidance import Guidance
+from repro.pool.pool import PoolEntry, QueryPool
+
+
+class Strategy(enum.Enum):
+    """The three morphing strategies of the paper."""
+
+    ALTER = "alter"
+    EXPAND = "expand"
+    PRUNE = "prune"
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return [strategy.value for strategy in cls]
+
+
+#: Colour coding used by the experiment-history figure (Figure 7): "The color
+#: coding for alter, expand, and prune morphing is purple, green, and blue".
+STRATEGY_COLORS = {
+    Strategy.ALTER: "purple",
+    Strategy.EXPAND: "green",
+    Strategy.PRUNE: "blue",
+    None: "grey",
+}
+
+
+@dataclass
+class MorphAction:
+    """Record of one successful morph: parent -> child via strategy."""
+
+    strategy: Strategy
+    parent: PoolEntry
+    child: PoolEntry
+
+    @property
+    def color(self) -> str:
+        return STRATEGY_COLORS[self.strategy]
+
+
+class Morpher:
+    """Applies morphing strategies to grow a :class:`QueryPool`."""
+
+    def __init__(self, pool: QueryPool, guidance: Guidance | None = None,
+                 seed: int | None = None):
+        self.pool = pool
+        self.guidance = guidance or Guidance()
+        self.rng = random.Random(seed) if seed is not None else pool.rng
+        self.actions: list[MorphAction] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def step(self, strategy: Strategy | None = None) -> MorphAction | None:
+        """Apply one morphing step; return the action or None when nothing new."""
+        strategy = strategy or self._choose_strategy()
+        if strategy is None:
+            return None
+        parent = self.pool.pick(self.rng)
+        child_query = self._morph(parent, strategy)
+        if child_query is None or not self.guidance.allows(child_query):
+            return None
+        entry = self.pool.add(child_query, origin=strategy.value, parent=parent)
+        if entry is None:
+            return None
+        action = MorphAction(strategy=strategy, parent=parent, child=entry)
+        self.actions.append(action)
+        return action
+
+    def run(self, steps: int, strategy: Strategy | None = None) -> list[MorphAction]:
+        """Apply up to ``steps`` morphing steps, returning the successful ones."""
+        performed: list[MorphAction] = []
+        for _ in range(steps):
+            action = self.step(strategy)
+            if action is not None:
+                performed.append(action)
+        return performed
+
+    def grow_to(self, target_size: int, max_attempts: int | None = None) -> list[MorphAction]:
+        """Morph until the pool holds ``target_size`` entries (or attempts run out)."""
+        attempts = max_attempts if max_attempts is not None else target_size * 25
+        performed: list[MorphAction] = []
+        while len(self.pool) < target_size and attempts > 0:
+            attempts -= 1
+            action = self.step()
+            if action is not None:
+                performed.append(action)
+        return performed
+
+    # -- strategy implementations ------------------------------------------------
+
+    def _choose_strategy(self) -> Strategy | None:
+        allowed = [
+            strategy for strategy in Strategy
+            if self.guidance.allows_strategy(strategy.value)
+        ]
+        if not allowed:
+            return None
+        return self.rng.choice(allowed)
+
+    def _morph(self, parent: PoolEntry, strategy: Strategy) -> ConcreteQuery | None:
+        if strategy is Strategy.ALTER:
+            return self._alter(parent)
+        if strategy is Strategy.EXPAND:
+            return self._expand(parent)
+        return self._prune(parent)
+
+    def _alter(self, parent: PoolEntry) -> ConcreteQuery | None:
+        """Replace one literal of the parent with another literal of the same class."""
+        assignment = list(parent.query.assignment)
+        if not assignment:
+            return None
+        position = self.rng.randrange(len(assignment))
+        current = assignment[position]
+        used = {literal.key for literal in assignment}
+        candidates = [
+            literal
+            for literal in self.pool.normalized.literals_by_rule.get(current.rule, [])
+            if literal.key not in used
+        ]
+        if not candidates:
+            return None
+        assignment[position] = self.rng.choice(candidates)
+        return self.pool.renderer.render(parent.query.template, assignment)
+
+    def _expand(self, parent: PoolEntry) -> ConcreteQuery | None:
+        """Move the parent to a slightly larger template, keeping its literals."""
+        template = self._neighbour_template(parent.query.template, larger=True)
+        if template is None:
+            return None
+        return self._refit(parent, template)
+
+    def _prune(self, parent: PoolEntry) -> ConcreteQuery | None:
+        """Move the parent to a slightly smaller template, keeping shared literals."""
+        template = self._neighbour_template(parent.query.template, larger=False)
+        if template is None:
+            return None
+        return self._refit(parent, template)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _neighbour_template(self, current: Template, larger: bool) -> Template | None:
+        """Find a template whose slot multiset is a minimal super/subset of ``current``."""
+        current_counts = current.slot_counts()
+        candidates: list[tuple[int, Template]] = []
+        for template in self.pool.templates:
+            if template.signature == current.signature:
+                continue
+            counts = template.slot_counts()
+            difference = self._containment_delta(counts, current_counts, larger)
+            if difference is not None and difference > 0:
+                candidates.append((difference, template))
+        if not candidates:
+            return None
+        smallest = min(difference for difference, _ in candidates)
+        closest = [template for difference, template in candidates if difference == smallest]
+        return self.rng.choice(closest)
+
+    @staticmethod
+    def _containment_delta(counts: Counter, current: Counter, larger: bool) -> int | None:
+        """Size delta when one multiset contains the other in the right direction."""
+        bigger, smaller = (counts, current) if larger else (current, counts)
+        for rule, amount in smaller.items():
+            if bigger.get(rule, 0) < amount:
+                return None
+        return sum(bigger.values()) - sum(smaller.values())
+
+    def _refit(self, parent: PoolEntry, template: Template) -> ConcreteQuery | None:
+        """Fill ``template`` reusing the parent's literals where classes overlap."""
+        available: dict[str, list] = {}
+        for literal in parent.query.assignment:
+            available.setdefault(literal.rule, []).append(literal)
+        assignment = []
+        used: set[tuple[str, int]] = set()
+        for slot in template.slots:
+            reuse = [
+                literal for literal in available.get(slot.rule, [])
+                if literal.key not in used
+            ]
+            if reuse:
+                literal = reuse[0]
+            else:
+                fresh = [
+                    literal
+                    for literal in self.pool.normalized.literals_by_rule.get(slot.rule, [])
+                    if literal.key not in used
+                ]
+                if not fresh:
+                    return None
+                literal = self.rng.choice(fresh)
+            used.add(literal.key)
+            assignment.append(literal)
+        return self.pool.renderer.render(template, assignment)

@@ -1,0 +1,13 @@
+"""Report builders for the paper's tables."""
+
+from repro.reports.tpc_results import TPC_BENCHMARK_REPORTS, table1_rows, table1_text
+from repro.reports.tpch_space import table2_rows, table2_text, PAPER_TABLE2
+
+__all__ = [
+    "TPC_BENCHMARK_REPORTS",
+    "table1_rows",
+    "table1_text",
+    "table2_rows",
+    "table2_text",
+    "PAPER_TABLE2",
+]

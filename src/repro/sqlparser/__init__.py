@@ -1,0 +1,31 @@
+"""SQL front-end: lexer, parser, AST, printer and the query-to-grammar extractor.
+
+The paper: "We have implemented a full fledged SQL parser that turns a single
+query, called the baseline query, into a sqalpel grammar."  This subpackage is
+that parser.  It serves two clients:
+
+* the **extractor** (:mod:`repro.sqlparser.extract`), which splits a baseline
+  query along projection-list elements, table expressions, sub-queries,
+  and/or expressions, group-by and order-by terms and emits a SQALPEL grammar
+  (Section 3.1 of the paper), and
+* the **engine substrate** (:mod:`repro.engine`), which compiles the same AST
+  into executable plans.
+"""
+
+from repro.sqlparser.lexer import Token, TokenKind, tokenize
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_select, parse_sql
+from repro.sqlparser.printer import to_sql
+from repro.sqlparser.extract import ExtractionOptions, extract_grammar
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ast",
+    "parse_select",
+    "parse_sql",
+    "to_sql",
+    "ExtractionOptions",
+    "extract_grammar",
+]

@@ -1,0 +1,306 @@
+"""Convert a baseline SQL query into a SQALPEL query-space grammar.
+
+The paper (Section 3.1): "We have implemented a full fledged SQL parser that
+turns a single query, called the baseline query, into a sqalpel grammar. [...]
+The heuristic applied by the parser is to split the query along
+projection-list elements, table-expressions, sub-queries, and/or expressions,
+group-by and order-by terms.  The remainders are considered literal tokens."
+
+The extractor applies that heuristic:
+
+* every projection-list element becomes a literal of class ``l_project``; the
+  query space contains every non-empty subset of them,
+* the FROM clause is kept fixed by default (removing arbitrary tables
+  produces overwhelmingly invalid join paths; the paper notes such grammars
+  usually need a manual edit to "make join-paths explicit"), but derived
+  tables in FROM are **descended into**: their inner query gets its own set
+  of rules, prefixed with ``dN_``, so the space covers variations of the
+  nested block too (TPC-H Q7, Q8, Q9, Q13, Q15, Q22),
+* the WHERE clause is split into its top-level AND conjuncts (each a literal
+  of class ``l_filter``; any non-empty subset can be generated); a conjunct
+  that is a top-level OR is split into its disjuncts, and a disjunct that is
+  itself an AND group is split further (TPC-H Q19),
+* each GROUP BY and ORDER BY term becomes part of the space,
+* HAVING and LIMIT are kept as single optional literals,
+* sub-queries in predicates stay embedded in the conjunct that contains
+  them, so the *prune* strategy can assess their contribution by dropping
+  the whole conjunct.
+
+The resulting grammar renders back into syntactically valid SQL for the
+built-in engines (modulo the semantic caveats the paper itself acknowledges:
+"In case the grammar produces too many semantic incorrect queries [...] a
+manual edit of the grammar is called for").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dsl import parse_alternative
+from repro.core.model import Grammar, Rule
+from repro.errors import ExtractionError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_select
+from repro.sqlparser.printer import to_sql
+
+
+@dataclass
+class ExtractionOptions:
+    """Tuning knobs for the query-to-grammar extraction."""
+
+    #: split OR conjuncts into per-disjunct (and per-group-conjunct) literals.
+    split_or: bool = True
+    #: split the FROM clause into one literal per table expression.  Off by
+    #: default: arbitrary table subsets rarely form valid join paths.
+    split_tables: bool = False
+    #: descend into derived tables (subqueries in FROM).
+    descend_derived: bool = True
+    #: make GROUP BY terms part of the space (each term optional).
+    split_group_by: bool = True
+    #: make ORDER BY terms part of the space (each term optional).
+    split_order_by: bool = True
+    #: keep the LIMIT clause as an optional literal.
+    include_limit: bool = True
+    #: keep the HAVING clause as an optional literal.
+    include_having: bool = True
+    #: name of the produced grammar.
+    name: str = "baseline"
+
+
+def extract_grammar(sql: str, options: ExtractionOptions | None = None) -> Grammar:
+    """Parse ``sql`` and derive its SQALPEL query-space grammar."""
+    options = options or ExtractionOptions()
+    try:
+        select = parse_select(sql)
+    except ExtractionError:
+        raise
+    except Exception as exc:
+        raise ExtractionError(f"cannot parse baseline query: {exc}") from exc
+    return extract_from_ast(select, options)
+
+
+def extract_from_ast(select: ast.Select, options: ExtractionOptions | None = None) -> Grammar:
+    """Derive the grammar of an already-parsed SELECT block."""
+    options = options or ExtractionOptions()
+    builder = _GrammarBuilder(options)
+    return builder.build(select)
+
+
+class _GrammarBuilder:
+    """Incrementally assembles the grammar rules for one baseline query."""
+
+    def __init__(self, options: ExtractionOptions):
+        self.options = options
+        self.rules: list[Rule] = []
+        self._line = 0
+        self._derived_counter = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _next_line(self) -> int:
+        self._line += 1
+        return self._line
+
+    def _add_rule(self, name: str, alternatives: list[str], front: bool = False) -> Rule:
+        rule = Rule(name=name, alternatives=[], line=self._next_line())
+        for text in alternatives:
+            rule.alternatives.append(parse_alternative(text, line=self._next_line()))
+        if front:
+            self.rules.insert(0, rule)
+        else:
+            self.rules.append(rule)
+        return rule
+
+    # -- main assembly --------------------------------------------------------------
+
+    def build(self, select: ast.Select) -> Grammar:
+        start_name = self._build_query(select, prefix="")
+        grammar = Grammar.from_rules(self.rules, start=start_name, name=self.options.name)
+        return grammar
+
+    def _build_query(self, select: ast.Select, prefix: str) -> str:
+        """Emit the rules for one query block; return its start rule name."""
+        if not select.items:
+            raise ExtractionError("the query block has an empty select list")
+        if not select.from_items:
+            raise ExtractionError("the query block has no FROM clause")
+
+        query_rule_name = f"{prefix}query" if prefix else "query"
+        parts: list[str] = ["SELECT"]
+        if select.distinct:
+            parts.append("DISTINCT")
+        parts.append(f"${{{prefix}projection}}")
+        parts.append(f"FROM ${{{prefix}tables}}")
+
+        # Reserve the query rule's position so nested rules come after it.
+        placeholder = self._add_rule(query_rule_name, [])
+        self._build_projection(select, prefix)
+        self._build_tables(select, prefix)
+
+        where_rule = self._build_where(select, prefix)
+        if where_rule:
+            parts.append(f"$[{where_rule}]")
+        group_rule = self._build_group_by(select, prefix)
+        if group_rule:
+            parts.append(f"$[{group_rule}]")
+        having_rule = self._build_having(select, prefix)
+        if having_rule:
+            parts.append(f"$[{having_rule}]")
+        order_rule = self._build_order_by(select, prefix)
+        if order_rule:
+            parts.append(f"$[{order_rule}]")
+        limit_rule = self._build_limit(select, prefix)
+        if limit_rule:
+            parts.append(f"$[{limit_rule}]")
+
+        placeholder.alternatives.append(
+            parse_alternative(" ".join(parts), line=self._next_line())
+        )
+        return query_rule_name
+
+    # -- clause builders ----------------------------------------------------------------
+
+    def _build_projection(self, select: ast.Select, prefix: str) -> None:
+        literals = [to_sql(item) for item in select.items]
+        self._add_rule(
+            f"{prefix}projection",
+            [f"${{{prefix}l_project}} ${{{prefix}projectlist}}*"],
+        )
+        self._add_rule(f"{prefix}projectlist", [f", ${{{prefix}l_project}}"])
+        self._add_rule(f"{prefix}l_project", literals)
+
+    def _render_from_item(self, item: ast.TableExpression, prefix: str) -> str:
+        """Render one FROM item, recursing into derived tables when enabled."""
+        if isinstance(item, ast.SubqueryRef) and self.options.descend_derived:
+            self._derived_counter += 1
+            nested_prefix = f"{prefix}d{self._derived_counter}_"
+            nested_rule = self._build_query(item.subquery, nested_prefix)
+            return f"( ${{{nested_rule}}} ) {item.alias}"
+        return to_sql(item)
+
+    def _build_tables(self, select: ast.Select, prefix: str) -> None:
+        rendered = [self._render_from_item(item, prefix) for item in select.from_items]
+        has_reference = any("${" in text for text in rendered)
+        if has_reference or not self.options.split_tables or len(rendered) == 1:
+            if has_reference:
+                # The FROM clause embeds nested query rules; keep it as one
+                # structural alternative.
+                self._add_rule(f"{prefix}tables", [", ".join(rendered)])
+            else:
+                self._add_rule(f"{prefix}tables", [f"${{{prefix}l_tables}}"])
+                self._add_rule(f"{prefix}l_tables", [", ".join(rendered)])
+            return
+        self._add_rule(
+            f"{prefix}tables",
+            [f"${{{prefix}l_table}} ${{{prefix}tablelist}}*"],
+        )
+        self._add_rule(f"{prefix}tablelist", [f", ${{{prefix}l_table}}"])
+        self._add_rule(f"{prefix}l_table", rendered)
+
+    def _build_where(self, select: ast.Select, prefix: str) -> str | None:
+        terms = ast.conjuncts(select.where)
+        if not terms:
+            return None
+
+        simple_terms: list[str] = []
+        or_refs: list[str] = []
+        for index, term in enumerate(terms):
+            if (self.options.split_or and isinstance(term, ast.BoolOp)
+                    and term.operator == "or" and len(term.operands) > 1):
+                or_refs.append(self._build_or_group(term, prefix, index + 1))
+            else:
+                simple_terms.append(to_sql(term))
+
+        alternatives: list[str] = []
+        if simple_terms:
+            self._add_rule(f"{prefix}l_filter", simple_terms)
+            self._add_rule(f"{prefix}filterlist", [f"AND ${{{prefix}l_filter}}"])
+            head = f"WHERE ${{{prefix}l_filter}} ${{{prefix}filterlist}}*"
+            for ref in or_refs:
+                optional_name = f"{prefix}and_{ref}"
+                self._add_rule(optional_name, [f"AND ${{{ref}}}"])
+                head += f" $[{optional_name}]"
+            alternatives.append(head)
+        else:
+            head = "WHERE " + " AND ".join(f"${{{ref}}}" for ref in or_refs)
+            alternatives.append(head)
+        where_name = f"{prefix}where"
+        self._add_rule(where_name, alternatives)
+        return where_name
+
+    def _build_or_group(self, term: ast.BoolOp, prefix: str, index: int) -> str:
+        """Emit the rules for one OR conjunct; return the rule name to reference."""
+        or_name = f"{prefix}or{index}"
+        alt_name = f"{or_name}_alt"
+        alt_bodies: list[str] = []
+        simple_disjuncts: list[str] = []
+        for position, disjunct in enumerate(term.operands, start=1):
+            inner = ast.conjuncts(disjunct)
+            if len(inner) > 1:
+                group_name = f"{or_name}_g{position}"
+                self._add_rule(f"{group_name}_l", [to_sql(part) for part in inner])
+                self._add_rule(f"{group_name}_list", [f"AND ${{{group_name}_l}}"])
+                self._add_rule(
+                    group_name,
+                    [f"( ${{{group_name}_l}} ${{{group_name}_list}}* )"],
+                )
+                alt_bodies.append(f"${{{group_name}}}")
+            else:
+                simple_disjuncts.append(to_sql(disjunct))
+        if simple_disjuncts:
+            self._add_rule(f"{or_name}_l", simple_disjuncts)
+            alt_bodies.append(f"${{{or_name}_l}}")
+        self._add_rule(alt_name, alt_bodies)
+        self._add_rule(f"{or_name}_list", [f"OR ${{{alt_name}}}"])
+        self._add_rule(or_name, [f"( ${{{alt_name}}} ${{{or_name}_list}}* )"])
+        return or_name
+
+    def _build_group_by(self, select: ast.Select, prefix: str) -> str | None:
+        if not select.group_by:
+            return None
+        rendered = [to_sql(term) for term in select.group_by]
+        group_name = f"{prefix}groupby"
+        if not self.options.split_group_by or len(rendered) == 1:
+            self._add_rule(f"{prefix}l_group", [", ".join(rendered)])
+            self._add_rule(group_name, [f"GROUP BY ${{{prefix}l_group}}"])
+            return group_name
+        self._add_rule(f"{prefix}l_group", rendered)
+        self._add_rule(f"{prefix}grouplist", [f", ${{{prefix}l_group}}"])
+        self._add_rule(
+            group_name,
+            [f"GROUP BY ${{{prefix}l_group}} ${{{prefix}grouplist}}*"],
+        )
+        return group_name
+
+    def _build_having(self, select: ast.Select, prefix: str) -> str | None:
+        if select.having is None or not self.options.include_having:
+            return None
+        having_name = f"{prefix}having"
+        self._add_rule(f"{prefix}l_having", [to_sql(select.having)])
+        self._add_rule(having_name, [f"HAVING ${{{prefix}l_having}}"])
+        return having_name
+
+    def _build_order_by(self, select: ast.Select, prefix: str) -> str | None:
+        if not select.order_by or not self.options.split_order_by:
+            return None
+        rendered = [to_sql(term) for term in select.order_by]
+        order_name = f"{prefix}orderby"
+        if len(rendered) == 1:
+            self._add_rule(f"{prefix}l_order", rendered)
+            self._add_rule(order_name, [f"ORDER BY ${{{prefix}l_order}}"])
+            return order_name
+        self._add_rule(f"{prefix}l_order", rendered)
+        self._add_rule(f"{prefix}orderlist", [f", ${{{prefix}l_order}}"])
+        self._add_rule(
+            order_name,
+            [f"ORDER BY ${{{prefix}l_order}} ${{{prefix}orderlist}}*"],
+        )
+        return order_name
+
+    def _build_limit(self, select: ast.Select, prefix: str) -> str | None:
+        if select.limit is None or not self.options.include_limit:
+            return None
+        limit_name = f"{prefix}limitclause"
+        self._add_rule(f"{prefix}l_limit", [f"LIMIT {select.limit}"])
+        self._add_rule(limit_name, [f"${{{prefix}l_limit}}"])
+        return limit_name

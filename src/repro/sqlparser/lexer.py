@@ -1,0 +1,192 @@
+"""SQL lexer.
+
+Splits SQL text into a flat list of :class:`Token` objects.  The lexer is
+deliberately dialect-agnostic: keywords are recognised case-insensitively but
+their original spelling is preserved, identifiers keep their case, and string
+literals keep their quotes so the extractor can reproduce the original text
+verbatim inside grammar literals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+#: Keywords the parser attaches meaning to.  Everything else that looks like a
+#: word is an identifier (which covers function names such as ``sum``).
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "all", "from", "where", "group", "by", "having",
+        "order", "limit", "offset", "as", "and", "or", "not", "in", "exists",
+        "between", "like", "is", "null", "case", "when", "then", "else", "end",
+        "join", "inner", "left", "right", "full", "outer", "cross", "on",
+        "union", "except", "intersect", "asc", "desc", "date", "interval",
+        "cast", "extract", "substring", "for", "with", "true", "false", "any", "some",
+        "nulls", "first", "last", "fetch", "rows", "row", "only", "values",
+    }
+)
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` is the canonical value (keywords lower-cased, strings without
+    quotes); ``text`` is the original source spelling.
+    """
+
+    kind: TokenKind
+    value: str
+    text: str
+    position: int
+    line: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when the token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+_OPERATORS = (
+    "<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*", "/", "%",
+)
+_PUNCTUATION = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise ``sql`` into a list of tokens terminated by an EOF token.
+
+    Raises :class:`SQLSyntaxError` on unterminated strings or unexpected
+    characters.
+    """
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    length = len(sql)
+
+    while index < length:
+        char = sql[index]
+
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            continue
+
+        # -- comments -----------------------------------------------------
+        if sql.startswith("--", index):
+            end = sql.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if sql.startswith("/*", index):
+            end = sql.find("*/", index)
+            if end == -1:
+                raise SQLSyntaxError("unterminated block comment", position=index, line=line)
+            line += sql.count("\n", index, end)
+            index = end + 2
+            continue
+
+        # -- string literals ----------------------------------------------
+        if char == "'":
+            end = index + 1
+            chunks: list[str] = []
+            while True:
+                if end >= length:
+                    raise SQLSyntaxError("unterminated string literal", position=index, line=line)
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(sql[end])
+                end += 1
+            text = sql[index:end + 1]
+            tokens.append(Token(TokenKind.STRING, "".join(chunks), text, index, line))
+            index = end + 1
+            continue
+
+        # -- quoted identifiers ---------------------------------------------
+        if char == '"':
+            end = sql.find('"', index + 1)
+            if end == -1:
+                raise SQLSyntaxError("unterminated quoted identifier", position=index, line=line)
+            text = sql[index:end + 1]
+            tokens.append(Token(TokenKind.IDENTIFIER, sql[index + 1:end], text, index, line))
+            index = end + 1
+            continue
+
+        # -- numbers -----------------------------------------------------------
+        if char.isdigit() or (char == "." and index + 1 < length and sql[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            seen_exp = False
+            while end < length:
+                current = sql[end]
+                if current.isdigit():
+                    end += 1
+                elif current == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif current in "eE" and not seen_exp and end + 1 < length and (
+                        sql[end + 1].isdigit() or sql[end + 1] in "+-"):
+                    seen_exp = True
+                    end += 2 if sql[end + 1] in "+-" else 1
+                else:
+                    break
+            text = sql[index:end]
+            tokens.append(Token(TokenKind.NUMBER, text, text, index, line))
+            index = end
+            continue
+
+        # -- identifiers / keywords ---------------------------------------------
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            text = sql[index:end]
+            lowered = text.lower()
+            kind = TokenKind.KEYWORD if lowered in KEYWORDS else TokenKind.IDENTIFIER
+            value = lowered if kind is TokenKind.KEYWORD else text
+            tokens.append(Token(kind, value, text, index, line))
+            index = end
+            continue
+
+        # -- operators ----------------------------------------------------------
+        matched = False
+        for operator in _OPERATORS:
+            if sql.startswith(operator, index):
+                tokens.append(Token(TokenKind.OPERATOR, operator, operator, index, line))
+                index += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCTUATION, char, char, index, line))
+            index += 1
+            continue
+
+        raise SQLSyntaxError(f"unexpected character {char!r}", position=index, line=line)
+
+    tokens.append(Token(TokenKind.EOF, "", "", length, line))
+    return tokens

@@ -1,0 +1,246 @@
+"""Render AST nodes back to SQL text.
+
+The printer produces a canonical, single-line rendering used by
+
+* the extractor, to turn AST fragments into grammar literals,
+* the engines, when echoing queries in error messages and plans, and
+* the differential analytics (Figure 4), which diffs canonical renderings.
+
+Round-tripping is covered by property-based tests: ``parse(print(parse(q)))``
+yields the same canonical text as ``print(parse(q))``.
+"""
+
+from __future__ import annotations
+
+from repro.sqlparser import ast
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render ``node`` (an expression, select item, or query block) to SQL."""
+    return _render(node)
+
+
+def _render(node: ast.Node) -> str:
+    renderer = _RENDERERS.get(type(node))
+    if renderer is None:
+        raise TypeError(f"cannot render node of type {type(node).__name__}")
+    return renderer(node)
+
+
+# -- expression renderers ------------------------------------------------------
+
+
+def _render_literal(node: ast.Literal) -> str:
+    if node.value is None:
+        return "NULL"
+    if node.type_name == "boolean":
+        return "TRUE" if node.value else "FALSE"
+    if node.type_name == "string":
+        escaped = str(node.value).replace("'", "''")
+        return f"'{escaped}'"
+    return str(node.value)
+
+
+def _render_date(node: ast.DateLiteral) -> str:
+    return f"date '{node.value}'"
+
+
+def _render_interval(node: ast.IntervalLiteral) -> str:
+    return f"interval '{node.value}' {node.unit}"
+
+
+def _render_column(node: ast.ColumnRef) -> str:
+    return node.qualified
+
+
+def _render_star(node: ast.Star) -> str:
+    return f"{node.table}.*" if node.table else "*"
+
+
+def _render_unary(node: ast.UnaryOp) -> str:
+    if node.operator == "not":
+        return f"not ({_render(node.operand)})"
+    return f"{node.operator}{_render_operand(node.operand)}"
+
+
+def _render_binary(node: ast.BinaryOp) -> str:
+    return f"{_render_operand(node.left)} {node.operator} {_render_operand(node.right)}"
+
+
+def _render_operand(node: ast.Expression) -> str:
+    """Parenthesise composite operands to keep the rendering unambiguous."""
+    if isinstance(node, (ast.BinaryOp, ast.BoolOp, ast.Comparison, ast.CaseWhen)):
+        return f"({_render(node)})"
+    return _render(node)
+
+
+def _render_bool(node: ast.BoolOp) -> str:
+    connector = f" {node.operator} "
+    return connector.join(_render_operand(operand) for operand in node.operands)
+
+
+def _render_comparison(node: ast.Comparison) -> str:
+    if node.quantifier:
+        assert isinstance(node.right, ast.ScalarSubquery)
+        return (f"{_render_operand(node.left)} {node.operator} {node.quantifier} "
+                f"({_render(node.right.subquery)})")
+    return f"{_render_operand(node.left)} {node.operator} {_render_operand(node.right)}"
+
+
+def _render_isnull(node: ast.IsNull) -> str:
+    suffix = "is not null" if node.negated else "is null"
+    return f"{_render_operand(node.operand)} {suffix}"
+
+
+def _render_between(node: ast.Between) -> str:
+    keyword = "not between" if node.negated else "between"
+    return (f"{_render_operand(node.operand)} {keyword} "
+            f"{_render_operand(node.low)} and {_render_operand(node.high)}")
+
+
+def _render_like(node: ast.Like) -> str:
+    keyword = "not like" if node.negated else "like"
+    return f"{_render_operand(node.operand)} {keyword} {_render_operand(node.pattern)}"
+
+
+def _render_inlist(node: ast.InList) -> str:
+    keyword = "not in" if node.negated else "in"
+    items = ", ".join(_render(item) for item in node.items)
+    return f"{_render_operand(node.operand)} {keyword} ({items})"
+
+
+def _render_insubquery(node: ast.InSubquery) -> str:
+    keyword = "not in" if node.negated else "in"
+    return f"{_render_operand(node.operand)} {keyword} ({_render(node.subquery)})"
+
+
+def _render_exists(node: ast.Exists) -> str:
+    keyword = "not exists" if node.negated else "exists"
+    return f"{keyword} ({_render(node.subquery)})"
+
+
+def _render_scalar_subquery(node: ast.ScalarSubquery) -> str:
+    return f"({_render(node.subquery)})"
+
+
+def _render_function(node: ast.FunctionCall) -> str:
+    prefix = "distinct " if node.distinct else ""
+    arguments = ", ".join(_render(argument) for argument in node.arguments)
+    return f"{node.name}({prefix}{arguments})"
+
+
+def _render_cast(node: ast.Cast) -> str:
+    return f"cast({_render(node.operand)} as {node.type_name})"
+
+
+def _render_extract(node: ast.Extract) -> str:
+    return f"extract({node.field_name} from {_render(node.operand)})"
+
+
+def _render_substring(node: ast.Substring) -> str:
+    rendered = f"substring({_render(node.operand)} from {_render(node.start)}"
+    if node.length is not None:
+        rendered += f" for {_render(node.length)}"
+    return rendered + ")"
+
+
+def _render_case(node: ast.CaseWhen) -> str:
+    chunks = ["case"]
+    for condition, result in node.branches:
+        chunks.append(f"when {_render(condition)} then {_render(result)}")
+    if node.default is not None:
+        chunks.append(f"else {_render(node.default)}")
+    chunks.append("end")
+    return " ".join(chunks)
+
+
+# -- relations -------------------------------------------------------------------
+
+
+def _render_table(node: ast.TableRef) -> str:
+    return f"{node.name} {node.alias}" if node.alias else node.name
+
+
+def _render_subquery_ref(node: ast.SubqueryRef) -> str:
+    return f"({_render(node.subquery)}) {node.alias}"
+
+
+def _render_join(node: ast.Join) -> str:
+    keyword = {"inner": "join", "left": "left join", "right": "right join",
+               "full": "full join", "cross": "cross join"}[node.kind]
+    rendered = f"{_render(node.left)} {keyword} {_render(node.right)}"
+    if node.condition is not None:
+        rendered += f" on {_render(node.condition)}"
+    return rendered
+
+
+def _render_select_item(node: ast.SelectItem) -> str:
+    rendered = _render(node.expression)
+    if node.alias:
+        rendered += f" as {node.alias}"
+    return rendered
+
+
+def _render_order_item(node: ast.OrderItem) -> str:
+    rendered = _render(node.expression)
+    if node.descending:
+        rendered += " desc"
+    return rendered
+
+
+def _render_select(node: ast.Select) -> str:
+    chunks = ["select"]
+    if node.distinct:
+        chunks.append("distinct")
+    chunks.append(", ".join(_render(item) for item in node.items))
+    if node.from_items:
+        chunks.append("from")
+        chunks.append(", ".join(_render(item) for item in node.from_items))
+    if node.where is not None:
+        chunks.append("where")
+        chunks.append(_render(node.where))
+    if node.group_by:
+        chunks.append("group by")
+        chunks.append(", ".join(_render(expression) for expression in node.group_by))
+    if node.having is not None:
+        chunks.append("having")
+        chunks.append(_render(node.having))
+    if node.order_by:
+        chunks.append("order by")
+        chunks.append(", ".join(_render(item) for item in node.order_by))
+    if node.limit is not None:
+        chunks.append(f"limit {node.limit}")
+    if node.offset is not None:
+        chunks.append(f"offset {node.offset}")
+    return " ".join(chunks)
+
+
+_RENDERERS = {
+    ast.Literal: _render_literal,
+    ast.DateLiteral: _render_date,
+    ast.IntervalLiteral: _render_interval,
+    ast.ColumnRef: _render_column,
+    ast.Star: _render_star,
+    ast.UnaryOp: _render_unary,
+    ast.BinaryOp: _render_binary,
+    ast.BoolOp: _render_bool,
+    ast.Comparison: _render_comparison,
+    ast.IsNull: _render_isnull,
+    ast.Between: _render_between,
+    ast.Like: _render_like,
+    ast.InList: _render_inlist,
+    ast.InSubquery: _render_insubquery,
+    ast.Exists: _render_exists,
+    ast.ScalarSubquery: _render_scalar_subquery,
+    ast.FunctionCall: _render_function,
+    ast.Cast: _render_cast,
+    ast.Extract: _render_extract,
+    ast.Substring: _render_substring,
+    ast.CaseWhen: _render_case,
+    ast.TableRef: _render_table,
+    ast.SubqueryRef: _render_subquery_ref,
+    ast.Join: _render_join,
+    ast.SelectItem: _render_select_item,
+    ast.OrderItem: _render_order_item,
+    ast.Select: _render_select,
+}

@@ -1,0 +1,21 @@
+"""TPC-H assets: schema definition and the 22 benchmark query texts.
+
+The query texts are adapted to the SQL dialect supported by the built-in
+parser and engines (the substitutions are purely syntactic: view definitions
+are inlined as derived tables and vendor-specific top-N syntax is written as
+``LIMIT``).  Validation-time parameter values are substituted for the random
+parameters of the official specification, matching common practice when the
+queries are used as fixed workloads.
+"""
+
+from repro.tpch.schema import TPCH_SCHEMA, TPCH_TABLES, create_schema
+from repro.tpch.queries import QUERIES, query, query_ids
+
+__all__ = [
+    "TPCH_SCHEMA",
+    "TPCH_TABLES",
+    "create_schema",
+    "QUERIES",
+    "query",
+    "query_ids",
+]

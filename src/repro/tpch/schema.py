@@ -1,0 +1,126 @@
+"""TPC-H schema description.
+
+The schema is described as plain data (table -> ordered column/type pairs) so
+it can be consumed both by the data generator (:mod:`repro.data.tpch`) and by
+the engine catalog without a DDL round-trip.  ``create_schema`` registers the
+eight tables on an engine catalog.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.engine.catalog import Catalog
+
+#: Column definitions per table, in TPC-H column order.
+#: Types are the engine's logical types: int, float, str, date.
+TPCH_SCHEMA: dict[str, list[tuple[str, str]]] = {
+    "region": [
+        ("r_regionkey", "int"),
+        ("r_name", "str"),
+        ("r_comment", "str"),
+    ],
+    "nation": [
+        ("n_nationkey", "int"),
+        ("n_name", "str"),
+        ("n_regionkey", "int"),
+        ("n_comment", "str"),
+    ],
+    "supplier": [
+        ("s_suppkey", "int"),
+        ("s_name", "str"),
+        ("s_address", "str"),
+        ("s_nationkey", "int"),
+        ("s_phone", "str"),
+        ("s_acctbal", "float"),
+        ("s_comment", "str"),
+    ],
+    "customer": [
+        ("c_custkey", "int"),
+        ("c_name", "str"),
+        ("c_address", "str"),
+        ("c_nationkey", "int"),
+        ("c_phone", "str"),
+        ("c_acctbal", "float"),
+        ("c_mktsegment", "str"),
+        ("c_comment", "str"),
+    ],
+    "part": [
+        ("p_partkey", "int"),
+        ("p_name", "str"),
+        ("p_mfgr", "str"),
+        ("p_brand", "str"),
+        ("p_type", "str"),
+        ("p_size", "int"),
+        ("p_container", "str"),
+        ("p_retailprice", "float"),
+        ("p_comment", "str"),
+    ],
+    "partsupp": [
+        ("ps_partkey", "int"),
+        ("ps_suppkey", "int"),
+        ("ps_availqty", "int"),
+        ("ps_supplycost", "float"),
+        ("ps_comment", "str"),
+    ],
+    "orders": [
+        ("o_orderkey", "int"),
+        ("o_custkey", "int"),
+        ("o_orderstatus", "str"),
+        ("o_totalprice", "float"),
+        ("o_orderdate", "date"),
+        ("o_orderpriority", "str"),
+        ("o_clerk", "str"),
+        ("o_shippriority", "int"),
+        ("o_comment", "str"),
+    ],
+    "lineitem": [
+        ("l_orderkey", "int"),
+        ("l_partkey", "int"),
+        ("l_suppkey", "int"),
+        ("l_linenumber", "int"),
+        ("l_quantity", "float"),
+        ("l_extendedprice", "float"),
+        ("l_discount", "float"),
+        ("l_tax", "float"),
+        ("l_returnflag", "str"),
+        ("l_linestatus", "str"),
+        ("l_shipdate", "date"),
+        ("l_commitdate", "date"),
+        ("l_receiptdate", "date"),
+        ("l_shipinstruct", "str"),
+        ("l_shipmode", "str"),
+        ("l_comment", "str"),
+    ],
+}
+
+#: Table names in a population-friendly order (referenced tables first).
+TPCH_TABLES: tuple[str, ...] = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+#: Base cardinality of every table at scale factor 1.0 (from the TPC-H spec).
+TPCH_BASE_ROWS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def create_schema(catalog: "Catalog") -> None:
+    """Register the eight TPC-H tables on ``catalog`` (without data)."""
+    for table in TPCH_TABLES:
+        catalog.create_table(table, TPCH_SCHEMA[table])

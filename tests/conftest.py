@@ -1,0 +1,67 @@
+"""Shared fixtures: a tiny TPC-H database, engines, and a measured pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_grammar
+from repro.core.dsl import FIGURE1_GRAMMAR
+from repro.data import populate_tpch
+from repro.engine import ColumnEngine, Database, RowEngine
+from repro.pool.pool import QueryPool
+from repro.sqlparser import extract_grammar
+from repro.tpch import QUERIES
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    """A deterministic, tiny TPC-H instance shared by the whole session."""
+    database = Database("tpch-test")
+    populate_tpch(database, scale_factor=0.001)
+    return database
+
+
+@pytest.fixture(scope="session")
+def row_engine(tpch_db) -> RowEngine:
+    return RowEngine(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def column_engine(tpch_db) -> ColumnEngine:
+    return ColumnEngine(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def engines(row_engine, column_engine):
+    return [row_engine, column_engine]
+
+
+@pytest.fixture()
+def figure1_grammar():
+    """The grammar of Figure 1 in the paper."""
+    return parse_grammar(FIGURE1_GRAMMAR, name="figure1")
+
+
+@pytest.fixture()
+def q1_grammar():
+    """The grammar extracted from TPC-H Q1 (the paper's running example)."""
+    return extract_grammar(QUERIES[1])
+
+
+@pytest.fixture()
+def q1_pool(q1_grammar) -> QueryPool:
+    """A small pool seeded from the Q1 grammar."""
+    pool = QueryPool(q1_grammar, seed=13)
+    pool.seed_baseline()
+    pool.seed_random(4)
+    return pool
+
+
+def normalise(rows, digits: int = 2):
+    """Round floats so results from the two engines can be compared."""
+    out = []
+    for row in rows:
+        out.append(tuple(
+            round(value, digits) if isinstance(value, float) else value for value in row
+        ))
+    return out

@@ -1,0 +1,173 @@
+"""Tests for the grammar DSL, normalisation, validation and dialects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DialectCatalog,
+    apply_dialect,
+    normalize,
+    parse_grammar,
+    serialize_grammar,
+    validate,
+)
+from repro.core.dsl import FIGURE1_GRAMMAR, parse_alternative
+from repro.core.model import Reference, Text
+from repro.core.validate import check
+from repro.errors import DialectError, GrammarSyntaxError, GrammarValidationError
+
+
+class TestDSLParsing:
+    def test_figure1_has_seven_rules(self, figure1_grammar):
+        assert len(figure1_grammar) == 7
+
+    def test_start_rule_is_first_rule(self, figure1_grammar):
+        assert figure1_grammar.start == "query"
+
+    def test_lexical_rules_detected(self, figure1_grammar):
+        names = {rule.name for rule in figure1_grammar.lexical_rules()}
+        assert names == {"l_tables", "l_column", "l_count", "l_filter"}
+
+    def test_tag_count_counts_literals(self, figure1_grammar):
+        assert figure1_grammar.tag_count() == 7
+
+    def test_references_parsed_with_modifiers(self):
+        alternative = parse_alternative("SELECT ${a} $[b] ${c}*")
+        references = alternative.references()
+        assert [ref.name for ref in references] == ["a", "b", "c"]
+        assert references[1].optional and not references[1].repeated
+        assert references[2].repeated and not references[2].optional
+
+    def test_text_fragments_preserved(self):
+        alternative = parse_alternative("WHERE ${x} AND 1=1")
+        kinds = [type(part) for part in alternative.parts]
+        assert kinds == [Text, Reference, Text]
+
+    def test_comments_and_blank_lines_ignored(self):
+        grammar = parse_grammar("a:\n    ${l_b}  # trailing comment\n\nl_b:\n    foo\n")
+        assert len(grammar) == 2
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("a:\n    x\na:\n    y\n")
+
+    def test_alternative_before_rule_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("    orphan alternative\n")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("   \n# only a comment\n")
+
+    def test_unknown_start_rule_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("a:\n    x\n", start="missing")
+
+    def test_dialect_section_attaches_to_rule(self):
+        grammar = parse_grammar(
+            "q:\n    ${l_limit}\nl_limit:\n    LIMIT 10\nl_limit@mssql:\n    TOP 10\n")
+        assert "mssql" in grammar["l_limit"].dialects
+
+    def test_dialect_section_before_rule_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("l_x@monetdb:\n    foo\nl_x:\n    bar\n")
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_structure(self, figure1_grammar):
+        text = serialize_grammar(figure1_grammar)
+        reparsed = parse_grammar(text)
+        assert [rule.name for rule in reparsed] == [rule.name for rule in figure1_grammar]
+        assert reparsed.tag_count() == figure1_grammar.tag_count()
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "l_x", "l_y"]), min_size=1,
+                    max_size=4, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_rule_names(self, names):
+        source = "".join(f"{name}:\n    token_{name}\n" for name in names)
+        grammar = parse_grammar(source)
+        assert [rule.name for rule in parse_grammar(serialize_grammar(grammar))] == names
+
+
+class TestNormalisation:
+    def test_lexical_vs_structural_split(self, figure1_grammar):
+        normalized = normalize(figure1_grammar)
+        assert normalized.lexical == {"l_tables", "l_column", "l_count", "l_filter"}
+        assert "query" in normalized.structural
+
+    def test_reachability_from_start(self, figure1_grammar):
+        normalized = normalize(figure1_grammar)
+        assert normalized.reachable["query"] == set(figure1_grammar.rules)
+
+    def test_missing_rule_raises_in_strict_mode(self):
+        grammar = parse_grammar("a:\n    ${missing}\n")
+        with pytest.raises(GrammarValidationError):
+            normalize(grammar, strict=True)
+
+    def test_missing_rule_tolerated_in_lenient_mode(self):
+        grammar = parse_grammar("a:\n    ${missing}\n")
+        normalized = normalize(grammar, strict=False)
+        assert "a" in normalized.structural
+
+
+class TestValidation:
+    def test_figure1_is_valid(self, figure1_grammar):
+        report = validate(figure1_grammar)
+        assert report.ok
+        assert report.summary() == "grammar is valid"
+
+    def test_missing_rule_reported(self):
+        report = validate(parse_grammar("a:\n    ${missing}\n"))
+        assert not report.ok
+        assert "missing" in report.missing_rules
+
+    def test_dead_rule_reported(self):
+        report = validate(parse_grammar("a:\n    ${l_b}\nl_b:\n    x\nunused:\n    y\n"))
+        assert "unused" in report.dead_rules
+
+    def test_duplicate_literaccording_warning(self):
+        report = validate(parse_grammar("a:\n    ${l_b}\nl_b:\n    x\n    x\n"))
+        assert report.ok
+        assert any("duplicate literal" in warning for warning in report.warnings)
+
+    def test_check_raises_on_errors(self):
+        with pytest.raises(GrammarValidationError):
+            check(parse_grammar("a:\n    ${missing}\n"))
+
+    def test_check_returns_normalized_grammar(self, figure1_grammar):
+        normalized = check(figure1_grammar)
+        assert normalized.tag_count() == 7
+
+
+class TestDialects:
+    def test_apply_dialect_replaces_lexical_alternatives(self):
+        grammar = parse_grammar(
+            "q:\n    SELECT 1 ${l_limit}\nl_limit:\n    LIMIT 10\nl_limit@mssql:\n    TOP 10\n")
+        specialised = apply_dialect(grammar, "mssql")
+        assert specialised["l_limit"].alternatives[0].text() == "TOP 10"
+
+    def test_apply_unknown_dialect_rejected(self):
+        grammar = parse_grammar(
+            "q:\n    ${l_x}\nl_x:\n    a\nl_x@monetdb:\n    b\n")
+        with pytest.raises(DialectError):
+            apply_dialect(grammar, "oracle")
+
+    def test_apply_none_returns_same_grammar(self, figure1_grammar):
+        assert apply_dialect(figure1_grammar, None) is figure1_grammar
+
+    def test_default_catalog_has_engine_dialects(self):
+        catalog = DialectCatalog.default()
+        assert {"generic", "rowstore", "columnstore"} <= set(catalog.names())
+
+    def test_catalog_rewrite_applies_substitutions(self):
+        catalog = DialectCatalog.default()
+        catalog.get("generic").substitutions["<>"] = "!="
+        assert catalog.rewrite("a <> b", "generic") == "a != b"
+
+    def test_unknown_dialect_lookup_rejected(self):
+        with pytest.raises(DialectError):
+            DialectCatalog.default().get("nosuch")
+
+    def test_figure1_source_constant_parses(self):
+        assert parse_grammar(FIGURE1_GRAMMAR).start == "query"

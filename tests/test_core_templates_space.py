@@ -1,0 +1,164 @@
+"""Tests for template enumeration, space statistics and query rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    QueryRenderer,
+    enumerate_templates,
+    parse_grammar,
+    space_report,
+)
+from repro.core.normalize import normalize
+from repro.core.space import template_completions
+from repro.core.templates import TemplateGenerator
+from repro.errors import RenderError, SpaceLimitExceeded
+
+
+class TestTemplateEnumeration:
+    def test_figure1_template_count(self, figure1_grammar):
+        enumeration = enumerate_templates(figure1_grammar)
+        # (count | 1..4 columns) x (with/without filter) = 10 templates
+        assert len(enumeration) == 10
+        assert not enumeration.truncated
+
+    def test_templates_are_distinct_signatures(self, figure1_grammar):
+        enumeration = enumerate_templates(figure1_grammar)
+        signatures = {template.signature for template in enumeration}
+        assert len(signatures) == len(enumeration)
+
+    def test_at_most_once_bounds_repetition(self):
+        grammar = parse_grammar(
+            "q:\n    ${l_a} ${rep}*\nrep:\n    , ${l_a}\nl_a:\n    x\n    y\n")
+        enumeration = enumerate_templates(grammar)
+        # one or two slots of l_a; never three because only two literals exist
+        sizes = sorted(template.size() for template in enumeration)
+        assert sizes == [1, 2]
+
+    def test_optional_reference_doubles_templates(self):
+        base = parse_grammar("q:\n    ${l_a}\nl_a:\n    x\n")
+        with_optional = parse_grammar("q:\n    ${l_a} $[extra]\nextra:\n    ${l_b}\n"
+                                      "l_a:\n    x\nl_b:\n    y\n")
+        assert len(enumerate_templates(with_optional)) == 2 * len(enumerate_templates(base))
+
+    def test_limit_truncates(self, figure1_grammar):
+        enumeration = enumerate_templates(figure1_grammar, limit=3)
+        assert enumeration.truncated
+        assert len(enumeration) == 3
+        assert enumeration.count_label().startswith(">")
+
+    def test_strict_limit_raises(self, figure1_grammar):
+        with pytest.raises(SpaceLimitExceeded):
+            TemplateGenerator(figure1_grammar, limit=3, strict=True).enumerate()
+
+    def test_template_text_contains_slots(self, figure1_grammar):
+        enumeration = enumerate_templates(figure1_grammar)
+        assert any("${l_count}" in template.text() for template in enumeration)
+
+    def test_unknown_start_rule_rejected(self, figure1_grammar):
+        generator = TemplateGenerator(figure1_grammar)
+        with pytest.raises(Exception):
+            generator.enumerate(start="nope")
+
+
+class TestSpaceReport:
+    def test_figure1_space(self, figure1_grammar):
+        report = space_report(figure1_grammar)
+        assert report.tags == 7
+        assert report.templates == 10
+        # (count + C(4,1..4) column subsets) x 2 filter choices = 32 queries
+        assert report.space == 32
+
+    def test_completions_match_render_all(self, figure1_grammar):
+        normalized = normalize(figure1_grammar)
+        enumeration = enumerate_templates(figure1_grammar)
+        renderer = QueryRenderer(figure1_grammar)
+        for template in enumeration:
+            rendered = list(renderer.render_all(template))
+            assert len(rendered) == template_completions(template, normalized)
+
+    def test_space_labels_for_truncated_grammar(self, figure1_grammar):
+        report = space_report(figure1_grammar, limit=2)
+        assert report.truncated
+        assert report.space_label() == "-"
+
+    def test_as_row_format(self, figure1_grammar):
+        name, tags, templates, space = space_report(figure1_grammar).as_row()
+        assert name == "figure1" and tags == 7
+        assert templates == "10" and space == "32"
+
+
+class TestRendering:
+    def test_render_random_is_valid_assignment(self, figure1_grammar):
+        import random
+
+        renderer = QueryRenderer(figure1_grammar)
+        template = max(enumerate_templates(figure1_grammar).templates,
+                       key=lambda item: item.size())
+        query = renderer.render(template, rng=random.Random(5))
+        assert len(query.assignment) == template.size()
+        assert len({literal.key for literal in query.assignment}) == template.size()
+
+    def test_render_rejects_wrong_class(self, figure1_grammar):
+        renderer = QueryRenderer(figure1_grammar)
+        enumeration = enumerate_templates(figure1_grammar)
+        template = next(t for t in enumeration if t.size() == 2)
+        literals = normalize(figure1_grammar).literals_by_rule["l_filter"]
+        with pytest.raises(RenderError):
+            renderer.render(template, [literals[0], literals[0]])
+
+    def test_render_rejects_duplicate_literal(self, figure1_grammar):
+        renderer = QueryRenderer(figure1_grammar)
+        template = next(t for t in enumerate_templates(figure1_grammar)
+                        if t.slot_counts().get("l_column") == 2)
+        literal = normalize(figure1_grammar).literals_by_rule["l_column"][0]
+        table = normalize(figure1_grammar).literals_by_rule["l_tables"][0]
+        with pytest.raises(RenderError):
+            renderer.render(template, [literal, literal, table])
+
+    def test_query_key_ignores_order_of_same_class_literals(self, figure1_grammar):
+        renderer = QueryRenderer(figure1_grammar)
+        template = next(t for t in enumerate_templates(figure1_grammar)
+                        if t.slot_counts().get("l_column") == 2
+                        and "l_filter" not in t.slot_counts())
+        columns = normalize(figure1_grammar).literals_by_rule["l_column"]
+        table = normalize(figure1_grammar).literals_by_rule["l_tables"][0]
+        first = renderer.render(template, [columns[0], columns[1], table])
+        second = renderer.render(template, [columns[1], columns[0], table])
+        assert first.key == second.key
+
+    def test_sample_returns_unique_queries(self, figure1_grammar):
+        import random
+
+        renderer = QueryRenderer(figure1_grammar)
+        template = max(enumerate_templates(figure1_grammar).templates,
+                       key=lambda item: item.size())
+        sample = renderer.sample(template, 3, rng=random.Random(3))
+        assert len({query.key for query in sample}) == len(sample)
+
+    def test_rendered_sql_is_parseable(self, figure1_grammar):
+        from repro.sqlparser import parse_select
+
+        renderer = QueryRenderer(figure1_grammar)
+        for template in enumerate_templates(figure1_grammar):
+            for query in renderer.render_all(template):
+                parse_select(query.sql)
+
+
+@given(columns=st.integers(min_value=1, max_value=6),
+       with_filter=st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_space_grows_with_literal_count(columns, with_filter):
+    """Property: more literals -> strictly larger query space (Figure 1 family)."""
+    literals = "\n".join(f"    col{i}" for i in range(columns))
+    filter_rule = "l_filter:\n    WHERE col0 = 1\n" if with_filter else ""
+    filter_ref = " $[l_filter]" if with_filter else ""
+    source = (f"query:\n    SELECT ${{projection}} FROM t{filter_ref}\n"
+              f"projection:\n    ${{l_column}} ${{columnlist}}*\n"
+              f"columnlist:\n    , ${{l_column}}\n"
+              f"l_column:\n{literals}\n" + filter_rule)
+    report = space_report(parse_grammar(source))
+    expected_projections = 2 ** columns - 1
+    expected = expected_projections * (2 if with_filter else 1)
+    assert report.space == expected

@@ -1,0 +1,235 @@
+"""Tests for the experiment driver, the data generators, analytics and reports."""
+
+import pytest
+
+from repro.analytics import (
+    component_report,
+    differential,
+    experiment_history,
+    grammar_view,
+    pool_view,
+    speedup_report,
+)
+from repro.data import generate_airtraffic, generate_ssb, generate_tpch
+from repro.driver import DriverConfig, InProcessClient, load_config, measure_query
+from repro.engine import ColumnEngine, Database
+from repro.errors import ConfigError
+from repro.reports import PAPER_TABLE2, table1_rows, table1_text, table2_rows, table2_text
+from repro.reports.tpc_results import observations
+from repro.workflow import run_demo_scenario
+
+
+# ---------------------------------------------------------------------------
+# data generators
+# ---------------------------------------------------------------------------
+
+
+class TestGenerators:
+    def test_tpch_deterministic(self):
+        first = generate_tpch(scale_factor=0.001, seed=1)
+        second = generate_tpch(scale_factor=0.001, seed=1)
+        assert first["lineitem"][:5] == second["lineitem"][:5]
+        assert first.keys() == second.keys()
+
+    def test_tpch_referential_integrity(self):
+        tables = generate_tpch(scale_factor=0.001)
+        order_keys = {row[0] for row in tables["orders"]}
+        assert all(row[0] in order_keys for row in tables["lineitem"])
+        nation_keys = {row[0] for row in tables["nation"]}
+        assert all(row[3] in nation_keys for row in tables["customer"])
+
+    def test_tpch_scales_with_factor(self):
+        small = generate_tpch(scale_factor=0.001)
+        larger = generate_tpch(scale_factor=0.005)
+        assert len(larger["orders"]) > len(small["orders"])
+
+    def test_ssb_star_schema(self):
+        tables = generate_ssb(scale_factor=0.001)
+        assert set(tables) == {"date_dim", "customer_dim", "supplier_dim", "part_dim",
+                               "lineorder"}
+        customer_keys = {row[0] for row in tables["customer_dim"]}
+        assert all(row[2] in customer_keys for row in tables["lineorder"])
+
+    def test_airtraffic_shape(self):
+        tables = generate_airtraffic(flights=500)
+        assert len(tables["flights"]) == 500
+        airports = {row[0] for row in tables["airports"]}
+        assert all(row[3] in airports and row[4] in airports for row in tables["flights"])
+
+    def test_generators_populate_engine(self):
+        from repro.data import populate_airtraffic, populate_ssb
+
+        database = Database("mixed")
+        populate_ssb(database, scale_factor=0.001)
+        populate_airtraffic(database, flights=200)
+        engine = ColumnEngine(database)
+        assert engine.execute("select count(*) from lineorder").scalar() >= 200
+        delayed = engine.execute(
+            "select carrier_code, avg(arrival_delay) as delay from flights "
+            "where cancelled = 0 group by carrier_code order by delay desc limit 3")
+        assert len(delayed.rows) == 3
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+class TestDriver:
+    def test_config_file_round_trip(self, tmp_path):
+        config_path = tmp_path / "driver.ini"
+        config_path.write_text(
+            "[sqalpel]\nserver = http://localhost:1\nkey = abc\nproject = p\n"
+            "experiment = 3\n\n[target]\ndbms = columnstore-1.0\nhost = laptop\n"
+            "repeats = 7\ntimeout = 12.5\n")
+        config = load_config(config_path)
+        assert config.key == "abc" and config.repeats == 7
+        assert config.timeout == pytest.approx(12.5)
+        assert config.experiment == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            DriverConfig(key="", dbms="x", host="y")
+        with pytest.raises(ConfigError):
+            DriverConfig(key="k", dbms="x", host="y", repeats=0)
+
+    def test_missing_config_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_config(tmp_path / "absent.ini")
+
+    def test_measure_query_repeats_and_load(self, column_engine):
+        outcome = measure_query(column_engine, "select count(*) from lineitem", repeats=3)
+        assert len(outcome.times) == 3
+        assert outcome.best <= max(outcome.times)
+        assert not outcome.failed
+        assert outcome.extras["engine"] == column_engine.label
+
+    def test_measure_query_captures_errors(self, column_engine):
+        outcome = measure_query(column_engine, "select nosuchcolumn from lineitem", repeats=2)
+        assert outcome.failed and outcome.times == []
+
+
+# ---------------------------------------------------------------------------
+# end-to-end demo + analytics
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def demo_summary():
+    return run_demo_scenario(scale_factor=0.0005, pool_size=8, repeats=1, seed=3)
+
+
+class TestWorkflowAndAnalytics:
+    def test_demo_executes_queue(self, demo_summary):
+        assert demo_summary.executed_tasks == len(demo_summary.pool) * 2
+        assert demo_summary.service.queue_status(demo_summary.experiment)["done"] \
+            == demo_summary.executed_tasks
+
+    def test_speedup_report_covers_pool(self, demo_summary):
+        report = demo_summary.speedup
+        assert report is not None and len(report.points) >= 1
+        low, high = report.spread()
+        assert low <= high
+        assert all(point.factor > 0 for point in report.points)
+
+    def test_component_report_finds_terms(self, demo_summary):
+        report = demo_summary.components
+        assert report.dominant_term() is not None
+        assert report.projection is None or report.projection.shape[1] <= 2
+
+    def test_history_nodes_and_edges(self, demo_summary):
+        history = demo_summary.history
+        assert len(history.nodes) == len(demo_summary.pool)
+        assert all(node.color for node in history.nodes)
+        parents = {edge.parent_sequence for edge in history.edges}
+        assert parents <= {node.sequence for node in history.nodes}
+
+    def test_differential_between_two_entries(self, demo_summary):
+        entries = demo_summary.pool.entries()
+        diff = differential(demo_summary.pool, entries[0], entries[-1])
+        assert diff.diff_lines, "expected a non-empty diff"
+        assert diff.summary_rows()
+
+    def test_views(self, demo_summary):
+        from repro.core import parse_grammar
+
+        grammar = parse_grammar(demo_summary.experiment.grammar_text)
+        page = grammar_view(demo_summary.experiment.baseline_sql, grammar)
+        assert page["rules"] > 3 and page["tags"] > 5
+        pool_page = pool_view(demo_summary.pool)
+        assert pool_page["size"] == len(demo_summary.pool)
+        assert sum(pool_page["by_origin"].values()) == len(demo_summary.pool)
+
+    def test_speedup_report_empty_without_measurements(self, q1_pool):
+        assert speedup_report(q1_pool, "A", "B").points == []
+        assert component_report(q1_pool, "A").contributions == []
+        assert experiment_history(q1_pool, "A").measured_nodes() == []
+
+
+# ---------------------------------------------------------------------------
+# reports (Table 1 / Table 2)
+# ---------------------------------------------------------------------------
+
+
+class TestReports:
+    def test_table1_matches_paper_rows(self):
+        rows = {name: count for name, count, _ in table1_rows()}
+        assert rows["TPC-C"] == 368
+        assert rows["TPC-E"] == 77
+        assert rows["TPC-DI"] == 0
+        assert len(rows) == 14
+
+    def test_table1_observations(self):
+        facts = observations()
+        assert facts["benchmarks_without_any_report"] == 4
+        assert facts["max_reports_single_benchmark"] == 368
+
+    def test_table1_text_renders(self):
+        text = table1_text()
+        assert "TPC-H SF-30000" in text
+
+    def test_table2_rows_for_small_queries(self):
+        rows = {name: (tags, templates, space)
+                for name, tags, templates, space in table2_rows(limit=2000,
+                                                                query_ids=[1, 6, 13, 14])}
+        assert set(rows) == {"Q1", "Q6", "Q13", "Q14"}
+        # Q6 and Q14 are tiny, Q1 is two orders of magnitude larger: the
+        # paper's qualitative finding.
+        assert int(rows["Q1"][2]) > 50 * int(rows["Q6"][2])
+
+    def test_table2_text_includes_paper_columns(self):
+        text = table2_text(limit=500, query_ids=[6, 14])
+        assert "paper-templates" in text and "Q6" in text
+
+    def test_paper_reference_table_complete(self):
+        assert set(PAPER_TABLE2) == set(range(1, 23))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_table1_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1"]) == 0
+        assert "TPC-C" in capsys.readouterr().out
+
+    def test_grammar_and_space_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text("select a, b from t where a = 1")
+        assert main(["grammar", str(sql_file)]) == 0
+        assert "l_project" in capsys.readouterr().out
+        assert main(["space", str(sql_file)]) == 0
+        assert "templates=" in capsys.readouterr().out
+
+    def test_table2_command_subset(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--limit", "500", "--queries", "6,14"]) == 0
+        output = capsys.readouterr().out
+        assert "Q6" in output and "Q14" in output

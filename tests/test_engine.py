@@ -1,0 +1,228 @@
+"""Tests for the relational engine substrate (catalog, storage, both executors)."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ColumnEngine, Database, EngineOptions, RowEngine, create_engine
+from repro.errors import CatalogError, EngineError, ExecutionError, SQLSyntaxError
+from repro.tpch import QUERIES
+from tests.conftest import normalise
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    database = Database("unit")
+    database.create_table("t", [("id", "int"), ("name", "str"), ("price", "float"),
+                                ("day", "date")])
+    database.insert_rows("t", [
+        (1, "alpha", 10.0, "2020-01-01"),
+        (2, "beta", 20.0, "2020-02-01"),
+        (3, "gamma", 30.0, "2020-03-01"),
+        (4, "alpha", 40.0, "2020-04-01"),
+    ])
+    database.create_table("u", [("id", "int"), ("t_id", "int"), ("tag", "str")])
+    database.insert_rows("u", [(1, 1, "x"), (2, 1, "y"), (3, 3, "z")])
+    return database
+
+
+@pytest.fixture(params=["row", "column"])
+def engine(request, small_db):
+    return create_engine(request.param, small_db)
+
+
+class TestCatalogAndStorage:
+    def test_create_and_row_count(self, small_db):
+        assert small_db.row_count("t") == 4
+        assert set(small_db.table_names()) == {"t", "u"}
+
+    def test_duplicate_table_rejected(self, small_db):
+        with pytest.raises(CatalogError):
+            small_db.create_table("t", [("x", "int")])
+
+    def test_unknown_table_rejected(self, small_db):
+        with pytest.raises(CatalogError):
+            small_db.rows("missing")
+
+    def test_bad_type_rejected(self, small_db):
+        with pytest.raises(CatalogError):
+            small_db.create_table("bad", [("x", "uuid")])
+
+    def test_wrong_arity_rejected(self, small_db):
+        with pytest.raises(ExecutionError):
+            small_db.insert_rows("u", [(1, 2)])
+
+    def test_values_coerced_to_declared_types(self, small_db):
+        row = small_db.rows("t")[0]
+        assert isinstance(row[3], datetime.date)
+
+    def test_columnar_view_cached_and_typed(self, small_db):
+        view = small_db.columnar("t")
+        assert view.length == 4
+        assert view.columns["price"].dtype.kind == "f"
+        assert small_db.columnar("t") is view
+
+    def test_unknown_engine_kind_rejected(self, small_db):
+        with pytest.raises(EngineError):
+            create_engine("graph", small_db)
+
+
+class TestBasicQueries:
+    def test_projection_and_filter(self, engine):
+        result = engine.execute("select name, price from t where price > 15 order by price")
+        assert result.columns == ["name", "price"]
+        assert [row[0] for row in result.rows] == ["beta", "gamma", "alpha"]
+
+    def test_star_projection(self, engine):
+        result = engine.execute("select * from t where id = 2")
+        assert len(result.rows) == 1 and len(result.rows[0]) == 4
+
+    def test_arithmetic_and_alias(self, engine):
+        result = engine.execute("select price * 2 as doubled from t where id = 1")
+        assert result.scalar() == pytest.approx(20.0)
+
+    def test_aggregates(self, engine):
+        result = engine.execute(
+            "select count(*), sum(price), avg(price), min(price), max(price) from t")
+        assert normalise(result.rows) == [(4, 100.0, 25.0, 10.0, 40.0)]
+
+    def test_group_by_and_having(self, engine):
+        result = engine.execute(
+            "select name, count(*) as n, sum(price) as total from t "
+            "group by name having count(*) > 1 order by name")
+        assert normalise(result.rows) == [("alpha", 2, 50.0)]
+
+    def test_count_distinct(self, engine):
+        result = engine.execute("select count(distinct name) from t")
+        assert result.scalar() == 3
+
+    def test_join(self, engine):
+        result = engine.execute(
+            "select t.name, u.tag from t, u where t.id = u.t_id order by tag")
+        assert result.rows == [("alpha", "x"), ("alpha", "y"), ("gamma", "z")]
+
+    def test_left_join_keeps_unmatched(self, engine):
+        result = engine.execute(
+            "select t.id, count(u.id) as tags from t left join u on t.id = u.t_id "
+            "group by t.id order by t.id")
+        assert result.rows == [(1, 2), (2, 0), (3, 1), (4, 0)]
+
+    def test_date_comparison_and_interval(self, engine):
+        result = engine.execute(
+            "select count(*) from t where day >= date '2020-01-01' + interval '1' month")
+        assert result.scalar() == 3
+
+    def test_between_like_in(self, engine):
+        result = engine.execute(
+            "select count(*) from t where price between 10 and 30 "
+            "and name like '%a%' and id in (1, 2, 3, 4)")
+        assert result.scalar() == 3
+
+    def test_case_expression(self, engine):
+        result = engine.execute(
+            "select sum(case when name = 'alpha' then 1 else 0 end) from t")
+        assert result.scalar() == 2
+
+    def test_distinct(self, engine):
+        result = engine.execute("select distinct name from t order by name")
+        assert [row[0] for row in result.rows] == ["alpha", "beta", "gamma"]
+
+    def test_limit_offset(self, engine):
+        result = engine.execute("select id from t order by id limit 2 offset 1")
+        assert [row[0] for row in result.rows] == [2, 3]
+
+    def test_scalar_subquery(self, engine):
+        result = engine.execute(
+            "select count(*) from t where price > (select avg(price) from t)")
+        assert result.scalar() == 2
+
+    def test_in_subquery(self, engine):
+        result = engine.execute(
+            "select count(*) from t where id in (select t_id from u)")
+        assert result.scalar() == 2
+
+    def test_exists_correlated(self, engine):
+        result = engine.execute(
+            "select count(*) from t where exists (select * from u where u.t_id = t.id)")
+        assert result.scalar() == 2
+
+    def test_derived_table(self, engine):
+        result = engine.execute(
+            "select max(total) from (select name, sum(price) as total from t group by name) s")
+        assert result.scalar() == pytest.approx(50.0)
+
+    def test_empty_aggregate_returns_one_row(self, engine):
+        result = engine.execute("select count(*), sum(price) from t where id > 100")
+        assert result.rows[0][0] == 0
+        assert result.rows[0][1] is None
+
+    def test_syntax_error_propagates(self, engine):
+        with pytest.raises(SQLSyntaxError):
+            engine.execute("selectt 1")
+
+    def test_explain_reports_strategy(self, engine):
+        plan = engine.explain("select count(*) from t")
+        assert plan["strategy"] in ("row", "column")
+        assert plan["aggregated"] is True
+
+    def test_result_helpers(self, engine):
+        result = engine.execute("select id, name from t order by id")
+        assert result.column("name")[0] == "alpha"
+        assert result.as_dicts()[0] == {"id": 1, "name": "alpha"}
+        assert len(result) == 4
+
+
+class TestEngineVersions:
+    def test_with_version_overrides_options(self, small_db):
+        base = ColumnEngine(small_db)
+        guarded = base.with_version("1.1-guarded", overflow_guard=True)
+        assert guarded.options.overflow_guard and not base.options.overflow_guard
+        assert guarded.label == "columnstore-1.1-guarded"
+
+    def test_pushdown_off_gives_same_results(self, small_db):
+        plain = RowEngine(small_db)
+        no_pushdown = RowEngine(small_db, version="nopd",
+                                options=EngineOptions(predicate_pushdown=False))
+        sql = "select name, sum(price) from t where price > 5 group by name order by name"
+        assert plain.execute(sql).rows == no_pushdown.execute(sql).rows
+
+    def test_overflow_guard_gives_same_results(self, small_db):
+        plain = ColumnEngine(small_db)
+        guarded = ColumnEngine(small_db, version="guard",
+                               options=EngineOptions(overflow_guard=True))
+        sql = "select sum(price * (1 - 0.1) * (1 + 0.2)) from t"
+        assert normalise(plain.execute(sql).rows) == normalise(guarded.execute(sql).rows)
+
+
+class TestEnginesAgreeOnTPCH:
+    """Both engines must produce identical results: the discriminative signal
+    has to come from performance, never from semantics."""
+
+    TPCH_SUBSET = [1, 3, 5, 6, 10, 12, 13, 14, 16]
+
+    @pytest.mark.parametrize("query_id", TPCH_SUBSET)
+    def test_row_and_column_agree(self, query_id, row_engine, column_engine):
+        row_result = row_engine.execute(QUERIES[query_id])
+        column_result = column_engine.execute(QUERIES[query_id])
+        assert normalise(row_result.rows) == normalise(column_result.rows)
+
+    def test_q1_aggregates_nonempty(self, column_engine):
+        result = column_engine.execute(QUERIES[1])
+        assert len(result.rows) >= 3
+        assert all(row[2] > 0 for row in result.rows)  # sum_qty positive
+
+
+@given(st.lists(st.tuples(st.integers(-100, 100), st.floats(0, 1000)), min_size=1,
+                max_size=40))
+@settings(max_examples=20, deadline=None)
+def test_engines_agree_on_random_data(rows):
+    """Property: on random data both engines compute the same aggregate."""
+    database = Database("prop")
+    database.create_table("v", [("k", "int"), ("x", "float")])
+    database.insert_rows("v", [(k, round(x, 3)) for k, x in rows])
+    sql = "select count(*), sum(x), min(k), max(k) from v where k >= 0"
+    row_result = RowEngine(database).execute(sql)
+    column_result = ColumnEngine(database).execute(sql)
+    assert normalise(row_result.rows, 3) == normalise(column_result.rows, 3)

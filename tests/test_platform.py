@@ -1,0 +1,253 @@
+"""Tests for the platform: store, access control, queue, results, web API."""
+
+import pytest
+
+from repro.errors import AccessDenied, ConflictError, NotFound, ValidationError
+from repro.platform import PlatformServer, PlatformService, Store, Visibility
+from repro.tpch import QUERIES
+
+
+@pytest.fixture()
+def service() -> PlatformService:
+    return PlatformService(Store(":memory:"))
+
+
+@pytest.fixture()
+def populated(service):
+    """Service with an owner, a contributor, an outsider and one experiment."""
+    owner = service.register_user("owner", "owner@example.org")
+    contributor = service.register_user("contrib", "contrib@example.org")
+    outsider = service.register_user("outsider", "outsider@example.org")
+    dbms = service.register_dbms("columnstore", "1.0", dialect="columnstore")
+    host = service.register_host("laptop", cpu="x86", memory_gb=8, os="linux")
+    project = service.create_project(owner, "tpch", synopsis="demo",
+                                     visibility=Visibility.PRIVATE)
+    service.invite_contributor(owner, project, contributor)
+    experiment = service.add_experiment(owner, project, "q6", QUERIES[6],
+                                        dbms=dbms, host=host, repeats=2,
+                                        timeout_seconds=30)
+    return service, owner, contributor, outsider, project, experiment
+
+
+class TestUsersAndCatalogs:
+    def test_register_user_generates_key(self, service):
+        user = service.register_user("alice", "alice@example.org")
+        assert user.id is not None and len(user.contributor_key) == 32
+
+    def test_duplicate_nickname_rejected(self, service):
+        service.register_user("bob", "bob@example.org")
+        with pytest.raises(ConflictError):
+            service.register_user("bob", "other@example.org")
+
+    def test_invalid_email_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.register_user("carol", "not-an-email")
+
+    def test_public_view_hides_email(self, service):
+        service.register_user("dave", "dave@example.org")
+        views = service.list_users()
+        assert views and all("email" not in view for view in views)
+
+    def test_authenticate_by_key(self, service):
+        user = service.register_user("erin", "erin@example.org")
+        assert service.authenticate(user.contributor_key).id == user.id
+        with pytest.raises(AccessDenied):
+            service.authenticate("bogus")
+
+    def test_catalogs(self, service):
+        service.register_dbms("rowstore", "1.0")
+        service.register_host("pi", cpu="arm", memory_gb=1)
+        assert service.dbms_catalog()[0].label() == "rowstore-1.0"
+        assert service.host_catalog()[0].name == "pi"
+
+
+class TestAccessControl:
+    def test_private_project_hidden_from_outsiders(self, populated):
+        service, owner, contributor, outsider, project, _ = populated
+        assert project in service.list_projects(owner)
+        assert project in service.list_projects(contributor)
+        assert project not in service.list_projects(outsider)
+        assert project not in service.list_projects(None)
+
+    def test_private_project_read_denied(self, populated):
+        service, _, _, outsider, project, _ = populated
+        with pytest.raises(AccessDenied):
+            service.get_project(project.id, outsider)
+
+    def test_public_project_readable_by_anyone(self, populated):
+        service, owner, _, outsider, project, _ = populated
+        service.set_visibility(owner, project, Visibility.PUBLIC)
+        assert service.get_project(project.id, outsider).name == "tpch"
+
+    def test_only_owner_may_invite(self, populated):
+        service, _, contributor, outsider, project, _ = populated
+        with pytest.raises(AccessDenied):
+            service.invite_contributor(contributor, project, outsider)
+
+    def test_only_owner_may_add_experiment(self, populated):
+        service, _, contributor, _, project, _ = populated
+        with pytest.raises(AccessDenied):
+            service.add_experiment(contributor, project, "rogue", QUERIES[6])
+
+    def test_only_members_get_tasks(self, populated):
+        service, owner, _, outsider, _, experiment = populated
+        pool = service.build_pool(experiment)
+        pool.seed_baseline()
+        service.enqueue_pool(owner, experiment, pool, "columnstore-1.0", "laptop")
+        with pytest.raises(AccessDenied):
+            service.next_task(outsider, experiment)
+
+    def test_comments_require_read_access(self, populated):
+        service, owner, _, outsider, project, _ = populated
+        comment = service.add_comment(owner, project, "nice spread")
+        assert comment.id is not None
+        with pytest.raises(AccessDenied):
+            service.add_comment(outsider, project, "let me in")
+
+    def test_invalid_grammar_rejected(self, populated):
+        service, owner, _, _, project, _ = populated
+        with pytest.raises(ValidationError):
+            service.add_experiment(owner, project, "broken", QUERIES[6],
+                                   grammar_text="query:\n    ${missing}\n")
+
+
+class TestQueueAndResults:
+    def _queue(self, populated):
+        service, owner, contributor, _, _, experiment = populated
+        pool = service.build_pool(experiment)
+        pool.seed_baseline()
+        pool.seed_random(2)
+        tasks = service.enqueue_pool(owner, experiment, pool, "columnstore-1.0", "laptop")
+        return service, owner, contributor, experiment, tasks
+
+    def test_enqueue_creates_one_task_per_entry(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        assert len(tasks) >= 1
+        assert service.queue_status(experiment)["pending"] == len(tasks)
+
+    def test_enqueue_is_idempotent(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        pool = service.build_pool(experiment)
+        pool.seed_baseline()
+        again = service.enqueue_pool(owner, experiment, pool, "columnstore-1.0", "laptop")
+        assert again == []
+
+    def test_task_assignment_and_result_submission(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        assert task.status == "running"
+        result = service.submit_result(contributor, task, times=[0.1, 0.09],
+                                       load_averages={"before": {"load1": 0.5}},
+                                       extras={"rows": 1})
+        assert result.best == pytest.approx(0.09)
+        assert service.queue_status(experiment)["done"] == 1
+
+    def test_failed_result_marks_task_failed(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        service.submit_result(contributor, task, times=[], error="syntax error")
+        assert service.queue_status(experiment)["failed"] == 1
+
+    def test_empty_success_rejected(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        with pytest.raises(ValidationError):
+            service.submit_result(contributor, task, times=[])
+
+    def test_kill_task_owner_only(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        with pytest.raises(AccessDenied):
+            service.kill_task(contributor, task)
+        assert service.kill_task(owner, task).status == "killed"
+
+    def test_stuck_tasks_expire(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        task.assigned_at -= 10_000  # pretend it started hours ago
+        service.store.update("tasks", task)
+        expired = service.expire_stuck_tasks(experiment)
+        assert [entry.id for entry in expired] == [task.id]
+
+    def test_hidden_results_only_visible_to_members(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        result = service.submit_result(contributor, task, times=[0.2])
+        service.set_result_hidden(owner, result, True)
+        assert service.results(experiment, viewer=contributor) == []
+        visible = service.results(experiment, viewer=owner, include_hidden=True)
+        assert len(visible) == 1
+
+    def test_csv_export(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        service.submit_result(contributor, task, times=[0.3])
+        csv_text = service.export_results_csv(experiment, viewer=owner)
+        assert "best_seconds" in csv_text.splitlines()[0]
+        assert len(csv_text.splitlines()) == 2
+
+    def test_grow_pool_uses_guidance(self, populated):
+        service, owner, contributor, outsider, project, experiment = populated
+        pool = service.build_pool(experiment, seed=5)
+        pool.seed_baseline()
+        grown = service.grow_pool(experiment, pool, steps=20, seed=5)
+        assert len(pool) == 1 + grown
+
+
+class TestStore:
+    def test_update_requires_existing_entity(self, service):
+        user = service.register_user("zoe", "zoe@example.org")
+        user.nickname = "zoe2"
+        service.store.update("users", user)
+        assert service.store.user(user.id).nickname == "zoe2"
+
+    def test_missing_entity_raises(self, service):
+        with pytest.raises(NotFound):
+            service.store.user(999)
+
+    def test_delete(self, service):
+        user = service.register_user("tmp", "tmp@example.org")
+        service.store.delete("users", user.id)
+        with pytest.raises(NotFound):
+            service.store.user(user.id)
+
+    def test_persistence_to_disk(self, tmp_path):
+        path = str(tmp_path / "platform.db")
+        first = PlatformService(Store(path))
+        owner = first.register_user("owner", "o@example.org")
+        first.create_project(owner, "persisted")
+        first.store.close()
+        second = PlatformService(Store(path))
+        assert [project.name for project in second.store.projects()] == ["persisted"]
+
+
+class TestWebAPI:
+    def test_http_round_trip(self, populated):
+        service, owner, contributor, _, project, experiment = populated
+        pool = service.build_pool(experiment)
+        pool.seed_baseline()
+        service.enqueue_pool(owner, experiment, pool, "columnstore-1.0", "laptop")
+
+        from repro.driver import HTTPClient
+
+        with PlatformServer(service) as server:
+            client = HTTPClient(server.url, contributor.contributor_key)
+            assert client.ping()["status"] == "ok"
+            task = client.next_task(experiment.id)
+            assert task is not None
+            submitted = client.submit_result(task["id"], times=[0.05, 0.04], error=None,
+                                             load_averages={}, extras={"rows": 1})
+            assert submitted["times"] == [0.05, 0.04]
+            results = client.results(experiment.id)
+            assert len(results) == 1
+            assert client.next_task(experiment.id) is None
+
+    def test_http_access_denied_for_bad_key(self, populated):
+        service, owner, contributor, _, project, experiment = populated
+        from repro.driver import HTTPClient
+        from repro.errors import TransportError
+
+        with PlatformServer(service) as server:
+            client = HTTPClient(server.url, "wrong-key")
+            with pytest.raises(TransportError):
+                client.next_task(experiment.id)

@@ -1,0 +1,155 @@
+"""Tests for the query pool, guidance and the alter/expand/prune morphing walk."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pool import Guidance, Morpher, QueryPool, Strategy
+from repro.pool.morph import STRATEGY_COLORS
+from repro.sqlparser import extract_grammar, parse_select
+
+
+class TestPoolBasics:
+    def test_seed_baseline_uses_every_class(self, q1_pool):
+        baseline = q1_pool.entries()[0]
+        assert baseline.origin == "seed"
+        assert baseline.query.size() == max(t.size() for t in q1_pool.templates)
+
+    def test_duplicates_rejected(self, q1_pool):
+        baseline = q1_pool.entries()[0]
+        assert q1_pool.add(baseline.query) is None
+
+    def test_random_seeding_respects_guidance_exclude(self, q1_grammar):
+        pool = QueryPool(q1_grammar, seed=3)
+        guidance = Guidance(exclude_terms={"l_returnflag"})
+        entries = pool.seed_random(5, guidance=guidance)
+        assert all(not entry.query.uses("l_returnflag") for entry in entries)
+
+    def test_record_and_best_time(self, q1_pool):
+        entry = q1_pool.entries()[0]
+        q1_pool.record(entry, "sysA", 0.5, repeats=[0.6, 0.5])
+        q1_pool.record(entry, "sysA", 0.4)
+        assert entry.best_time("sysA") == pytest.approx(0.4)
+        assert q1_pool.unmeasured("sysA") == q1_pool.entries()[1:]
+
+    def test_errors_tracked(self, q1_pool):
+        entry = q1_pool.entries()[1]
+        q1_pool.record(entry, "sysA", 0.0, error="boom")
+        assert entry.has_error("sysA")
+        assert entry in q1_pool.errors()
+        assert entry.best_time("sysA") is None
+
+    def test_discriminative_ranking(self, q1_pool):
+        entries = q1_pool.entries()
+        for index, entry in enumerate(entries):
+            q1_pool.record(entry, "A", 1.0)
+            q1_pool.record(entry, "B", 1.0 if index else 10.0)
+        ranked = q1_pool.discriminative("A", "B", top=3)
+        assert ranked[0][0] is entries[0]
+        assert abs(ranked[0][1]) > abs(ranked[-1][1])
+
+    def test_generated_pool_queries_parse(self, q1_pool):
+        for entry in q1_pool.entries():
+            parse_select(entry.sql)
+
+
+class TestGuidance:
+    def test_include_terms(self):
+        guidance = Guidance(include_terms={"a"})
+        assert guidance.describe()["include_terms"] == ["a"]
+        assert Guidance.from_dict(guidance.describe()).include_terms == {"a"}
+
+    def test_strategy_restriction(self):
+        guidance = Guidance(strategies={"prune"})
+        assert guidance.allows_strategy("prune")
+        assert not guidance.allows_strategy("alter")
+
+    def test_merge(self):
+        merged = Guidance(include_terms={"a"}).merged_with(Guidance(exclude_terms={"b"}))
+        assert merged.include_terms == {"a"} and merged.exclude_terms == {"b"}
+
+
+class TestMorphing:
+    def test_alter_changes_exactly_one_literal(self, q1_pool):
+        morpher = Morpher(q1_pool, seed=5)
+        action = None
+        for _ in range(50):
+            action = morpher.step(Strategy.ALTER)
+            if action is not None:
+                break
+        assert action is not None
+        assert action.child.query.template.signature == action.parent.query.template.signature
+        parent_assignment = action.parent.query.assignment
+        child_assignment = action.child.query.assignment
+        assert len(parent_assignment) == len(child_assignment)
+        changed = sum(1 for before, after in zip(parent_assignment, child_assignment)
+                      if before.key != after.key)
+        assert changed == 1
+
+    def test_expand_increases_component_count(self, q1_grammar):
+        pool = QueryPool(q1_grammar, seed=11)
+        pool.seed_random(3)
+        morpher = Morpher(pool, seed=11)
+        action = None
+        for _ in range(80):
+            action = morpher.step(Strategy.EXPAND)
+            if action is not None:
+                break
+        if action is None:
+            pytest.skip("random pool already at maximum size")
+        assert action.child.query.size() > action.parent.query.size()
+
+    def test_prune_decreases_component_count(self, q1_pool):
+        morpher = Morpher(q1_pool, seed=17)
+        action = None
+        for _ in range(80):
+            action = morpher.step(Strategy.PRUNE)
+            if action is not None:
+                break
+        assert action is not None
+        assert action.child.query.size() < action.parent.query.size()
+
+    def test_grow_to_reaches_target(self, q1_pool):
+        Morpher(q1_pool, seed=3).grow_to(15)
+        assert len(q1_pool) >= 15
+
+    def test_morph_children_recorded_with_parent(self, q1_pool):
+        morpher = Morpher(q1_pool, seed=23)
+        actions = morpher.run(30)
+        assert actions, "expected at least one successful morph"
+        for action in actions:
+            assert action.child.parent_key == action.parent.key
+            assert action.child.origin in Strategy.names()
+
+    def test_strategy_colors_match_paper(self):
+        assert STRATEGY_COLORS[Strategy.ALTER] == "purple"
+        assert STRATEGY_COLORS[Strategy.EXPAND] == "green"
+        assert STRATEGY_COLORS[Strategy.PRUNE] == "blue"
+
+    def test_guidance_blocks_excluded_terms(self, q1_grammar):
+        pool = QueryPool(q1_grammar, seed=29)
+        pool.seed_baseline()
+        guidance = Guidance(exclude_terms=set(pool.entries()[0].query.terms))
+        morpher = Morpher(pool, guidance=guidance, seed=29)
+        # the baseline uses every term, so pruning keeps a subset of excluded
+        # terms and every candidate must be rejected.
+        assert morpher.run(20, Strategy.PRUNE) == []
+
+    def test_guidance_strategy_restriction_respected(self, q1_pool):
+        guidance = Guidance(strategies={"alter"})
+        morpher = Morpher(q1_pool, guidance=guidance, seed=31)
+        actions = morpher.run(30)
+        assert all(action.strategy is Strategy.ALTER for action in actions)
+
+
+@given(seed=st.integers(0, 10_000), steps=st.integers(1, 25))
+@settings(max_examples=15, deadline=None)
+def test_pool_never_contains_duplicates(seed, steps):
+    """Property: morphing never introduces duplicate queries (by canonical key)."""
+    grammar = extract_grammar("select a, b, c from t where a = 1 and b = 2 order by a")
+    pool = QueryPool(grammar, seed=seed)
+    pool.seed_baseline()
+    pool.seed_random(3)
+    Morpher(pool, seed=seed).run(steps)
+    keys = [entry.key for entry in pool.entries()]
+    assert len(keys) == len(set(keys))
