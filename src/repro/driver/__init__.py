@@ -8,13 +8,14 @@ the pool and to report back the performance results."
 
 from repro.driver.config import DriverConfig, load_config
 from repro.driver.client import HTTPClient, InProcessClient
-from repro.driver.runner import ExperimentDriver, RunOutcome, measure_query
+from repro.driver.runner import BatchRunner, ExperimentDriver, RunOutcome, measure_query
 
 __all__ = [
     "DriverConfig",
     "load_config",
     "HTTPClient",
     "InProcessClient",
+    "BatchRunner",
     "ExperimentDriver",
     "RunOutcome",
     "measure_query",

@@ -1,7 +1,10 @@
 """Transports the driver uses to talk to the platform.
 
 Two interchangeable clients implement the same small protocol (`next_task`,
-`submit_result`, `results`):
+`next_tasks`, `submit_result`, `submit_results`, `results`) -- the plural
+forms are the batched pipeline used by
+:class:`repro.driver.runner.BatchRunner`, claiming N tasks and delivering N
+results per round trip:
 
 * :class:`HTTPClient` talks JSON over HTTP to a deployed
   :class:`repro.platform.webapp.PlatformServer` -- the remote-contributor
@@ -27,8 +30,13 @@ class PlatformClient(Protocol):
 
     def next_task(self, experiment_id: int, dbms: str | None = None) -> dict | None: ...
 
+    def next_tasks(self, experiment_id: int, count: int = 1,
+                   dbms: str | None = None) -> list[dict]: ...
+
     def submit_result(self, task_id: int, times: list[float], error: str | None,
                       load_averages: dict, extras: dict) -> dict: ...
+
+    def submit_results(self, results: list[dict]) -> list[dict]: ...
 
     def results(self, experiment_id: int) -> list[dict]: ...
 
@@ -70,6 +78,14 @@ class HTTPClient:
         response = self._request("POST", "/api/task", payload)
         return response.get("task")
 
+    def next_tasks(self, experiment_id: int, count: int = 1,
+                   dbms: str | None = None) -> list[dict]:
+        payload = {"experiment": experiment_id, "count": count}
+        if dbms:
+            payload["dbms"] = dbms
+        response = self._request("POST", "/api/tasks", payload)
+        return response.get("tasks", [])
+
     def submit_result(self, task_id: int, times: list[float], error: str | None,
                       load_averages: dict, extras: dict) -> dict:
         payload = {
@@ -81,6 +97,10 @@ class HTTPClient:
         }
         response = self._request("POST", "/api/result", payload)
         return response.get("result", {})
+
+    def submit_results(self, results: list[dict]) -> list[dict]:
+        response = self._request("POST", "/api/results/batch", {"results": results})
+        return response.get("results", [])
 
     def results(self, experiment_id: int) -> list[dict]:
         return self._request("GET", f"/api/results?experiment={experiment_id}")
@@ -104,6 +124,13 @@ class InProcessClient:
                                       dbms_label=dbms)
         return task.to_dict() if task is not None else None
 
+    def next_tasks(self, experiment_id: int, count: int = 1,
+                   dbms: str | None = None) -> list[dict]:
+        tasks = self.service.next_tasks(self._contributor(),
+                                        self._experiment(experiment_id),
+                                        limit=count, dbms_label=dbms)
+        return [task.to_dict() for task in tasks]
+
     def submit_result(self, task_id: int, times: list[float], error: str | None,
                       load_averages: dict, extras: dict) -> dict:
         task: Task = self.service.store.task(task_id)
@@ -111,6 +138,10 @@ class InProcessClient:
                                             error=error, load_averages=load_averages,
                                             extras=extras)
         return result.to_dict()
+
+    def submit_results(self, results: list[dict]) -> list[dict]:
+        records = self.service.submit_results(self._contributor(), list(results))
+        return [record.to_dict() for record in records]
 
     def results(self, experiment_id: int) -> list[dict]:
         experiment = self._experiment(experiment_id)

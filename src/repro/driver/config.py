@@ -18,6 +18,13 @@ The configuration file uses INI syntax (``configparser``), e.g.::
     host = laptop
     repeats = 5
     timeout = 60
+    batch_size = 8
+    workers = 1
+
+``batch_size`` and ``workers`` drive the batched pipeline
+(:class:`repro.driver.runner.BatchRunner`).  ``workers`` above 1 measures
+tasks concurrently and therefore inflates the recorded wall-clock times
+(GIL contention); keep it at 1 when the timings matter.
 """
 
 from __future__ import annotations
@@ -41,6 +48,8 @@ class DriverConfig:
     experiment: int | None = None
     repeats: int = 5
     timeout: float = 60.0
+    batch_size: int = 8
+    workers: int = 1
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -54,6 +63,10 @@ class DriverConfig:
             raise ConfigError("repeats must be a positive integer")
         if self.timeout <= 0:
             raise ConfigError("timeout must be positive")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be a positive integer")
+        if self.workers <= 0:
+            raise ConfigError("workers must be a positive integer")
 
 
 def load_config(path: str | Path) -> DriverConfig:
@@ -76,8 +89,11 @@ def load_config(path: str | Path) -> DriverConfig:
     try:
         repeats = int(target.get("repeats", "5"))
         timeout = float(target.get("timeout", "60"))
+        batch_size = int(target.get("batch_size", "8"))
+        workers = int(target.get("workers", "1"))
     except ValueError:
-        raise ConfigError("repeats must be an integer and timeout a number") from None
+        raise ConfigError("repeats, batch_size and workers must be integers and "
+                          "timeout a number") from None
 
     extras = {
         key: value
@@ -92,5 +108,7 @@ def load_config(path: str | Path) -> DriverConfig:
         experiment=experiment,
         repeats=repeats,
         timeout=timeout,
+        batch_size=batch_size,
+        workers=workers,
         extras=extras,
     )

@@ -7,17 +7,28 @@ reported.  When available, the system load at the beginning and end of the
 experimental run is kept around. [...] An open-ended key-value list structure
 can be returned to keep system specific performance indicators for post
 inspection."
+
+Two drivers share :func:`measure_query`:
+
+* :class:`ExperimentDriver` is the paper's one-task-at-a-time loop,
+* :class:`BatchRunner` is the batched pipeline: it claims N tasks per round
+  trip, prepares each distinct query's plan exactly once (plan-once/
+  execute-many), optionally fans the measurements across a thread pool, and
+  delivers the whole batch of results in a single submission.
 """
 
 from __future__ import annotations
 
 import os
-import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.driver.client import PlatformClient
 from repro.driver.config import DriverConfig
 from repro.engine.engine import Engine
+from repro.engine.plan import QueryPlan
+from repro.sqlparser import ast
+from repro.sqlparser.printer import to_sql
 
 
 def read_load_averages() -> dict:
@@ -40,6 +51,7 @@ class RunOutcome:
     load_before: dict = field(default_factory=dict)
     load_after: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
+    timed_out: bool = False
 
     @property
     def best(self) -> float | None:
@@ -50,28 +62,50 @@ class RunOutcome:
         return self.error is not None
 
 
-def measure_query(engine: Engine, sql: str, repeats: int = 5,
-                  timeout: float | None = None) -> RunOutcome:
-    """Run ``sql`` ``repeats`` times on ``engine`` and collect the wall-clock times.
+def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
+                  repeats: int = 5, timeout: float | None = None) -> RunOutcome:
+    """Run ``query`` ``repeats`` times on ``engine`` and collect execution times.
+
+    The query is prepared (parsed and planned) exactly once; every repetition
+    executes the prepared plan and reports :attr:`QueryResult.elapsed`, i.e.
+    pure execution time -- planning is not double-counted into the timings.
 
     Errors are captured, not raised: a failing query is a first-class outcome
-    in SQALPEL (it shows up as a yellow node in the experiment history).  When
-    a single repetition exceeds ``timeout`` seconds the remaining repetitions
-    are skipped.
+    in SQALPEL (it shows up as a yellow node in the experiment history).
+
+    Timeout semantics: the budget is checked after each repetition, so one
+    over-budget repetition is still *recorded* but flagged
+    (``extras["timed_out"] = True``) and the remaining repetitions are
+    skipped.  ``rows`` keeps the count of the last successful repetition even
+    when a later repetition fails.
     """
+    if isinstance(query, str):
+        sql = query
+    elif isinstance(query, QueryPlan):
+        sql = query.sql
+    else:
+        sql = to_sql(query)
     outcome = RunOutcome(sql=sql, load_before=read_load_averages())
-    for _ in range(repeats):
-        started = time.perf_counter()
-        try:
-            result = engine.execute(sql)
-        except Exception as exc:
-            outcome.error = f"{type(exc).__name__}: {exc}"
-            break
-        elapsed = time.perf_counter() - started
-        outcome.times.append(elapsed)
-        outcome.rows = len(result.rows)
-        if timeout is not None and elapsed > timeout:
-            break
+
+    plan: QueryPlan | None = None
+    try:
+        plan = engine.prepare(query)
+    except Exception as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+
+    if plan is not None:
+        for _ in range(repeats):
+            try:
+                result = engine.execute(plan)
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                break
+            outcome.times.append(result.elapsed)
+            outcome.rows = len(result.rows)
+            if timeout is not None and result.elapsed > timeout:
+                outcome.timed_out = True
+                break
+
     outcome.load_after = read_load_averages()
     outcome.extras = {
         "engine": engine.label,
@@ -79,12 +113,14 @@ def measure_query(engine: Engine, sql: str, repeats: int = 5,
         "rows": outcome.rows,
         "options": engine.options.describe(),
     }
+    if outcome.timed_out:
+        outcome.extras["timed_out"] = True
     return outcome
 
 
 @dataclass
 class ExperimentDriver:
-    """Pulls tasks from the platform, runs them on a local engine, reports back."""
+    """Pulls tasks from the platform one at a time, runs them, reports back."""
 
     client: PlatformClient
     engine: Engine
@@ -115,4 +151,87 @@ class ExperimentDriver:
             if submitted is None:
                 break
             executed += 1
+        return executed
+
+
+@dataclass
+class BatchRunner:
+    """The batched driver pipeline: claim N tasks, plan once, execute many.
+
+    Per batch the runner
+
+    1. claims up to ``config.batch_size`` tasks in one round trip,
+    2. groups them by query text and prepares each distinct query's plan
+       exactly once through the engine's plan cache,
+    3. measures every task (``config.repeats`` repetitions of the prepared
+       plan), optionally fanning tasks across ``config.workers`` threads,
+    4. submits the whole batch of results in one round trip.
+
+    ``workers > 1`` trades timing fidelity for throughput: concurrent
+    in-process measurements contend for the GIL, inflating each other's
+    wall-clock times.  Use it for correctness sweeps and smoke runs, keep
+    the default of 1 worker whenever the timings feed a discriminative
+    verdict.
+    """
+
+    client: PlatformClient
+    engine: Engine
+    config: DriverConfig
+
+    def run_batch(self, experiment_id: int, count: int | None = None) -> int:
+        """Claim and execute one batch; return how many tasks were executed."""
+        batch_size = count if count is not None else self.config.batch_size
+        tasks = self.client.next_tasks(experiment_id, count=batch_size,
+                                       dbms=self.config.dbms)
+        if not tasks:
+            return 0
+
+        plans: dict[str, QueryPlan | None] = {}
+        for task in tasks:
+            sql = task["query_sql"]
+            if sql not in plans:
+                try:
+                    plans[sql] = self.engine.prepare(sql)
+                except Exception:
+                    # leave the error to measure_query, which records it as a
+                    # first-class failed outcome for this task.
+                    plans[sql] = None
+
+        def run(task: dict) -> RunOutcome:
+            sql = task["query_sql"]
+            prepared = plans.get(sql)
+            return measure_query(self.engine, prepared if prepared is not None else sql,
+                                 repeats=self.config.repeats,
+                                 timeout=self.config.timeout)
+
+        if self.config.workers > 1:
+            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+                outcomes = list(pool.map(run, tasks))
+        else:
+            outcomes = [run(task) for task in tasks]
+
+        self.client.submit_results([
+            {
+                "task": task["id"],
+                "times": outcome.times,
+                "error": outcome.error,
+                "load_averages": {"before": outcome.load_before,
+                                  "after": outcome.load_after},
+                "extras": outcome.extras,
+            }
+            for task, outcome in zip(tasks, outcomes)
+        ])
+        return len(tasks)
+
+    def run_all(self, experiment_id: int, max_tasks: int | None = None) -> int:
+        """Drain the experiment's queue batch by batch; return the task count."""
+        executed = 0
+        while max_tasks is None or executed < max_tasks:
+            remaining = None if max_tasks is None else max_tasks - executed
+            count = (self.config.batch_size if remaining is None
+                     else min(self.config.batch_size, remaining))
+            ran = self.run_batch(experiment_id, count=count)
+            if ran == 0:
+                break
+            executed += ran
         return executed

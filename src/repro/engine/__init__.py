@@ -16,13 +16,34 @@ without predicate push-down, or with the overflow-guarded expression
 evaluation that the paper's MonetDB anecdote describes).
 
 The shared pieces are the catalog/storage (:class:`Database`), the SQL
-front-end (:mod:`repro.sqlparser`) and the logical planner.
+front-end (:mod:`repro.sqlparser`) and the logical plan layer
+(:mod:`repro.engine.plan`): a :class:`Planner` analyses each query once into
+a :class:`QueryPlan` that both physical backends consume, and every engine
+keeps a keyed LRU :class:`PlanCache` so repeated executions -- the driver's
+five-repetition loop, the pool's morph/re-measure cycle -- parse and plan
+exactly once per distinct query.
 """
 
 from repro.engine.catalog import Catalog, ColumnDef, TableSchema
 from repro.engine.database import Database
+from repro.engine.plan import (
+    BlockPlan,
+    JoinStep,
+    PlanCache,
+    PlanCacheStats,
+    Planner,
+    QueryPlan,
+    normalize_sql,
+)
 from repro.engine.result import QueryResult
-from repro.engine.engine import ColumnEngine, Engine, EngineOptions, RowEngine, create_engine
+from repro.engine.engine import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    ColumnEngine,
+    Engine,
+    EngineOptions,
+    RowEngine,
+    create_engine,
+)
 
 __all__ = [
     "Catalog",
@@ -30,6 +51,14 @@ __all__ = [
     "TableSchema",
     "Database",
     "QueryResult",
+    "BlockPlan",
+    "JoinStep",
+    "PlanCache",
+    "PlanCacheStats",
+    "Planner",
+    "QueryPlan",
+    "normalize_sql",
+    "DEFAULT_PLAN_CACHE_SIZE",
     "Engine",
     "EngineOptions",
     "RowEngine",

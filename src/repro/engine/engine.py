@@ -5,6 +5,13 @@ a set of :class:`EngineOptions` feature flags.  Engines are what the platform
 registers in its DBMS catalog and what the experiment driver executes queries
 on; two engines (or two differently-configured versions of one engine) are
 the systems A and B of the paper's discriminative-benchmarking story.
+
+Execution follows a *plan-once/execute-many* pipeline: :meth:`Engine.prepare`
+lexes, parses and plans a query into a shared :class:`QueryPlan` exactly once
+(consulting a keyed LRU :class:`PlanCache`), and :meth:`Engine.execute`
+accepts either raw SQL, a parsed AST, or a prepared plan.  The driver's
+five-repetition loop and the pool's morph/re-measure cycle therefore pay the
+front-end cost once per distinct query, not once per execution.
 """
 
 from __future__ import annotations
@@ -15,10 +22,15 @@ from dataclasses import dataclass, field, replace
 from repro.engine.database import Database
 from repro.engine.executor_column import ColumnExecutor
 from repro.engine.executor_row import RowExecutor
+from repro.engine.plan import PlanCache, Planner, QueryPlan, normalize_sql
 from repro.engine.result import QueryResult
 from repro.errors import EngineError
 from repro.sqlparser import ast
 from repro.sqlparser.parser import parse_select
+from repro.sqlparser.printer import to_sql
+
+#: default number of plans an engine keeps in its LRU plan cache.
+DEFAULT_PLAN_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -58,25 +70,66 @@ class Engine:
     name: str = "engine"
     version: str = "1.0"
     options: EngineOptions = field(default_factory=EngineOptions)
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    _plan_cache: PlanCache | None = field(default=None, init=False, repr=False,
+                                          compare=False)
+    _planner: Planner | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def label(self) -> str:
         """Human-readable ``name-version`` label used in results and figures."""
         return f"{self.name}-{self.version}"
 
+    @property
+    def planner(self) -> Planner:
+        """The engine's logical planner (bound to its catalog and options)."""
+        if self._planner is None:
+            self._planner = Planner(self.database.catalog,
+                                    predicate_pushdown=self.options.predicate_pushdown)
+        return self._planner
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The engine's keyed plan cache (per engine instance, LRU)."""
+        if self._plan_cache is None:
+            self._plan_cache = PlanCache(self.plan_cache_size)
+        return self._plan_cache
+
     # -- public API -----------------------------------------------------------
 
-    def execute(self, sql: str | ast.Select) -> QueryResult:
-        """Execute ``sql`` (text or parsed AST) and return a :class:`QueryResult`."""
-        select = parse_select(sql) if isinstance(sql, str) else sql
+    def prepare(self, query: str | ast.Select | QueryPlan) -> QueryPlan:
+        """Plan ``query`` once, consulting the plan cache for SQL text input.
+
+        Passing an already-prepared plan returns it unchanged, so callers can
+        uniformly write ``engine.execute(engine.prepare(sql))`` loops.
+        """
+        if isinstance(query, QueryPlan):
+            return query
+        if isinstance(query, ast.Select):
+            return self.planner.plan(query, sql_text=to_sql(query))
+        key = normalize_sql(query)
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = self.planner.plan(parse_select(query), sql_text=query)
+            self.plan_cache.put(key, plan)
+        return plan
+
+    def execute(self, query: str | ast.Select | QueryPlan) -> QueryResult:
+        """Execute ``query`` and return a :class:`QueryResult`.
+
+        ``elapsed`` covers physical execution only; planning (and parsing)
+        happens in :meth:`prepare` and is amortised by the plan cache.
+        """
+        plan = self.prepare(query)
         started = time.perf_counter()
-        columns, rows = self._run(select)
+        columns, rows = self._execute_plan(plan)
         elapsed = time.perf_counter() - started
         return QueryResult(columns=columns, rows=rows, elapsed=elapsed, engine=self.label)
 
-    def explain(self, sql: str | ast.Select) -> dict:
-        """Return a light-weight description of how the engine would run ``sql``."""
-        select = parse_select(sql) if isinstance(sql, str) else sql
+    def explain(self, query: str | ast.Select | QueryPlan) -> dict:
+        """Return a light-weight description of how the engine would run ``query``."""
+        plan = self.prepare(query)
+        select = plan.select
         return {
             "engine": self.label,
             "strategy": self.strategy(),
@@ -84,13 +137,27 @@ class Engine:
             "aggregated": select.has_aggregates() or bool(select.group_by),
             "subqueries": len(select.subqueries()),
             "options": self.options.describe(),
+            "plan": plan.root.describe(),
+            "plan_cache": self.plan_cache.describe(),
         }
 
+    def cache_stats(self) -> dict:
+        """Hit/miss/eviction statistics of the plan cache."""
+        return self.plan_cache.describe()
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan (e.g. after the database schema changed)."""
+        self.plan_cache.clear()
+
     def with_version(self, version: str, **option_overrides) -> "Engine":
-        """Return a new engine sharing the database but with different options."""
+        """Return a new engine sharing the database but with different options.
+
+        The new engine starts with an empty plan cache: plans depend on the
+        options (e.g. push-down), so cached plans never leak across versions.
+        """
         options = replace(self.options, **option_overrides)
         return type(self)(database=self.database, name=self.name, version=version,
-                          options=options)
+                          options=options, plan_cache_size=self.plan_cache_size)
 
     # -- overridables ------------------------------------------------------------
 
@@ -98,7 +165,8 @@ class Engine:
         """Execution-model label ('row' or 'column')."""
         raise NotImplementedError
 
-    def _run(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+    def _execute_plan(self, plan: QueryPlan) -> tuple[list[str], list[tuple]]:
+        """Run a prepared plan on this engine's physical backend."""
         raise NotImplementedError
 
 
@@ -106,41 +174,49 @@ class RowEngine(Engine):
     """Tuple-at-a-time engine (the "row store" target system)."""
 
     def __init__(self, database: Database, name: str = "rowstore", version: str = "1.0",
-                 options: EngineOptions | None = None):
+                 options: EngineOptions | None = None,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE):
         super().__init__(database=database, name=name, version=version,
-                         options=options or EngineOptions())
+                         options=options or EngineOptions(),
+                         plan_cache_size=plan_cache_size)
 
     def strategy(self) -> str:
         return "row"
 
-    def _run(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+    def _execute_plan(self, plan: QueryPlan) -> tuple[list[str], list[tuple]]:
+        # executors are cheap, per-call shells (thread-safe under the batched
+        # driver); the expensive analysis lives in the shared plan.
         executor = RowExecutor(
             self.database,
             predicate_pushdown=self.options.predicate_pushdown,
             hash_joins=self.options.hash_joins,
+            plan=plan,
         )
-        return executor.execute(select)
+        return executor.execute(plan)
 
 
 class ColumnEngine(Engine):
     """Vectorised engine (the "column store" target system)."""
 
     def __init__(self, database: Database, name: str = "columnstore", version: str = "1.0",
-                 options: EngineOptions | None = None):
+                 options: EngineOptions | None = None,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE):
         super().__init__(database=database, name=name, version=version,
-                         options=options or EngineOptions())
+                         options=options or EngineOptions(),
+                         plan_cache_size=plan_cache_size)
 
     def strategy(self) -> str:
         return "column"
 
-    def _run(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
+    def _execute_plan(self, plan: QueryPlan) -> tuple[list[str], list[tuple]]:
         executor = ColumnExecutor(
             self.database,
             predicate_pushdown=self.options.predicate_pushdown,
             hash_joins=self.options.hash_joins,
             overflow_guard=self.options.overflow_guard,
+            plan=plan,
         )
-        return executor.execute(select)
+        return executor.execute(plan)
 
 
 _ENGINE_KINDS = {

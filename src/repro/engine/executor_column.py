@@ -1,18 +1,20 @@
-"""Vectorised (column store) executor.
+"""Vectorised (column store) physical backend.
 
-The pipeline mirrors :mod:`repro.engine.executor_row` but every step operates
-on numpy column arrays:
+Like :mod:`repro.engine.executor_row`, this executor consumes the shared
+logical plan (:mod:`repro.engine.plan`) -- scope resolution, conjunct
+classification, the push-down assignment and the join schedule all come from
+the :class:`BlockPlan` of each query block -- but every physical step
+operates on numpy column arrays:
 
 1. FROM items are materialised as :class:`ColFrame` column sets (base tables
    come from the database's cached columnar views, derived tables are
    executed recursively),
-2. single-relation predicates are applied as boolean masks at scan time
-   (when push-down is enabled),
-3. equi-joins run as hash joins producing index vectors that gather both
-   sides,
-4. residual predicates are evaluated column-at-a-time; predicates containing
-   subqueries fall back to row-at-a-time evaluation for that predicate only
-   (subqueries themselves run through a row executor),
+2. the plan's push-down predicates are applied as boolean masks at scan time,
+3. the scheduled equi-joins run as hash joins producing index vectors that
+   gather both sides,
+4. the plan's residual predicates are evaluated column-at-a-time; predicates
+   containing subqueries fall back to row-at-a-time evaluation for that
+   predicate only (subqueries themselves run through a row executor),
 5. grouping builds a group-id vector and computes aggregates with
    ``np.bincount`` / ``minimum.at`` style kernels,
 6. projection, DISTINCT, ORDER BY and LIMIT materialise the final rows.
@@ -27,12 +29,8 @@ import numpy as np
 from repro.engine.database import Database
 from repro.engine.executor_row import RowExecutor
 from repro.engine.expression import evaluate as row_evaluate
-from repro.engine.planner import (
-    ColumnInfo,
-    Scope,
-    classify_conjuncts,
-    output_columns,
-)
+from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
+from repro.engine.planner import ColumnInfo, Scope
 from repro.engine.types import infer_type
 from repro.engine.vector import ColFrame, VectorEvaluator, VectorFallback, _to_python
 from repro.errors import ExecutionError, PlanError
@@ -66,13 +64,17 @@ class ColumnExecutor:
     """Executes SELECT blocks against a :class:`Database` column-at-a-time."""
 
     def __init__(self, database: Database, predicate_pushdown: bool = True,
-                 hash_joins: bool = True, overflow_guard: bool = False):
+                 hash_joins: bool = True, overflow_guard: bool = False,
+                 plan: QueryPlan | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
         self.overflow_guard = overflow_guard
+        self._plan = plan
+        self._planner: Planner | None = None
+        self._extra_blocks: dict[int, BlockPlan] = {}
         self._row_executor = RowExecutor(database, predicate_pushdown=predicate_pushdown,
-                                         hash_joins=hash_joins)
+                                         hash_joins=hash_joins, plan=plan)
         self._uncorrelated_cache: dict[str, list[tuple]] = {}
 
     def _evaluator(self, frame: ColFrame) -> VectorEvaluator:
@@ -80,8 +82,14 @@ class ColumnExecutor:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
-        """Execute ``select`` and return (output column names, rows)."""
+    def execute(self, query: "ast.Select | QueryPlan") -> tuple[list[str], list[tuple]]:
+        """Execute a planned query (or a bare SELECT, planned on the fly)."""
+        if isinstance(query, QueryPlan):
+            self._plan = query
+            self._row_executor._plan = query
+            select = query.select
+        else:
+            select = query
         self._uncorrelated_cache = {}
         frame, names = self._execute_block(select)
         rows = frame.rows()
@@ -111,28 +119,34 @@ class ColumnExecutor:
 
     # -- block execution -------------------------------------------------------
 
+    def _block(self, select: ast.Select) -> BlockPlan:
+        """The shared analysis of ``select`` (planned on demand when absent)."""
+        if self._plan is not None:
+            block = self._plan.block(select)
+            if block is not None:
+                return block
+        block = self._extra_blocks.get(id(select))
+        if block is None:
+            if self._planner is None:
+                self._planner = Planner(self.database.catalog,
+                                        predicate_pushdown=self.predicate_pushdown)
+            block = self._planner.plan_block(select, registry=self._extra_blocks)
+        return block
+
     def _execute_block(self, select: ast.Select) -> tuple[ColFrame, list[str]]:
+        block = self._block(select)
         frames = [self._materialise(item) for item in select.from_items]
-        scope = Scope(columns=[column for frame in frames for column in frame.columns])
-        classified = classify_conjuncts(select.where, scope)
 
-        if self.predicate_pushdown:
-            frames = [self._apply_pushdown(frame, classified) for frame in frames]
-            residual = list(classified.residual)
+        if block.pushdown:
+            frames = [self._apply_pushdown(frame, block.pushdown) for frame in frames]
+
+        frame = self._join_frames(frames, block.join_order)
+        frame = self._filter(frame, block.residual)
+
+        if block.needs_aggregation:
+            frame, names = self._aggregate(select, frame, block.output_names)
         else:
-            residual = [
-                predicate
-                for predicates in classified.single.values()
-                for predicate in predicates
-            ] + list(classified.residual)
-
-        frame = self._join_frames(frames, classified)
-        frame = self._filter(frame, residual)
-
-        if select.group_by or select.having is not None or select.has_aggregates():
-            frame, names = self._aggregate(select, frame)
-        else:
-            frame, names = self._project(select, frame)
+            frame, names = self._project(select, frame, block.output_names)
 
         if select.distinct:
             frame = self._distinct(frame)
@@ -270,11 +284,12 @@ class ColumnExecutor:
 
     # -- filtering / joining ---------------------------------------------------------
 
-    def _apply_pushdown(self, frame: ColFrame, classified) -> ColFrame:
+    def _apply_pushdown(self, frame: ColFrame,
+                        pushdown: dict[str, list[ast.Expression]]) -> ColFrame:
         bindings = {column.binding.lower() for column in frame.columns}
         predicates: list[ast.Expression] = []
         for binding in bindings:
-            predicates.extend(classified.single.get(binding, []))
+            predicates.extend(pushdown.get(binding, []))
         if not predicates:
             return frame
         return self._filter(frame, predicates)
@@ -299,26 +314,14 @@ class ColumnExecutor:
             mask[index] = bool(row_evaluate(predicate, env))
         return mask
 
-    def _join_frames(self, frames: list[ColFrame], classified) -> ColFrame:
+    def _join_frames(self, frames: list[ColFrame], join_order: list[JoinStep]) -> ColFrame:
         if not frames:
             raise PlanError("a query block needs at least one FROM item")
-        equi_joins = list(classified.equi_joins)
-        current = frames[0]
-        remaining = frames[1:]
-        while remaining:
-            chosen_index = None
-            for index, frame in enumerate(remaining):
-                if self._connecting(current, frame, equi_joins):
-                    chosen_index = index
-                    break
-            if chosen_index is None:
-                chosen_index = 0
-            next_frame = remaining.pop(chosen_index)
-            connecting = self._connecting(current, next_frame, equi_joins)
-            for entry in connecting:
-                equi_joins.remove(entry)
+        current = frames[join_order[0].frame_index]
+        for step in join_order[1:]:
+            next_frame = frames[step.frame_index]
             positions = []
-            for left_ref, right_ref, _ in connecting:
+            for left_ref, right_ref, _ in step.connecting:
                 if current.position(left_ref) is not None:
                     positions.append((current.position(left_ref), next_frame.position(right_ref)))
                 else:
@@ -326,20 +329,10 @@ class ColumnExecutor:
             current = self._hash_join(current, next_frame, positions, [], False)
         return current
 
-    def _connecting(self, left: ColFrame, right: ColFrame, equi_joins):
-        found = []
-        for left_ref, right_ref, conjunct in equi_joins:
-            if left.position(left_ref) is not None and right.position(right_ref) is not None:
-                found.append((left_ref, right_ref, conjunct))
-            elif left.position(right_ref) is not None and right.position(left_ref) is not None:
-                found.append((left_ref, right_ref, conjunct))
-        return found
-
     # -- projection ---------------------------------------------------------------------
 
-    def _project(self, select: ast.Select, frame: ColFrame) -> tuple[ColFrame, list[str]]:
-        scope = Scope(columns=list(frame.columns))
-        names = output_columns(select, scope)
+    def _project(self, select: ast.Select, frame: ColFrame,
+                 names: list[str]) -> tuple[ColFrame, list[str]]:
         evaluator = self._evaluator(frame)
         arrays: list[np.ndarray] = []
         columns: list[ColumnInfo] = []
@@ -391,9 +384,8 @@ class ColumnExecutor:
 
     # -- aggregation ---------------------------------------------------------------------
 
-    def _aggregate(self, select: ast.Select, frame: ColFrame) -> tuple[ColFrame, list[str]]:
-        scope = Scope(columns=list(frame.columns))
-        names = output_columns(select, scope)
+    def _aggregate(self, select: ast.Select, frame: ColFrame,
+                   names: list[str]) -> tuple[ColFrame, list[str]]:
         evaluator = self._evaluator(frame)
 
         if select.group_by:

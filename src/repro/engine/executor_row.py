@@ -1,17 +1,20 @@
-"""Tuple-at-a-time (row store) executor.
+"""Tuple-at-a-time (row store) physical backend.
 
-The execution pipeline for one SELECT block is:
+The executor is a thin *physical* backend over the shared logical plan
+(:mod:`repro.engine.plan`): all analysis -- scope resolution, conjunct
+classification, the push-down assignment and the join order -- is read from
+the :class:`BlockPlan` of each query block instead of being re-derived from
+the AST per execution.  The physical pipeline for one block is:
 
 1. materialise every FROM item into a :class:`RowFrame` (base tables read
    straight from storage, derived tables executed recursively, explicit JOINs
    folded into a frame),
-2. apply single-relation filters at scan time when predicate push-down is
-   enabled,
-3. join the frames left-to-right, preferring hash joins on the equi-join
-   conditions extracted from WHERE, falling back to nested-loop cross joins,
-4. apply the residual predicates (including all predicates that contain
-   subqueries -- correlated subqueries are re-executed per row, uncorrelated
-   ones are cached),
+2. apply the plan's per-binding push-down predicates at scan time,
+3. join the frames following the plan's join schedule, preferring hash joins
+   on the scheduled equi-join conditions, falling back to nested loops,
+4. apply the plan's residual predicates (including all predicates that
+   contain subqueries -- correlated subqueries are re-executed per row,
+   uncorrelated ones are cached),
 5. group / aggregate / HAVING,
 6. project, de-duplicate (DISTINCT), sort, LIMIT/OFFSET.
 """
@@ -23,15 +26,8 @@ from typing import Any
 
 from repro.engine.database import Database
 from repro.engine.expression import evaluate, evaluate_aggregate
-from repro.engine.planner import (
-    ClassifiedPredicates,
-    ColumnInfo,
-    Scope,
-    classify_conjuncts,
-    contains_aggregate,
-    contains_subquery,
-    output_columns,
-)
+from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
+from repro.engine.planner import ColumnInfo, Scope, output_columns
 from repro.errors import ExecutionError, PlanError
 from repro.sqlparser import ast
 from repro.sqlparser.printer import to_sql
@@ -97,19 +93,27 @@ class _RowEnv:
 
 
 class RowExecutor:
-    """Executes SELECT blocks against a :class:`Database` one tuple at a time."""
+    """Executes planned SELECT blocks against a :class:`Database`, tuple at a time."""
 
     def __init__(self, database: Database, predicate_pushdown: bool = True,
-                 hash_joins: bool = True):
+                 hash_joins: bool = True, plan: QueryPlan | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
+        self._plan = plan
+        self._planner: Planner | None = None
+        self._extra_blocks: dict[int, BlockPlan] = {}
         self._uncorrelated_cache: dict[str, list[tuple]] = {}
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, select: ast.Select) -> tuple[list[str], list[tuple]]:
-        """Execute ``select`` and return (output column names, rows)."""
+    def execute(self, query: "ast.Select | QueryPlan") -> tuple[list[str], list[tuple]]:
+        """Execute a planned query (or a bare SELECT, planned on the fly)."""
+        if isinstance(query, QueryPlan):
+            self._plan = query
+            select = query.select
+        else:
+            select = query
         self._uncorrelated_cache = {}
         return self._execute_block(select, outer=None)
 
@@ -126,48 +130,43 @@ class RowExecutor:
 
     # -- block execution -------------------------------------------------------
 
+    def _block(self, select: ast.Select) -> BlockPlan:
+        """The shared analysis of ``select`` (planned on demand when absent)."""
+        if self._plan is not None:
+            block = self._plan.block(select)
+            if block is not None:
+                return block
+        block = self._extra_blocks.get(id(select))
+        if block is None:
+            if self._planner is None:
+                self._planner = Planner(self.database.catalog,
+                                        predicate_pushdown=self.predicate_pushdown)
+            block = self._planner.plan_block(select, registry=self._extra_blocks)
+        return block
+
     def _execute_block(self, select: ast.Select, outer: "_RowEnv | None"
                        ) -> tuple[list[str], list[tuple]]:
+        block = self._block(select)
         frames = [self._materialise(item, outer) for item in select.from_items]
-        scope = Scope(columns=[column for frame in frames for column in frame.columns],
-                      outer=self._chain_outer_scope(outer))
-        classified = classify_conjuncts(select.where, scope)
 
-        if self.predicate_pushdown:
+        if block.pushdown:
             # single-relation predicates are applied while scanning each input.
-            frames = [self._apply_pushdown(frame, classified, outer) for frame in frames]
-            residual = list(classified.residual)
-        else:
-            # without push-down the same predicates run after all joins; the
-            # equi-join conditions still drive the hash joins (otherwise every
-            # multi-table query degenerates to an unusable cross product).
-            residual = [
-                predicate
-                for predicates in classified.single.values()
-                for predicate in predicates
-            ] + list(classified.residual)
+            frames = [self._apply_pushdown(frame, block.pushdown, outer)
+                      for frame in frames]
 
-        frame = self._join_frames(frames, classified, select, outer)
-        frame = self._filter(frame, residual, outer)
+        frame = self._join_frames(frames, block.join_order, outer)
+        frame = self._filter(frame, block.residual, outer)
 
-        if select.group_by or select.having is not None or self._needs_aggregation(select):
-            columns, rows = self._aggregate(select, frame, outer)
+        if block.needs_aggregation:
+            columns, rows = self._aggregate(select, frame, outer, block.output_names)
         else:
-            columns, rows = self._project(select, frame, outer)
+            columns, rows = self._project(select, frame, outer, block.output_names)
 
         if select.distinct:
             rows = list(dict.fromkeys(rows))
         rows = self._order(select, columns, rows, frame)
         rows = self._limit(select, rows)
         return columns, rows
-
-    def _chain_outer_scope(self, outer: "_RowEnv | None") -> Scope | None:
-        if outer is None:
-            return None
-        return outer.frame.scope(outer=outer.outer.frame.scope() if outer.outer else None)
-
-    def _needs_aggregation(self, select: ast.Select) -> bool:
-        return select.has_aggregates()
 
     # -- FROM materialisation ----------------------------------------------------
 
@@ -290,51 +289,26 @@ class RowExecutor:
 
     # -- filtering / joining ---------------------------------------------------------
 
-    def _apply_pushdown(self, frame: RowFrame, classified: ClassifiedPredicates,
+    def _apply_pushdown(self, frame: RowFrame, pushdown: dict[str, list[ast.Expression]],
                         outer: "_RowEnv | None") -> RowFrame:
         bindings = {column.binding.lower() for column in frame.columns}
         predicates: list[ast.Expression] = []
         for binding in bindings:
-            predicates.extend(classified.single.get(binding, []))
+            predicates.extend(pushdown.get(binding, []))
         if not predicates:
             return frame
         kept = [row for row in frame.rows if self._passes(predicates, frame, row, outer)]
         return RowFrame(columns=frame.columns, rows=kept)
 
-    def _join_frames(self, frames: list[RowFrame], classified: ClassifiedPredicates | None,
-                     select: ast.Select, outer: "_RowEnv | None") -> RowFrame:
+    def _join_frames(self, frames: list[RowFrame], join_order: list[JoinStep],
+                     outer: "_RowEnv | None") -> RowFrame:
         if not frames:
             return RowFrame(columns=[], rows=[()])
-        equi_joins = list(classified.equi_joins) if classified is not None else []
-        current = frames[0]
-        remaining = frames[1:]
-
-        while remaining:
-            # prefer a frame connected to the current one through an equi-join.
-            chosen_index = None
-            for index, frame in enumerate(remaining):
-                if self._connecting_joins(current, frame, equi_joins):
-                    chosen_index = index
-                    break
-            if chosen_index is None:
-                chosen_index = 0
-            next_frame = remaining.pop(chosen_index)
-            connecting = self._connecting_joins(current, next_frame, equi_joins)
-            for join in connecting:
-                equi_joins.remove(join)
-            current = self._pairwise_join(current, next_frame, connecting, outer)
+        current = frames[join_order[0].frame_index]
+        for step in join_order[1:]:
+            current = self._pairwise_join(current, frames[step.frame_index],
+                                          list(step.connecting), outer)
         return current
-
-    def _connecting_joins(self, left: RowFrame, right: RowFrame,
-                          equi_joins: list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]]
-                          ) -> list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]]:
-        connecting = []
-        for left_ref, right_ref, conjunct in equi_joins:
-            if left.position(left_ref) is not None and right.position(right_ref) is not None:
-                connecting.append((left_ref, right_ref, conjunct))
-            elif left.position(right_ref) is not None and right.position(left_ref) is not None:
-                connecting.append((left_ref, right_ref, conjunct))
-        return connecting
 
     def _pairwise_join(self, left: RowFrame, right: RowFrame,
                        connecting: list[tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]],
@@ -382,10 +356,8 @@ class RowExecutor:
 
     # -- projection / aggregation ----------------------------------------------------
 
-    def _project(self, select: ast.Select, frame: RowFrame, outer: "_RowEnv | None"
-                 ) -> tuple[list[str], list[tuple]]:
-        scope = frame.scope()
-        columns = output_columns(select, scope)
+    def _project(self, select: ast.Select, frame: RowFrame, outer: "_RowEnv | None",
+                 columns: list[str]) -> tuple[list[str], list[tuple]]:
         rows: list[tuple] = []
         star_positions = self._star_positions(select, frame)
         for row in frame.rows:
@@ -411,11 +383,8 @@ class RowExecutor:
                 positions[id(item)] = selected
         return positions
 
-    def _aggregate(self, select: ast.Select, frame: RowFrame, outer: "_RowEnv | None"
-                   ) -> tuple[list[str], list[tuple]]:
-        scope = frame.scope()
-        columns = output_columns(select, scope)
-
+    def _aggregate(self, select: ast.Select, frame: RowFrame, outer: "_RowEnv | None",
+                   columns: list[str]) -> tuple[list[str], list[tuple]]:
         groups: dict[tuple, list[_RowEnv]] = {}
         if select.group_by:
             for row in frame.rows:

@@ -1,0 +1,442 @@
+"""The logical-plan intermediate representation shared by both engines.
+
+Historically each executor re-derived the same analysis from the raw AST on
+every execution: name resolution of the FROM bindings, classification of the
+WHERE conjuncts into push-down / equi-join / residual sets, the greedy
+equi-join-connected join order, and the output column names.  SQALPEL's
+driver runs every pool query five-plus times per target system, so that work
+was repeated on every single repetition.
+
+This module factors the analysis into a *plan-once/execute-many* pipeline:
+
+* :class:`Planner` walks a parsed SELECT once and produces a
+  :class:`QueryPlan` -- one :class:`BlockPlan` per query block (the root
+  SELECT plus every nested subquery), each holding the resolved scope
+  columns, the classified predicates, the push-down assignment, the
+  precomputed join schedule and the output names,
+* :class:`RowExecutor` / :class:`ColumnExecutor` consume the shared plan and
+  only perform the *physical* work (materialise, filter, join, aggregate),
+* :class:`PlanCache` is a keyed LRU (normalised SQL text -> plan) that
+  engines consult in :meth:`Engine.prepare`, so the driver's repetition loop
+  and the pool's morph/re-measure cycle lex, parse and plan exactly once per
+  distinct query.
+
+The plan is *logical*: column positions inside intermediate frames still
+differ between the row and column backends and are resolved at runtime; the
+plan only fixes the decisions both backends share.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.engine.catalog import Catalog
+from repro.engine.planner import (
+    ClassifiedPredicates,
+    ColumnInfo,
+    Scope,
+    classify_conjuncts,
+    output_columns,
+)
+from repro.errors import PlanError
+from repro.sqlparser import ast
+from repro.sqlparser.printer import to_sql
+
+#: Equi-join conjunct as classified from the WHERE clause.
+EquiJoin = tuple[ast.ColumnRef, ast.ColumnRef, ast.Expression]
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-collapsed cache key for a SQL text (case preserved).
+
+    Whitespace inside single-quoted string literals is preserved -- two
+    queries differing only inside a literal must never share a cache key.
+    """
+    parts: list[str] = []
+    index, length = 0, len(sql)
+    while index < length:
+        char = sql[index]
+        if char == "'":
+            # copy the quoted literal verbatim ('' is an escaped quote)
+            end = index + 1
+            while end < length:
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        end += 2
+                        continue
+                    break
+                end += 1
+            parts.append(sql[index:min(end + 1, length)])
+            index = end + 1
+        elif char.isspace():
+            if parts and parts[-1] != " ":
+                parts.append(" ")
+            index += 1
+        else:
+            parts.append(char)
+            index += 1
+    return "".join(parts).strip().rstrip("; ")
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One step of a block's join schedule.
+
+    ``frame_index`` names the FROM item to bring in next; ``connecting`` are
+    the equi-join conjuncts linking it to the frames joined so far (empty for
+    the first step and for cross joins).
+    """
+
+    frame_index: int
+    connecting: tuple[EquiJoin, ...] = ()
+
+
+@dataclass
+class BlockPlan:
+    """The shared analysis of one SELECT block."""
+
+    select: ast.Select
+    #: the columns each FROM item contributes, in FROM order.
+    item_columns: list[list[ColumnInfo]]
+    #: all locally visible columns (concatenated item columns, FROM order).
+    columns: list[ColumnInfo]
+    #: WHERE conjuncts split into push-down / equi-join / residual sets.
+    classified: ClassifiedPredicates
+    #: push-down predicates keyed by binding ({} when push-down is disabled).
+    pushdown: dict[str, list[ast.Expression]]
+    #: predicates evaluated after all joins (includes the single-relation
+    #: ones when push-down is disabled, preserving their evaluation order).
+    residual: list[ast.Expression]
+    #: greedy equi-join-connected join order over the FROM items.
+    join_order: list[JoinStep]
+    #: output column names, in projection order (stars expanded).
+    output_names: list[str]
+    #: True when the block needs the grouping/aggregation path.
+    needs_aggregation: bool
+
+    def describe(self) -> dict:
+        """Compact, JSON-friendly description (used by ``Engine.explain``)."""
+        return {
+            "from_items": len(self.item_columns),
+            "join_order": [step.frame_index for step in self.join_order],
+            "pushdown": {binding: len(preds) for binding, preds in self.pushdown.items()},
+            "equi_joins": len(self.classified.equi_joins),
+            "residual": len(self.residual),
+            "output": list(self.output_names),
+            "aggregated": self.needs_aggregation,
+        }
+
+
+@dataclass
+class QueryPlan:
+    """A fully analysed query: the AST plus one :class:`BlockPlan` per block.
+
+    Blocks are keyed by the identity of their ``ast.Select`` node; the plan
+    keeps the root AST alive, so the keys stay stable for the plan's
+    lifetime.  Plans are immutable once built and safe to share between the
+    row and column backends and across driver worker threads.
+    """
+
+    select: ast.Select
+    sql: str
+    blocks: dict[int, BlockPlan]
+    predicate_pushdown: bool = True
+
+    def block(self, select: ast.Select) -> BlockPlan | None:
+        """The plan of one query block (None when the block is unknown)."""
+        return self.blocks.get(id(select))
+
+    @property
+    def root(self) -> BlockPlan:
+        return self.blocks[id(self.select)]
+
+    def describe(self) -> dict:
+        return {
+            "sql": self.sql,
+            "blocks": len(self.blocks),
+            "tables": [ref.name for ref in self.select.table_refs()],
+            "root": self.root.describe(),
+        }
+
+
+class Planner:
+    """Produces :class:`QueryPlan` objects from parsed SELECT statements.
+
+    The planner owns every analysis decision both executors share: scope and
+    binding resolution, conjunct classification, the push-down assignment
+    (honouring the engine's ``predicate_pushdown`` option) and the greedy
+    join order.  It is stateless across :meth:`plan` calls and therefore
+    safe to share between threads.
+    """
+
+    def __init__(self, catalog: Catalog, predicate_pushdown: bool = True):
+        self.catalog = catalog
+        self.predicate_pushdown = predicate_pushdown
+
+    # -- public API -----------------------------------------------------------
+
+    def plan(self, select: ast.Select, sql_text: str | None = None) -> QueryPlan:
+        """Analyse ``select`` (and every nested block) into a :class:`QueryPlan`."""
+        blocks: dict[int, BlockPlan] = {}
+        self._plan_block(select, None, blocks)
+        root_scope = Scope(columns=list(blocks[id(select)].columns))
+        # Safety net: plan any block the structured walk did not reach (an
+        # exotic AST shape) with the root scope as its outer context.
+        for node in select.walk():
+            if isinstance(node, ast.Select) and id(node) not in blocks:
+                self._plan_block(node, root_scope, blocks)
+        return QueryPlan(select=select, sql=sql_text or to_sql(select), blocks=blocks,
+                         predicate_pushdown=self.predicate_pushdown)
+
+    def plan_block(self, select: ast.Select, outer_scope: Scope | None = None,
+                   registry: dict[int, BlockPlan] | None = None) -> BlockPlan:
+        """Plan a single block (used by executors for blocks outside a plan)."""
+        return self._plan_block(select, outer_scope, registry if registry is not None else {})
+
+    # -- block analysis ----------------------------------------------------------
+
+    def _plan_block(self, select: ast.Select, outer_scope: Scope | None,
+                    blocks: dict[int, BlockPlan]) -> BlockPlan:
+        existing = blocks.get(id(select))
+        if existing is not None:
+            return existing
+        item_columns = [self._item_columns(item, outer_scope, blocks)
+                        for item in select.from_items]
+        local_columns = [column for columns in item_columns for column in columns]
+        scope = Scope(columns=local_columns, outer=outer_scope)
+        classified = classify_conjuncts(select.where, scope)
+
+        if self.predicate_pushdown:
+            pushdown = {binding: list(predicates)
+                        for binding, predicates in classified.single.items()}
+            residual = list(classified.residual)
+        else:
+            pushdown = {}
+            residual = [
+                predicate
+                for predicates in classified.single.values()
+                for predicate in predicates
+            ] + list(classified.residual)
+
+        join_order = self._schedule_joins(item_columns, classified)
+        joined_columns = [
+            column
+            for step in join_order
+            for column in item_columns[step.frame_index]
+        ]
+        output_scope = Scope(columns=joined_columns or local_columns, outer=outer_scope)
+        output_names = output_columns(select, output_scope)
+        needs_aggregation = (bool(select.group_by) or select.having is not None
+                             or select.has_aggregates())
+
+        block = BlockPlan(
+            select=select,
+            item_columns=item_columns,
+            columns=local_columns,
+            classified=classified,
+            pushdown=pushdown,
+            residual=residual,
+            join_order=join_order,
+            output_names=output_names,
+            needs_aggregation=needs_aggregation,
+        )
+        blocks[id(select)] = block
+
+        # Subqueries inside expressions see the block's own columns as their
+        # outer scope (they are evaluated against the joined frame).
+        for expression in self._block_expressions(select):
+            for subselect in _direct_subselects(expression):
+                self._plan_block(subselect, scope, blocks)
+        return block
+
+    def _block_expressions(self, select: ast.Select) -> list[ast.Expression]:
+        expressions: list[ast.Expression] = []
+        if select.where is not None:
+            expressions.append(select.where)
+        if select.having is not None:
+            expressions.append(select.having)
+        for item in select.items:
+            if not isinstance(item.expression, ast.Star):
+                expressions.append(item.expression)
+        expressions.extend(select.group_by)
+        expressions.extend(order.expression for order in select.order_by)
+        return expressions
+
+    # -- FROM item columns -------------------------------------------------------
+
+    def _item_columns(self, item: ast.TableExpression, outer_scope: Scope | None,
+                      blocks: dict[int, BlockPlan]) -> list[ColumnInfo]:
+        if isinstance(item, ast.TableRef):
+            schema = self.catalog.table(item.name)
+            return [
+                ColumnInfo(binding=item.binding, name=column.name,
+                           type_name=column.type_name)
+                for column in schema.columns
+            ]
+        if isinstance(item, ast.SubqueryRef):
+            # Derived tables see the enclosing block's *outer* scope, not the
+            # enclosing block's own columns (mirroring execution order).
+            inner = self._plan_block(item.subquery, outer_scope, blocks)
+            return [
+                ColumnInfo(binding=item.alias, name=name, type_name="str")
+                for name in inner.output_names
+            ]
+        if isinstance(item, ast.Join):
+            left = self._item_columns(item.left, outer_scope, blocks)
+            right = self._item_columns(item.right, outer_scope, blocks)
+            combined = left + right
+            if item.condition is not None:
+                condition_scope = Scope(columns=combined, outer=outer_scope)
+                for subselect in _direct_subselects(item.condition):
+                    self._plan_block(subselect, condition_scope, blocks)
+            return combined
+        raise PlanError(f"unsupported FROM item {type(item).__name__}")
+
+    # -- join scheduling ---------------------------------------------------------
+
+    def _schedule_joins(self, item_columns: list[list[ColumnInfo]],
+                        classified: ClassifiedPredicates) -> list[JoinStep]:
+        """Greedy join order: always bring in an equi-join-connected frame next."""
+        if not item_columns:
+            return []
+        sets = [_ColumnSet(columns) for columns in item_columns]
+        equi = list(classified.equi_joins)
+        steps = [JoinStep(0)]
+        current = _ColumnSet(list(item_columns[0]))
+        remaining = list(range(1, len(item_columns)))
+        while remaining:
+            chosen = None
+            for index in remaining:
+                if _connecting(current, sets[index], equi):
+                    chosen = index
+                    break
+            if chosen is None:
+                chosen = remaining[0]
+            remaining.remove(chosen)
+            connecting = _connecting(current, sets[chosen], equi)
+            for entry in connecting:
+                equi.remove(entry)
+            steps.append(JoinStep(chosen, tuple(connecting)))
+            current = current.merged(sets[chosen])
+        return steps
+
+
+class _ColumnSet:
+    """Static column-membership test mirroring frame position lookup."""
+
+    def __init__(self, columns: list[ColumnInfo]):
+        self.columns = columns
+        self._qualified = {(column.binding.lower(), column.name.lower())
+                           for column in columns}
+        self._names = {column.name.lower() for column in columns}
+
+    def has(self, ref: ast.ColumnRef) -> bool:
+        if ref.table:
+            return (ref.table.lower(), ref.name.lower()) in self._qualified
+        return ref.name.lower() in self._names
+
+    def merged(self, other: "_ColumnSet") -> "_ColumnSet":
+        return _ColumnSet(self.columns + other.columns)
+
+
+def _connecting(left: _ColumnSet, right: _ColumnSet,
+                equi_joins: list[EquiJoin]) -> list[EquiJoin]:
+    """Equi-joins linking ``left`` and ``right`` (either ref orientation)."""
+    found = []
+    for left_ref, right_ref, conjunct in equi_joins:
+        if left.has(left_ref) and right.has(right_ref):
+            found.append((left_ref, right_ref, conjunct))
+        elif left.has(right_ref) and right.has(left_ref):
+            found.append((left_ref, right_ref, conjunct))
+    return found
+
+
+def _direct_subselects(expression: ast.Expression) -> list[ast.Select]:
+    """SELECT nodes nested directly in ``expression`` (not inside another SELECT)."""
+    selects = [node for node in expression.walk() if isinstance(node, ast.Select)]
+    direct: list[ast.Select] = []
+    for candidate in selects:
+        contained = any(
+            other is not candidate and any(node is candidate for node in other.walk())
+            for other in selects
+        )
+        if not contained:
+            direct.append(candidate)
+    return direct
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction counters of a :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def describe(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+
+class PlanCache:
+    """Thread-safe LRU cache mapping normalised SQL keys to query plans.
+
+    A ``maxsize`` of 0 (or less) disables caching entirely: every lookup is
+    a miss and nothing is retained, which is what benchmarks use to compare
+    cold planning against the plan-once/execute-many path.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self.stats = PlanCacheStats()
+        self._plans: OrderedDict[str, QueryPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, key: str) -> QueryPlan | None:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.stats.hits += 1
+            return plan
+
+    def put(self, key: str, plan: QueryPlan) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "enabled": self.enabled,
+                **self.stats.describe(),
+            }

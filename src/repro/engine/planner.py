@@ -1,7 +1,10 @@
-"""Shared query analysis: binding resolution and predicate classification.
+"""Shared query-analysis primitives: binding resolution and predicate
+classification.
 
-Both engines execute the same logical pipeline; this module contains the
-analysis they share:
+These building blocks are consumed by the :class:`repro.engine.plan.Planner`,
+which runs them once per query and bakes the outcome into the logical plan
+both physical backends execute (the executors no longer re-derive this
+analysis from the AST themselves):
 
 * :class:`ColumnInfo` / :class:`Scope` -- name resolution of (possibly
   qualified) column references against the FROM-clause bindings, with a link

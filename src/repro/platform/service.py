@@ -253,20 +253,36 @@ class PlatformService:
     def next_task(self, contributor: User, experiment: Experiment,
                   dbms_label: str | None = None) -> Task | None:
         """Hand the next pending task of an experiment to a contributor."""
+        claimed = self.next_tasks(contributor, experiment, limit=1, dbms_label=dbms_label)
+        return claimed[0] if claimed else None
+
+    def next_tasks(self, contributor: User, experiment: Experiment, limit: int = 1,
+                   dbms_label: str | None = None) -> list[Task]:
+        """Claim up to ``limit`` pending tasks of an experiment in one batch.
+
+        This is the batched-driver entry point: one store scan and one batched
+        write claim the whole batch, instead of a round trip per task.
+        """
         project = self.store.project(experiment.project_id)
         self._require_contributor(contributor, project)
+        if limit <= 0:
+            raise ValidationError("the batch size must be a positive integer")
         self.expire_stuck_tasks(experiment)
+        claimed: list[Task] = []
+        now = time.time()
         for task in self.store.tasks(experiment.id):
+            if len(claimed) >= limit:
+                break
             if task.status != TaskStatus.PENDING.value:
                 continue
             if dbms_label is not None and task.dbms_label != dbms_label:
                 continue
             task.status = TaskStatus.RUNNING.value
             task.assigned_to = contributor.contributor_key
-            task.assigned_at = time.time()
-            self.store.update("tasks", task)
-            return task
-        return None
+            task.assigned_at = now
+            claimed.append(task)
+        self.store.update_many("tasks", claimed)
+        return claimed
 
     def kill_task(self, acting: User, task: Task) -> Task:
         """Owner-only: kill a stuck task."""
@@ -303,27 +319,60 @@ class PlatformService:
                       error: str | None = None, load_averages: dict | None = None,
                       extras: dict | None = None) -> ResultRecord:
         """Record the outcome of a task run by ``contributor``."""
-        experiment = self.store.experiment(task.experiment_id)
-        project = self.store.project(experiment.project_id)
-        self._require_contributor(contributor, project)
-        if error is None and not times:
-            raise ValidationError("a successful run must report at least one timing")
-        result = ResultRecord(
-            task_id=task.id,
-            experiment_id=task.experiment_id,
-            contributor_key=contributor.contributor_key,
-            dbms_label=task.dbms_label,
-            host_name=task.host_name,
-            query_sql=task.query_sql,
-            times=list(times),
-            error=error,
-            load_averages=load_averages or {},
-            extras=extras or {},
+        return self.submit_results(contributor, [{
+            "task": task,
+            "times": times,
+            "error": error,
+            "load_averages": load_averages,
+            "extras": extras,
+        }])[0]
+
+    def submit_results(self, contributor: User,
+                       submissions: list[dict]) -> list[ResultRecord]:
+        """Record a batch of task outcomes in one transaction.
+
+        Each submission is a dict with keys ``task`` (a :class:`Task` or its
+        id), ``times``, and optional ``error`` / ``load_averages`` /
+        ``extras``.  The whole batch is validated before anything is written
+        and all writes commit atomically: an invalid submission rejects the
+        batch without recording anything.
+        """
+        records: list[ResultRecord] = []
+        tasks: list[Task] = []
+        projects: dict[int, object] = {}
+        for submission in submissions:
+            task = submission.get("task")
+            if not isinstance(task, Task):
+                task = self.store.task(int(task))
+            experiment = self.store.experiment(task.experiment_id)
+            project = projects.get(experiment.project_id)
+            if project is None:
+                project = self.store.project(experiment.project_id)
+                projects[experiment.project_id] = project
+            self._require_contributor(contributor, project)
+            error = submission.get("error")
+            times = list(submission.get("times") or [])
+            if error is None and not times:
+                raise ValidationError("a successful run must report at least one timing")
+            records.append(ResultRecord(
+                task_id=task.id,
+                experiment_id=task.experiment_id,
+                contributor_key=contributor.contributor_key,
+                dbms_label=task.dbms_label,
+                host_name=task.host_name,
+                query_sql=task.query_sql,
+                times=times,
+                error=error,
+                load_averages=submission.get("load_averages") or {},
+                extras=submission.get("extras") or {},
+            ))
+            task.status = TaskStatus.FAILED.value if error else TaskStatus.DONE.value
+            tasks.append(task)
+        self.store.apply_batch(
+            inserts=[("results", record) for record in records],
+            updates=[("tasks", task) for task in tasks],
         )
-        self.store.insert("results", result)
-        task.status = TaskStatus.FAILED.value if error else TaskStatus.DONE.value
-        self.store.update("tasks", task)
-        return result
+        return records
 
     def set_result_hidden(self, acting: User, result: ResultRecord, hidden: bool) -> ResultRecord:
         """Owner-only: hide a result pending clarification ("keep these results private")."""

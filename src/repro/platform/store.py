@@ -66,6 +66,77 @@ class Store:
             entity.id = int(cursor.lastrowid)
             return entity.id
 
+    def insert_many(self, table: str, entities: list) -> list[int]:
+        """Insert a batch of entities in one transaction; return their new ids."""
+        if not entities:
+            return []
+        with self._lock:
+            ids: list[int] = []
+            for entity in entities:
+                payload = entity.to_dict()
+                payload.pop("id", None)
+                cursor = self._connection.execute(
+                    f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+                )
+                entity.id = int(cursor.lastrowid)
+                ids.append(entity.id)
+            self._connection.commit()
+            return ids
+
+    def update_many(self, table: str, entities: list) -> None:
+        """Persist a batch of entities in one transaction."""
+        if not entities:
+            return
+        with self._lock:
+            for entity in entities:
+                if entity.id is None:
+                    raise NotFound(f"cannot update an unsaved entity in '{table}'")
+                payload = entity.to_dict()
+                payload.pop("id", None)
+                cursor = self._connection.execute(
+                    f"UPDATE {table} SET body = ? WHERE id = ?",
+                    (json.dumps(payload), entity.id),
+                )
+                if cursor.rowcount == 0:
+                    self._connection.rollback()
+                    raise NotFound(f"no entity with id {entity.id} in '{table}'")
+            self._connection.commit()
+
+    def apply_batch(self, inserts: list[tuple[str, object]],
+                    updates: list[tuple[str, object]]) -> None:
+        """Apply inserts and updates atomically: all writes commit together.
+
+        Each element is a ``(table, entity)`` pair.  When any update targets
+        a missing row the whole batch -- including the inserts -- is rolled
+        back, so callers never observe a half-applied batch.
+        """
+        with self._lock:
+            try:
+                for table, entity in inserts:
+                    payload = entity.to_dict()
+                    payload.pop("id", None)
+                    cursor = self._connection.execute(
+                        f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+                    )
+                    entity.id = int(cursor.lastrowid)
+                for table, entity in updates:
+                    if entity.id is None:
+                        raise NotFound(f"cannot update an unsaved entity in '{table}'")
+                    payload = entity.to_dict()
+                    payload.pop("id", None)
+                    cursor = self._connection.execute(
+                        f"UPDATE {table} SET body = ? WHERE id = ?",
+                        (json.dumps(payload), entity.id),
+                    )
+                    if cursor.rowcount == 0:
+                        raise NotFound(f"no entity with id {entity.id} in '{table}'")
+            except Exception:
+                self._connection.rollback()
+                for _table, entity in inserts:
+                    entity.id = None
+                raise
+            self._connection.commit()
+
     def update(self, table: str, entity) -> None:
         """Persist the current state of ``entity`` (must already have an id)."""
         if entity.id is None:

@@ -9,17 +9,22 @@ locally and report the findings.
 Endpoints (all JSON; the contributor key travels in the ``X-Sqalpel-Key``
 header):
 
-====================  ======  ==============================================
-path                  method  purpose
-====================  ======  ==============================================
-``/api/ping``         GET     liveness probe / version
-``/api/projects``     GET     projects visible to the caller
-``/api/experiments``  GET     experiments of a project (``?project=<id>``)
-``/api/task``         POST    assign the next pending task of an experiment
-``/api/result``       POST    submit the measurements for a task
-``/api/results``      GET     results of an experiment (``?experiment=<id>``)
-``/api/queue``        GET     queue status of an experiment
-====================  ======  ==============================================
+=======================  ======  ===========================================
+path                     method  purpose
+=======================  ======  ===========================================
+``/api/ping``            GET     liveness probe / version
+``/api/projects``        GET     projects visible to the caller
+``/api/experiments``     GET     experiments of a project (``?project=<id>``)
+``/api/task``            POST    assign the next pending task of an experiment
+``/api/tasks``           POST    claim a batch of pending tasks (``count``)
+``/api/result``          POST    submit the measurements for a task
+``/api/results/batch``   POST    submit measurements for a batch of tasks
+``/api/results``         GET     results of an experiment (``?experiment=<id>``)
+``/api/queue``           GET     queue status of an experiment
+=======================  ======  ===========================================
+
+The batch endpoints back the driver's :class:`repro.driver.runner.BatchRunner`
+pipeline: one round trip claims N tasks and one round trip delivers N results.
 """
 
 from __future__ import annotations
@@ -114,6 +119,29 @@ def _dispatch(service: PlatformService, method: str, path: str, query: dict,
         if task is None:
             return "200 OK", {"task": None}
         return "200 OK", {"task": task.to_dict()}
+
+    if path == "/api/tasks" and method == "POST":
+        contributor = service.authenticate(key)
+        experiment = service.store.experiment(int(body["experiment"]))
+        tasks = service.next_tasks(contributor, experiment,
+                                   limit=int(body.get("count", 1)),
+                                   dbms_label=body.get("dbms"))
+        return "200 OK", {"tasks": [task.to_dict() for task in tasks]}
+
+    if path == "/api/results/batch" and method == "POST":
+        contributor = service.authenticate(key)
+        submissions = [
+            {
+                "task": int(entry["task"]),
+                "times": list(entry.get("times", [])),
+                "error": entry.get("error"),
+                "load_averages": entry.get("load_averages") or {},
+                "extras": entry.get("extras") or {},
+            }
+            for entry in body.get("results", [])
+        ]
+        records = service.submit_results(contributor, submissions)
+        return "200 OK", {"results": [record.to_dict() for record in records]}
 
     if path == "/api/result" and method == "POST":
         contributor = service.authenticate(key)

@@ -183,6 +183,28 @@ class QueryPool:
         entry.observations.append(observation)
         return observation
 
+    def measure(self, engine, repeats: int = 3, timeout: float | None = None,
+                entries: list[PoolEntry] | None = None) -> list[Observation]:
+        """Measure ``entries`` (default: all) on ``engine`` via prepared plans.
+
+        Each entry's query is prepared once through the engine's plan cache
+        and the prepared plan is executed ``repeats`` times, so the morph/
+        re-measure cycle never re-parses or re-plans a query it has already
+        seen.  Every outcome (including failures) is recorded as an
+        :class:`Observation` on its entry.
+        """
+        from repro.driver.runner import measure_query
+
+        observations: list[Observation] = []
+        for entry in entries if entries is not None else self.entries():
+            outcome = measure_query(engine, entry.sql, repeats=repeats, timeout=timeout)
+            observations.append(
+                self.record(entry, engine.label, outcome.best or 0.0,
+                            error=outcome.error, repeats=outcome.times,
+                            metadata=outcome.extras)
+            )
+        return observations
+
     # -- selections ----------------------------------------------------------------------
 
     def unmeasured(self, system: str) -> list[PoolEntry]:

@@ -24,7 +24,7 @@ from repro.analytics import (
 from repro.data import populate_tpch
 from repro.driver.client import InProcessClient
 from repro.driver.config import DriverConfig
-from repro.driver.runner import ExperimentDriver
+from repro.driver.runner import BatchRunner
 from repro.engine import ColumnEngine, Database, Engine, RowEngine
 from repro.platform.models import Experiment, Project, User
 from repro.platform.service import PlatformService
@@ -93,15 +93,14 @@ class DemoSummary:
 
 def run_experiment_on_engines(pool: QueryPool, engines: list[Engine], repeats: int = 3
                               ) -> None:
-    """Measure every pool entry on every engine, recording into the pool."""
-    from repro.driver.runner import measure_query
+    """Measure every pool entry on every engine, recording into the pool.
 
+    Measurement goes through :meth:`QueryPool.measure`, which prepares each
+    query once per engine (plan cache) and times executions of the prepared
+    plan only.
+    """
     for engine in engines:
-        for entry in pool.entries():
-            outcome = measure_query(engine, entry.sql, repeats=repeats)
-            pool.record(entry, engine.label, outcome.best or 0.0,
-                        error=outcome.error, repeats=outcome.times,
-                        metadata=outcome.extras)
+        pool.measure(engine, repeats=repeats)
 
 
 def run_demo_scenario(baseline_sql: str = DEFAULT_BASELINE, scale_factor: float = 0.001,
@@ -146,11 +145,12 @@ def run_demo_scenario(baseline_sql: str = DEFAULT_BASELINE, scale_factor: float 
                                  host_name=host.name)
         for engine in engines:
             config = DriverConfig(key=contributor.contributor_key, dbms=engine.label,
-                                  host=host.name, repeats=repeats, timeout=120.0)
-            driver = ExperimentDriver(
+                                  host=host.name, repeats=repeats, timeout=120.0,
+                                  batch_size=8)
+            runner = BatchRunner(
                 client=InProcessClient(service, contributor.contributor_key),
                 engine=engine, config=config)
-            executed += driver.run_all(experiment.id)
+            executed += runner.run_all(experiment.id)
         _replay_results_into_pool(service, experiment, pool)
     else:
         run_experiment_on_engines(pool, engines, repeats=repeats)

@@ -1,0 +1,256 @@
+"""Tests for the batched driver pipeline and the measure_query semantics."""
+
+import pytest
+
+from repro.driver import BatchRunner, DriverConfig, HTTPClient, InProcessClient, measure_query
+from repro.engine import ColumnEngine, Database, EngineOptions, RowEngine
+from repro.errors import ConfigError, ValidationError
+from repro.platform.models import TaskStatus
+from repro.platform.service import PlatformService
+from repro.platform.webapp import PlatformServer
+
+
+@pytest.fixture()
+def tiny_db() -> Database:
+    database = Database("batch-unit")
+    database.create_table("t", [("id", "int"), ("price", "float")])
+    database.insert_rows("t", [(1, 10.0), (2, 20.0), (3, 30.0)])
+    return database
+
+
+@pytest.fixture()
+def platform(tiny_db):
+    """A service with one experiment whose pool is queued for one engine."""
+    service = PlatformService()
+    owner = service.register_user("owner", "owner@example.org")
+    contributor = service.register_user("driver", "driver@example.org")
+    host = service.register_host("laptop")
+    engine = ColumnEngine(tiny_db)
+    service.register_dbms(engine.name, engine.version)
+    project = service.create_project(owner, "batch-demo")
+    service.invite_contributor(owner, project, contributor)
+    experiment = service.add_experiment(
+        owner, project, "exp", "select sum(price) from t where id > 0",
+        repeats=2, timeout_seconds=60.0)
+    pool = service.build_pool(experiment, seed=5)
+    pool.seed_baseline()
+    pool.seed_random(4)
+    service.enqueue_pool(owner, experiment, pool, dbms_label=engine.label,
+                        host_name=host.name)
+    return service, owner, contributor, experiment, engine
+
+
+# ---------------------------------------------------------------------------
+# service-level batching
+# ---------------------------------------------------------------------------
+
+
+class TestServiceBatching:
+    def test_next_tasks_claims_up_to_limit(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        claimed = service.next_tasks(contributor, experiment, limit=3,
+                                     dbms_label=engine.label)
+        assert 1 <= len(claimed) <= 3
+        assert all(task.status == TaskStatus.RUNNING.value for task in claimed)
+        assert all(task.assigned_to == contributor.contributor_key for task in claimed)
+
+    def test_next_tasks_respects_dbms_filter(self, platform):
+        service, _owner, contributor, experiment, _engine = platform
+        assert service.next_tasks(contributor, experiment, limit=5,
+                                  dbms_label="no-such-dbms") == []
+
+    def test_next_tasks_rejects_non_positive_limit(self, platform):
+        service, _owner, contributor, experiment, _engine = platform
+        with pytest.raises(ValidationError):
+            service.next_tasks(contributor, experiment, limit=0)
+
+    def test_submit_results_batch_records_and_flips_status(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        claimed = service.next_tasks(contributor, experiment, limit=2,
+                                     dbms_label=engine.label)
+        records = service.submit_results(contributor, [
+            {"task": claimed[0], "times": [0.01, 0.02]},
+            {"task": claimed[1], "times": [], "error": "ExecutionError: boom"},
+        ])
+        assert len(records) == 2
+        assert claimed[0].status == TaskStatus.DONE.value
+        assert claimed[1].status == TaskStatus.FAILED.value
+        assert records[1].error == "ExecutionError: boom"
+
+    def test_submit_results_batch_validates_before_writing(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        claimed = service.next_tasks(contributor, experiment, limit=2,
+                                     dbms_label=engine.label)
+        with pytest.raises(ValidationError):
+            service.submit_results(contributor, [
+                {"task": claimed[0], "times": [0.01]},
+                {"task": claimed[1], "times": []},  # no timings and no error
+            ])
+        # the invalid batch must not have recorded anything
+        assert service.store.results(experiment.id) == []
+
+    def test_submit_results_batch_is_atomic_on_missing_task(self, platform):
+        from repro.errors import NotFound
+
+        service, _owner, contributor, experiment, engine = platform
+        claimed = service.next_tasks(contributor, experiment, limit=1,
+                                     dbms_label=engine.label)
+        ghost = claimed[0]
+        service.store.delete("tasks", ghost.id)
+        with pytest.raises(NotFound):
+            service.submit_results(contributor, [
+                {"task": ghost, "times": [0.01]},
+            ])
+        # the result insert must have been rolled back with the failed update
+        assert service.store.results(experiment.id) == []
+
+
+# ---------------------------------------------------------------------------
+# batch runner (in-process and HTTP transports)
+# ---------------------------------------------------------------------------
+
+
+def _config(contributor, engine, **overrides) -> DriverConfig:
+    settings = dict(key=contributor.contributor_key, dbms=engine.label, host="laptop",
+                    repeats=2, timeout=60.0, batch_size=3)
+    settings.update(overrides)
+    return DriverConfig(**settings)
+
+
+class TestBatchRunner:
+    def test_drains_queue_in_batches(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        runner = BatchRunner(client=InProcessClient(service, contributor.contributor_key),
+                             engine=engine, config=_config(contributor, engine))
+        executed = runner.run_all(experiment.id)
+        tasks = service.store.tasks(experiment.id)
+        pending = [task for task in tasks if task.status == TaskStatus.PENDING.value]
+        assert executed == len(tasks) >= 1 and pending == []
+        assert len(service.store.results(experiment.id)) == executed
+        # every distinct query was planned exactly once: misses == distinct SQL
+        stats = engine.cache_stats()
+        distinct = len({task.query_sql for task in service.store.tasks(experiment.id)})
+        assert stats["misses"] == distinct
+
+    def test_max_tasks_clamps_batches(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        runner = BatchRunner(client=InProcessClient(service, contributor.contributor_key),
+                             engine=engine, config=_config(contributor, engine))
+        executed = runner.run_all(experiment.id, max_tasks=2)
+        assert executed == 2
+
+    def test_worker_pool_produces_complete_results(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        runner = BatchRunner(client=InProcessClient(service, contributor.contributor_key),
+                             engine=engine,
+                             config=_config(contributor, engine, workers=3, batch_size=5))
+        executed = runner.run_all(experiment.id)
+        records = service.store.results(experiment.id)
+        assert len(records) == executed
+        assert all(record.error is None and len(record.times) == 2
+                   for record in records)
+
+    def test_http_round_trip(self, platform):
+        service, _owner, contributor, experiment, engine = platform
+        with PlatformServer(service) as server:
+            client = HTTPClient(server.url, contributor.contributor_key)
+            tasks = client.next_tasks(experiment.id, count=2, dbms=engine.label)
+            assert len(tasks) == 2
+            submitted = client.submit_results([
+                {"task": task["id"], "times": [0.01], "error": None,
+                 "load_averages": {}, "extras": {"engine": engine.label}}
+                for task in tasks
+            ])
+            assert len(submitted) == 2
+            assert {record["task_id"] for record in submitted} \
+                == {task["id"] for task in tasks}
+
+    def test_config_parses_batch_options(self, tmp_path):
+        config_path = tmp_path / "driver.ini"
+        config_path.write_text(
+            "[sqalpel]\nkey = abc\n\n[target]\ndbms = columnstore-1.0\nhost = laptop\n"
+            "batch_size = 16\nworkers = 4\n")
+        from repro.driver import load_config
+
+        config = load_config(config_path)
+        assert config.batch_size == 16 and config.workers == 4
+        with pytest.raises(ConfigError):
+            DriverConfig(key="k", dbms="d", host="h", batch_size=0)
+        with pytest.raises(ConfigError):
+            DriverConfig(key="k", dbms="d", host="h", workers=0)
+
+
+# ---------------------------------------------------------------------------
+# measure_query semantics
+# ---------------------------------------------------------------------------
+
+
+class _StubResult:
+    def __init__(self, elapsed: float, rows: int):
+        self.elapsed = elapsed
+        self.rows = [()] * rows
+
+
+class _StubEngine:
+    """Engine double with scripted per-repetition behaviour."""
+
+    label = "stub-1.0"
+    options = EngineOptions()
+
+    def __init__(self, script):
+        #: each entry is either (elapsed, rows) or an Exception to raise.
+        self.script = list(script)
+        self.executions = 0
+
+    def strategy(self) -> str:
+        return "stub"
+
+    def prepare(self, query):
+        return query
+
+    def execute(self, _query):
+        step = self.script[min(self.executions, len(self.script) - 1)]
+        self.executions += 1
+        if isinstance(step, Exception):
+            raise step
+        elapsed, rows = step
+        return _StubResult(elapsed, rows)
+
+
+class TestMeasureQuery:
+    def test_times_come_from_result_elapsed(self, tiny_db):
+        engine = RowEngine(tiny_db)
+        outcome = measure_query(engine, "select count(*) from t", repeats=3)
+        assert len(outcome.times) == 3 and not outcome.failed
+        assert outcome.rows == 1
+        # the engine reports execution-only elapsed times; the outcome must
+        # carry exactly those, not a re-measured wall clock around them.
+        assert all(value >= 0.0 for value in outcome.times)
+
+    def test_rows_survive_a_later_failed_repetition(self):
+        engine = _StubEngine([(0.01, 7), RuntimeError("flaky")])
+        outcome = measure_query(engine, "select 1", repeats=3)
+        assert outcome.failed and "flaky" in outcome.error
+        assert outcome.times == [0.01]
+        assert outcome.rows == 7
+        assert outcome.extras["rows"] == 7
+
+    def test_over_budget_repetition_is_recorded_and_flagged(self):
+        engine = _StubEngine([(5.0, 3)])
+        outcome = measure_query(engine, "select 1", repeats=5, timeout=1.0)
+        # the over-budget repetition is recorded, flagged, and stops the loop.
+        assert outcome.times == [5.0]
+        assert outcome.timed_out and outcome.extras["timed_out"] is True
+        assert engine.executions == 1
+
+    def test_within_budget_runs_all_repetitions(self):
+        engine = _StubEngine([(0.1, 3)])
+        outcome = measure_query(engine, "select 1", repeats=4, timeout=1.0)
+        assert len(outcome.times) == 4
+        assert not outcome.timed_out and "timed_out" not in outcome.extras
+
+    def test_prepare_failure_is_a_first_class_outcome(self, tiny_db):
+        engine = RowEngine(tiny_db)
+        outcome = measure_query(engine, "selectt broken", repeats=3)
+        assert outcome.failed and outcome.times == []
+        assert outcome.extras["engine"] == engine.label

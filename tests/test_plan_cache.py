@@ -1,0 +1,214 @@
+"""Tests for the logical-plan IR, the planner and the engine plan cache."""
+
+import pytest
+
+from repro.engine import (
+    ColumnEngine,
+    Database,
+    PlanCache,
+    Planner,
+    QueryPlan,
+    RowEngine,
+    normalize_sql,
+)
+from repro.sqlparser.parser import parse_select
+from repro.tpch import QUERIES
+from tests.conftest import normalise
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    database = Database("plan-unit")
+    database.create_table("t", [("id", "int"), ("name", "str"), ("price", "float")])
+    database.insert_rows("t", [
+        (1, "alpha", 10.0), (2, "beta", 20.0), (3, "gamma", 30.0), (4, "alpha", 40.0),
+    ])
+    database.create_table("u", [("id", "int"), ("t_id", "int"), ("tag", "str")])
+    database.insert_rows("u", [(1, 1, "x"), (2, 1, "y"), (3, 3, "z")])
+    return database
+
+
+# ---------------------------------------------------------------------------
+# planner / plan IR
+# ---------------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_plan_contains_root_block(self, small_db):
+        planner = Planner(small_db.catalog)
+        select = parse_select("select name, price from t where price > 15")
+        plan = planner.plan(select, sql_text="select name, price from t where price > 15")
+        root = plan.root
+        assert root.output_names == ["name", "price"]
+        assert root.pushdown == {"t": root.classified.single["t"]}
+        assert not root.needs_aggregation
+        assert [step.frame_index for step in root.join_order] == [0]
+
+    def test_plan_covers_nested_subquery_blocks(self, small_db):
+        planner = Planner(small_db.catalog)
+        select = parse_select(
+            "select count(*) from t where price > (select avg(price) from t) "
+            "and exists (select * from u where u.t_id = t.id)")
+        plan = planner.plan(select)
+        # root + scalar subquery + correlated EXISTS subquery
+        assert len(plan.blocks) == 3
+        for node in select.walk():
+            if type(node).__name__ == "Select":
+                assert plan.block(node) is not None
+
+    def test_equi_join_drives_join_order(self, small_db):
+        planner = Planner(small_db.catalog)
+        select = parse_select("select t.name, u.tag from u, t where t.id = u.t_id")
+        plan = planner.plan(select)
+        root = plan.root
+        assert len(root.classified.equi_joins) == 1
+        order = [step.frame_index for step in root.join_order]
+        assert order == [0, 1]
+        assert len(root.join_order[1].connecting) == 1
+
+    def test_pushdown_disabled_moves_predicates_to_residual(self, small_db):
+        planner = Planner(small_db.catalog, predicate_pushdown=False)
+        select = parse_select("select name from t where price > 15")
+        root = planner.plan(select).root
+        assert root.pushdown == {}
+        assert len(root.residual) == 1
+
+    def test_describe_is_json_friendly(self, small_db):
+        import json
+
+        plan = Planner(small_db.catalog).plan(
+            parse_select("select t.name, u.tag from t, u where t.id = u.t_id"))
+        description = plan.describe()
+        assert json.dumps(description)
+        assert description["root"]["equi_joins"] == 1
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_hit_miss_stats(self, small_db):
+        engine = RowEngine(small_db)
+        first = engine.prepare("select id from t")
+        second = engine.prepare("select id from t")
+        assert first is second
+        stats = engine.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_whitespace_normalisation_shares_plans(self, small_db):
+        engine = RowEngine(small_db)
+        first = engine.prepare("select id from t where id = 1")
+        second = engine.prepare("select  id\n from   t where id = 1;")
+        assert first is second
+        assert normalize_sql("select  1 ;") == normalize_sql("select 1")
+
+    def test_whitespace_inside_string_literals_is_significant(self, small_db):
+        engine = RowEngine(small_db)
+        spaced = engine.prepare("select count(*) from t where name = 'a  b'")
+        single = engine.prepare("select count(*) from t where name = 'a b'")
+        assert spaced is not single  # literals differ: must not share a plan
+        assert normalize_sql("select '' || 'x  y'") == "select '' || 'x  y'"
+        assert normalize_sql("select 'it''s  ok'  from t") == "select 'it''s  ok' from t"
+
+    def test_eviction_lru(self, small_db):
+        engine = RowEngine(small_db, plan_cache_size=2)
+        engine.prepare("select id from t")
+        engine.prepare("select name from t")
+        engine.prepare("select price from t")  # evicts "select id from t"
+        stats = engine.cache_stats()
+        assert stats["evictions"] == 1 and stats["size"] == 2
+        engine.prepare("select id from t")  # miss again after eviction
+        assert engine.cache_stats()["misses"] == 4
+
+    def test_disabled_cache_retains_nothing(self, small_db):
+        engine = RowEngine(small_db, plan_cache_size=0)
+        engine.prepare("select id from t")
+        engine.prepare("select id from t")
+        stats = engine.cache_stats()
+        assert stats["size"] == 0 and stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_with_version_starts_with_fresh_cache(self, small_db):
+        base = ColumnEngine(small_db)
+        base.prepare("select count(*) from t")
+        variant = base.with_version("no-pd", predicate_pushdown=False)
+        assert variant.cache_stats()["size"] == 0
+        plan = variant.prepare("select name from t where price > 15")
+        assert plan.root.pushdown == {}  # planned under the new options
+        assert base.prepare("select name from t where price > 15").root.pushdown
+        assert base.cache_stats()["size"] == 2  # the base cache was untouched
+
+    def test_clear_resets_stats(self, small_db):
+        engine = RowEngine(small_db)
+        engine.prepare("select id from t")
+        engine.clear_plan_cache()
+        stats = engine.cache_stats()
+        assert stats == {"size": 0, "maxsize": 128, "enabled": True,
+                         "hits": 0, "misses": 0, "evictions": 0}
+
+    def test_plan_cache_standalone(self):
+        cache = PlanCache(maxsize=1)
+        sentinel = object()
+        cache.put("a", sentinel)
+        cache.put("b", sentinel)
+        assert cache.get("a") is None and cache.get("b") is sentinel
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+
+
+# ---------------------------------------------------------------------------
+# cached vs. uncached execution equivalence
+# ---------------------------------------------------------------------------
+
+
+QUERY_SET = [
+    "select name, price from t where price > 15 order by price",
+    "select count(*), sum(price), min(price), max(price) from t",
+    "select name, count(*) as n from t group by name having count(*) > 1 order by name",
+    "select t.name, u.tag from t, u where t.id = u.t_id order by tag",
+    "select count(*) from t where price > (select avg(price) from t)",
+    "select count(*) from t where exists (select * from u where u.t_id = t.id)",
+    "select max(total) from (select name, sum(price) as total from t group by name) s",
+    "select t.id, count(u.id) as tags from t left join u on t.id = u.t_id "
+    "group by t.id order by t.id",
+]
+
+
+class TestCachedExecutionEquivalence:
+    @pytest.mark.parametrize("kind", ["row", "column"])
+    def test_cache_on_and_off_agree(self, small_db, kind):
+        factory = RowEngine if kind == "row" else ColumnEngine
+        cached = factory(small_db)
+        uncached = factory(small_db, plan_cache_size=0)
+        for sql in QUERY_SET:
+            cold = uncached.execute(sql)
+            for _ in range(3):  # repeated executions hit the cache after round one
+                warm = cached.execute(sql)
+                assert warm.columns == cold.columns
+                assert normalise(warm.rows) == normalise(cold.rows)
+        assert cached.cache_stats()["hits"] >= 2 * len(QUERY_SET)
+
+    def test_prepared_plan_is_reusable_across_executions(self, small_db):
+        engine = ColumnEngine(small_db)
+        plan = engine.prepare(QUERY_SET[3])
+        assert isinstance(plan, QueryPlan)
+        results = [engine.execute(plan).rows for _ in range(3)]
+        assert results[0] == results[1] == results[2]
+        # prepare() is idempotent on plans
+        assert engine.prepare(plan) is plan
+
+    def test_row_and_column_agree_through_shared_plan_ir(self, row_engine, column_engine):
+        for query_id in (1, 6, 13):
+            sql = QUERIES[query_id]
+            row_result = row_engine.execute(row_engine.prepare(sql))
+            column_result = column_engine.execute(column_engine.prepare(sql))
+            assert normalise(row_result.rows) == normalise(column_result.rows)
+            assert row_result.columns == column_result.columns
+
+    def test_explain_reports_plan_and_cache(self, small_db):
+        engine = RowEngine(small_db)
+        report = engine.explain("select t.name, u.tag from t, u where t.id = u.t_id")
+        assert report["plan"]["equi_joins"] == 1
+        assert report["plan"]["join_order"] == [0, 1]
+        assert report["plan_cache"]["misses"] >= 1
