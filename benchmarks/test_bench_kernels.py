@@ -1,0 +1,130 @@
+"""Kernel-compilation benchmark: compiled kernels + selection vectors vs the
+recursive interpreters, on both engines.
+
+The driver executes every pool query five-plus times per target system over a
+prepared plan; compiled kernels hang off that cached plan, so the repetition
+loop pays near-zero per-tuple dispatch.  This benchmark quantifies the warm
+speedup on the paper's running examples -- TPC-H Q1 (aggregation-heavy, the
+row engine's worst case for per-row interpretation) and Q6 (scan-dominated,
+the column engine's selection-vector showcase) -- for both engines in both
+modes, and acts as the CI perf-regression gate: the warm speedup of the
+compiled configuration must not drop below ``KERNEL_BENCH_MIN_SPEEDUP``
+(default 1.3x) on Q1/row and Q6/column.
+
+A run writes ``BENCH_kernels.json`` (into ``BENCH_ARTIFACT_DIR`` or the
+current directory) so CI can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ColumnEngine, EngineOptions, RowEngine
+from repro.engine.vector import ColFrame
+from repro.tpch import QUERIES
+from repro.workflow import build_tpch_database
+
+#: committed regression threshold for the gated (query, engine) pairs.
+MIN_SPEEDUP = float(os.environ.get("KERNEL_BENCH_MIN_SPEEDUP", "1.3"))
+
+#: (query id, engine kind, repetitions per timing loop, gated?)
+MATRIX = [
+    (1, "row", 6, True),
+    (6, "row", 6, False),
+    (1, "column", 25, False),
+    (6, "column", 60, True),
+]
+
+INTERPRETED = EngineOptions(compile_expressions=False, selection_vectors=False)
+COMPILED = EngineOptions(compile_expressions=True, selection_vectors=True)
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    return build_tpch_database(scale_factor=0.001)
+
+
+def _make_engine(kind: str, database, options: EngineOptions):
+    factory = RowEngine if kind == "row" else ColumnEngine
+    return factory(database, options=options)
+
+
+def _warm_seconds(engine, sql: str, repetitions: int, rounds: int = 3) -> float:
+    """Best per-execution time over ``rounds`` timing loops of a prepared plan."""
+    plan = engine.prepare(sql)
+    engine.execute(plan)  # warm: kernels, columnar views, caches
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            engine.execute(plan)
+        best = min(best, time.perf_counter() - started)
+    return best / repetitions
+
+
+def _frames_per_execution(engine, sql: str) -> int:
+    plan = engine.prepare(sql)
+    engine.execute(plan)
+    before = ColFrame.materialisations
+    engine.execute(plan)
+    return ColFrame.materialisations - before
+
+
+def test_compiled_kernels_beat_interpretation(tpch_db, benchmark, run_once):
+    """Compiled kernels must keep their warm speedup on the gated hot paths."""
+    entries = []
+    gated_failures = []
+    for query_id, kind, repetitions, gated in MATRIX:
+        sql = QUERIES[query_id]
+        interpreted = _warm_seconds(_make_engine(kind, tpch_db, INTERPRETED), sql,
+                                    repetitions)
+        compiled_engine = _make_engine(kind, tpch_db, COMPILED)
+        if (query_id, kind) == (1, "row"):
+            # time one loop under pytest-benchmark for the harness report
+            plan = compiled_engine.prepare(sql)
+            compiled_engine.execute(plan)
+            run_once(benchmark, lambda: [compiled_engine.execute(plan)
+                                         for _ in range(repetitions)])
+        compiled = _warm_seconds(compiled_engine, sql, repetitions)
+        speedup = interpreted / compiled if compiled else float("inf")
+        entries.append({
+            "query": f"tpch-q{query_id}",
+            "engine": kind,
+            "repetitions": repetitions,
+            "interpreted_seconds": interpreted,
+            "compiled_seconds": compiled,
+            "speedup": speedup,
+            "gated": gated,
+        })
+        print(f"Q{query_id} {kind}: interpreted={interpreted * 1000:.3f}ms "
+              f"compiled={compiled * 1000:.3f}ms speedup={speedup:.2f}x")
+        if gated and speedup < MIN_SPEEDUP:
+            gated_failures.append(
+                f"Q{query_id}/{kind}: {speedup:.2f}x < {MIN_SPEEDUP}x")
+
+    selection_frames = _frames_per_execution(
+        _make_engine("column", tpch_db, COMPILED), QUERIES[6])
+    masked_frames = _frames_per_execution(
+        _make_engine("column", tpch_db, INTERPRETED), QUERIES[6])
+
+    artifact = {
+        "min_speedup": MIN_SPEEDUP,
+        "entries": entries,
+        "q6_colframe_materialisations": {
+            "selection_vectors": selection_frames,
+            "masked": masked_frames,
+        },
+    }
+    target = Path(os.environ.get("BENCH_ARTIFACT_DIR", ".")) / "BENCH_kernels.json"
+    target.write_text(json.dumps(artifact, indent=2))
+
+    # the selection-vector path allocates no intermediate frame per predicate:
+    # Q6 costs exactly one scan frame plus one result frame.
+    assert selection_frames == 2
+    assert masked_frames > selection_frames
+    assert not gated_failures, "; ".join(gated_failures)

@@ -22,9 +22,23 @@ a :class:`QueryPlan` that both physical backends consume, and every engine
 keeps a keyed LRU :class:`PlanCache` so repeated executions -- the driver's
 five-repetition loop, the pool's morph/re-measure cycle -- parse and plan
 exactly once per distinct query.
+
+On top of the plan sits the kernel compiler (:mod:`repro.engine.compile`):
+each prepared plan's expressions are lowered once into Python closures --
+fused per-row kernels for the row engine, selection-vector column kernels
+for the column engine -- cached on the plan and toggled by the
+``compile_expressions`` / ``selection_vectors`` engine options.
 """
 
 from repro.engine.catalog import Catalog, ColumnDef, TableSchema
+from repro.engine.compile import (
+    ColumnContext,
+    CompileFallback,
+    compile_column_block,
+    compile_column_kernel,
+    compile_row_block,
+    compile_row_kernel,
+)
 from repro.engine.database import Database
 from repro.engine.plan import (
     BlockPlan,
@@ -49,6 +63,12 @@ __all__ = [
     "Catalog",
     "ColumnDef",
     "TableSchema",
+    "ColumnContext",
+    "CompileFallback",
+    "compile_column_block",
+    "compile_column_kernel",
+    "compile_row_block",
+    "compile_row_kernel",
     "Database",
     "QueryResult",
     "BlockPlan",

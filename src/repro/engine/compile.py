@@ -1,0 +1,1432 @@
+"""Compile-once expression kernels for both physical backends.
+
+The recursive interpreters (:mod:`repro.engine.expression` for the row engine,
+:class:`repro.engine.vector.VectorEvaluator` for the column engine) re-dispatch
+on the AST node type for every row / every operator application.  On the
+driver's plan-once/execute-many loop that dispatch dominates the measured
+time, drowning the execution-strategy contrast the paper cares about.
+
+This module lowers each planned query block's expressions *once* into plain
+Python closures:
+
+* **Row kernels** -- ``fn(row) -> value`` closures with column references
+  resolved to fixed tuple positions at compile time.  Predicates, projections,
+  group keys and aggregate accumulators are all fused closures; only
+  subquery-bearing expressions stay on the interpreter.
+* **Column kernels** -- ``fn(ctx) -> ndarray`` closures over a
+  :class:`ColumnContext` that evaluates leaf columns through a **selection
+  vector**: an ``int64`` index of the surviving rows.  Scans and residual
+  predicates refine the selection instead of materialising a masked
+  :class:`~repro.engine.vector.ColFrame` after every predicate; gathered
+  columns are memoised per evaluation so repeated references pay one gather.
+
+Kernels mirror the interpreter semantics exactly (NULL propagation, date
+coercion, LIKE, three-valued predicates); anything they cannot express raises
+:class:`CompileFallback` at compile time and the executors keep using the
+interpreter for that expression.  Compiled blocks are cached on the
+:class:`~repro.engine.plan.QueryPlan` (see :meth:`QueryPlan.kernels`), so the
+engine's LRU plan cache amortises compilation exactly like planning.
+"""
+
+from __future__ import annotations
+
+import datetime
+import operator as _operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.expression import compare_values, like_predicate, scalar_functions
+from repro.engine.planner import ColumnInfo
+from repro.engine.types import add_interval, date_to_ordinal, ordinal_to_date, to_date
+from repro.engine.vector import concat_values
+from repro.errors import ExecutionError
+from repro.sqlparser import ast
+
+
+class CompileFallback(Exception):
+    """Raised when an expression cannot be lowered to a compiled kernel."""
+
+
+#: comparison operators shared by the row and column compilers.
+_CMP = {
+    "=": _operator.eq,
+    "<>": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+
+class Layout:
+    """Compile-time column layout mirroring a frame's position lookup.
+
+    ``ambiguous`` selects what an unqualified name matching several columns
+    does: ``"first"`` mirrors the row frames (first binding wins), ``"raise"``
+    mirrors the column engine's strict resolution.
+    """
+
+    __slots__ = ("columns", "ambiguous", "_index", "_by_name")
+
+    def __init__(self, columns: list[ColumnInfo], ambiguous: str = "first"):
+        self.columns = list(columns)
+        self.ambiguous = ambiguous
+        self._index: dict[tuple[str, str], int] = {}
+        self._by_name: dict[str, list[int]] = {}
+        for position, column in enumerate(self.columns):
+            self._index[(column.binding.lower(), column.name.lower())] = position
+            self._by_name.setdefault(column.name.lower(), []).append(position)
+
+    def position(self, ref: ast.ColumnRef) -> int | None:
+        if ref.table:
+            return self._index.get((ref.table.lower(), ref.name.lower()))
+        positions = self._by_name.get(ref.name.lower())
+        if not positions:
+            return None
+        if len(positions) > 1 and self.ambiguous == "raise":
+            raise ExecutionError(
+                f"ambiguous column '{ref.name}' (qualify it with a table alias)")
+        return positions[0]
+
+    def type_of(self, position: int) -> str:
+        return self.columns[position].type_name
+
+
+class _OffsetLayout:
+    """A layout whose positions are shifted (used by aggregate finalisers)."""
+
+    __slots__ = ("base", "offset")
+
+    def __init__(self, base: Layout, offset: int):
+        self.base = base
+        self.offset = offset
+
+    def position(self, ref: ast.ColumnRef) -> int | None:
+        position = self.base.position(ref)
+        return None if position is None else position + self.offset
+
+    def type_of(self, position: int) -> str:
+        return self.base.type_of(position - self.offset)
+
+
+# ---------------------------------------------------------------------------
+# shared compile-time analysis
+# ---------------------------------------------------------------------------
+
+
+def _as_fn(pair: tuple[bool, Any]) -> Callable:
+    const, value = pair
+    if const:
+        return lambda _arg, _value=value: _value
+    return value
+
+
+def _maybe_fold(fn: Callable, *pairs: tuple[bool, Any]) -> tuple[bool, Any]:
+    """Constant-fold ``fn`` when every input is constant.
+
+    Folding calls the closure with no context; a closure that needs runtime
+    state (a row, a column context) or raises is kept as a runtime kernel so
+    errors surface with interpreter timing.
+    """
+    if all(const for const, _ in pairs):
+        try:
+            return True, fn(None)
+        except CompileFallback:
+            raise
+        except Exception:
+            return False, fn
+    return False, fn
+
+
+def _never_date(node: ast.Expression, layout) -> bool:
+    """True when ``node`` can never evaluate to a ``datetime.date`` instance."""
+    if isinstance(node, (ast.Literal, ast.IntervalLiteral)):
+        return True
+    if isinstance(node, ast.DateLiteral):
+        return False
+    if isinstance(node, ast.ColumnRef):
+        position = layout.position(node)
+        return position is not None and layout.type_of(position) in ("int", "float", "bool")
+    if isinstance(node, ast.UnaryOp):
+        return _never_date(node.operand, layout)
+    if isinstance(node, ast.BinaryOp):
+        if isinstance(node.left, ast.IntervalLiteral) or isinstance(node.right, ast.IntervalLiteral):
+            return False
+        return _never_date(node.left, layout) and _never_date(node.right, layout)
+    if isinstance(node, ast.Cast):
+        return not node.type_name.lower().startswith("date")
+    if isinstance(node, (ast.Extract, ast.Substring, ast.Comparison, ast.Between,
+                         ast.IsNull, ast.Like, ast.InList, ast.BoolOp)):
+        return True
+    return False
+
+
+def _always_date(node: ast.Expression, layout) -> bool:
+    """True when ``node`` always evaluates to a date (or NULL)."""
+    if isinstance(node, ast.DateLiteral):
+        return True
+    if isinstance(node, ast.ColumnRef):
+        position = layout.position(node)
+        return position is not None and layout.type_of(position) == "date"
+    if (isinstance(node, ast.BinaryOp) and node.operator in ("+", "-")
+            and isinstance(node.right, ast.IntervalLiteral)):
+        return _always_date(node.left, layout)
+    if isinstance(node, ast.Cast):
+        return node.type_name.lower().startswith("date")
+    return False
+
+
+def _cast_converter(type_name: str) -> Callable[[Any], Any]:
+    target = type_name.lower()
+    if target.startswith(("int", "bigint", "smallint")):
+        return int
+    if target.startswith(("float", "double", "real", "decimal", "numeric")):
+        return float
+    if target.startswith(("char", "varchar", "text", "string")):
+        return str
+    if target.startswith("date"):
+        return to_date
+    raise CompileFallback(f"unsupported CAST target type '{type_name}'")
+
+
+# ---------------------------------------------------------------------------
+# row kernels
+# ---------------------------------------------------------------------------
+
+
+def compile_row_kernel(expression: ast.Expression, layout,
+                       agg_slots: dict[int, int] | None = None
+                       ) -> Callable[[tuple], Any]:
+    """Lower ``expression`` to a ``fn(row) -> value`` closure.
+
+    ``agg_slots`` maps ``id(FunctionCall)`` of aggregate calls to positions in
+    the row (used by aggregate finalisers, where the "row" is the tuple of
+    aggregate results followed by the group's first frame row).  Raises
+    :class:`CompileFallback` for subqueries and unresolvable columns.
+    """
+    pair = _row(expression, layout, agg_slots or {})
+    const, value = pair
+    if const:
+        return lambda _row, _value=value: _value
+    return value
+
+
+def _row(node: ast.Expression, layout, slots: dict[int, int]) -> tuple[bool, Any]:
+    if id(node) in slots:
+        slot = slots[id(node)]
+        return False, lambda row, _s=slot: row[_s]
+    if isinstance(node, ast.Literal):
+        return True, node.value
+    if isinstance(node, ast.DateLiteral):
+        return True, to_date(node.value)
+    if isinstance(node, ast.IntervalLiteral):
+        return True, node
+    if isinstance(node, ast.ColumnRef):
+        position = layout.position(node)
+        if position is None:
+            raise CompileFallback(f"column '{node.qualified}' is not local")
+        return False, lambda row, _p=position: row[_p]
+    if isinstance(node, ast.Star):
+        return True, 1
+    if isinstance(node, ast.UnaryOp):
+        return _row_unary(node, layout, slots)
+    if isinstance(node, ast.BinaryOp):
+        return _row_binary(node, layout, slots)
+    if isinstance(node, ast.BoolOp):
+        return _row_bool(node, layout, slots)
+    if isinstance(node, ast.Comparison):
+        return _row_comparison(node, layout, slots)
+    if isinstance(node, ast.IsNull):
+        operand = _as_fn(_row(node.operand, layout, slots))
+        negated = node.negated
+        return False, lambda row: (operand(row) is None) != negated
+    if isinstance(node, ast.Between):
+        return _row_between(node, layout, slots)
+    if isinstance(node, ast.Like):
+        return _row_like(node, layout, slots)
+    if isinstance(node, ast.InList):
+        return _row_in_list(node, layout, slots)
+    if isinstance(node, ast.FunctionCall):
+        return _row_function(node, layout, slots)
+    if isinstance(node, ast.Cast):
+        converter = _cast_converter(node.type_name)
+        operand_pair = _row(node.operand, layout, slots)
+        operand = _as_fn(operand_pair)
+
+        def fn(row):
+            value = operand(row)
+            return None if value is None else converter(value)
+        return _maybe_fold(fn, operand_pair)
+    if isinstance(node, ast.Extract):
+        if node.field_name not in ("year", "month", "day"):
+            raise CompileFallback(f"unsupported EXTRACT field '{node.field_name}'")
+        operand_pair = _row(node.operand, layout, slots)
+        operand = _as_fn(operand_pair)
+        field_name = node.field_name
+
+        def fn(row):
+            value = operand(row)
+            return None if value is None else getattr(to_date(value), field_name)
+        return _maybe_fold(fn, operand_pair)
+    if isinstance(node, ast.Substring):
+        return _row_substring(node, layout, slots)
+    if isinstance(node, ast.CaseWhen):
+        branches = [(_as_fn(_row(condition, layout, slots)),
+                     _as_fn(_row(result, layout, slots)))
+                    for condition, result in node.branches]
+        default = _as_fn(_row(node.default, layout, slots)) \
+            if node.default is not None else None
+
+        def fn(row):
+            for condition, result in branches:
+                if condition(row):
+                    return result(row)
+            return default(row) if default is not None else None
+        return False, fn
+    raise CompileFallback(f"cannot compile expression node {type(node).__name__}")
+
+
+def _row_unary(node: ast.UnaryOp, layout, slots) -> tuple[bool, Any]:
+    operand_pair = _row(node.operand, layout, slots)
+    operand = _as_fn(operand_pair)
+    if node.operator == "not":
+        def fn(row):
+            value = operand(row)
+            return None if value is None else (not value)
+    elif node.operator == "-":
+        def fn(row):
+            value = operand(row)
+            return None if value is None else -value
+    else:
+        def fn(row):
+            value = operand(row)
+            return None if value is None else +value
+    return _maybe_fold(fn, operand_pair)
+
+
+def _row_binary(node: ast.BinaryOp, layout, slots) -> tuple[bool, Any]:
+    left_pair = _row(node.left, layout, slots)
+    right_pair = _row(node.right, layout, slots)
+    left, right = _as_fn(left_pair), _as_fn(right_pair)
+    op = node.operator
+
+    if op == "||":
+        def fn(row):
+            lhs, rhs = left(row), right(row)
+            if lhs is None or rhs is None:
+                return None
+            return str(lhs) + str(rhs)
+        return _maybe_fold(fn, left_pair, right_pair)
+
+    if right_pair[0] and isinstance(right_pair[1], ast.IntervalLiteral):
+        interval = right_pair[1]
+        amount = interval.value if op == "+" else -interval.value
+        unit = interval.unit
+
+        def fn(row):
+            lhs = left(row)
+            if lhs is None:
+                return None
+            if not isinstance(lhs, datetime.date):
+                raise ExecutionError("interval arithmetic requires a date operand")
+            return add_interval(lhs, amount, unit)
+        return _maybe_fold(fn, left_pair)
+
+    if left_pair[0] and isinstance(left_pair[1], ast.IntervalLiteral):
+        def fn(row):
+            raise ExecutionError("an interval may only appear on the right-hand side")
+        return False, fn
+
+    _, fn = _row_binary_from(node, left, right)
+    return _maybe_fold(fn, left_pair, right_pair)
+
+
+def _row_bool(node: ast.BoolOp, layout, slots) -> tuple[bool, Any]:
+    pairs = [_row(operand, layout, slots) for operand in node.operands]
+    fns = tuple(_as_fn(pair) for pair in pairs)
+    if node.operator == "and":
+        def fn(row):
+            for operand in fns:
+                if not operand(row):
+                    return False
+            return True
+    else:
+        def fn(row):
+            for operand in fns:
+                if operand(row):
+                    return True
+            return False
+    return _maybe_fold(fn, *pairs)
+
+
+def _row_comparison(node: ast.Comparison, layout, slots) -> tuple[bool, Any]:
+    if node.quantifier is not None:
+        raise CompileFallback("quantified comparisons require a subquery")
+    compare = _CMP.get(node.operator)
+    if compare is None:
+        raise CompileFallback(f"unsupported comparison operator '{node.operator}'")
+    left_pair = _row(node.left, layout, slots)
+    right_pair = _row(node.right, layout, slots)
+    left, right = _as_fn(left_pair), _as_fn(right_pair)
+
+    fast = ((_never_date(node.left, layout) and _never_date(node.right, layout))
+            or (_always_date(node.left, layout) and _always_date(node.right, layout)))
+    if fast:
+        def fn(row):
+            lhs, rhs = left(row), right(row)
+            return None if lhs is None or rhs is None else compare(lhs, rhs)
+    else:
+        op = node.operator
+
+        def fn(row):
+            return compare_values(op, left(row), right(row))
+    return _maybe_fold(fn, left_pair, right_pair)
+
+
+def _row_between(node: ast.Between, layout, slots) -> tuple[bool, Any]:
+    operand_pair = _row(node.operand, layout, slots)
+    low_pair = _row(node.low, layout, slots)
+    high_pair = _row(node.high, layout, slots)
+    operand, low, high = _as_fn(operand_pair), _as_fn(low_pair), _as_fn(high_pair)
+    negated = node.negated
+    operands = (node.operand, node.low, node.high)
+    fast = (all(_never_date(part, layout) for part in operands)
+            or all(_always_date(part, layout) for part in operands))
+    if fast:
+        def fn(row):
+            value = operand(row)
+            lo, hi = low(row), high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            inside = lo <= value <= hi
+            return (not inside) if negated else inside
+    else:
+        def fn(row):
+            value = operand(row)
+            lo, hi = low(row), high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            inside = (bool(compare_values("<=", lo, value))
+                      and bool(compare_values("<=", value, hi)))
+            return (not inside) if negated else inside
+    return _maybe_fold(fn, operand_pair, low_pair, high_pair)
+
+
+def _row_like(node: ast.Like, layout, slots) -> tuple[bool, Any]:
+    operand_pair = _row(node.operand, layout, slots)
+    pattern_pair = _row(node.pattern, layout, slots)
+    operand = _as_fn(operand_pair)
+    negated = node.negated
+    if pattern_pair[0]:
+        predicate = like_predicate(str(pattern_pair[1]))
+
+        def fn(row):
+            matched = predicate(operand(row))
+            return (not matched) if negated else matched
+    else:
+        pattern = _as_fn(pattern_pair)
+
+        def fn(row):
+            matched = like_predicate(str(pattern(row)))(operand(row))
+            return (not matched) if negated else matched
+    return False, fn
+
+
+def _row_in_list(node: ast.InList, layout, slots) -> tuple[bool, Any]:
+    operand_pair = _row(node.operand, layout, slots)
+    operand = _as_fn(operand_pair)
+    item_pairs = [_row(item, layout, slots) for item in node.items]
+    negated = node.negated
+    if all(const for const, _ in item_pairs):
+        try:
+            members = frozenset(value for _, value in item_pairs)
+        except TypeError:
+            members = None
+        if members is not None:
+            def fn(row):
+                value = operand(row)
+                if value is None:
+                    return None
+                found = value in members
+                return (not found) if negated else found
+            return _maybe_fold(fn, operand_pair)
+    item_fns = tuple(_as_fn(pair) for pair in item_pairs)
+
+    def fn(row):
+        value = operand(row)
+        if value is None:
+            return None
+        found = value in {item(row) for item in item_fns}
+        return (not found) if negated else found
+    return False, fn
+
+
+def _row_function(node: ast.FunctionCall, layout, slots) -> tuple[bool, Any]:
+    name = node.name.lower()
+    if node.is_aggregate:
+        raise CompileFallback(
+            f"aggregate function '{name}' used outside an aggregation context")
+    handler = scalar_functions.get(name)
+    if handler is None:
+        raise CompileFallback(f"unknown function '{name}'")
+    pairs = [_row(argument, layout, slots) for argument in node.arguments]
+    fns = tuple(_as_fn(pair) for pair in pairs)
+    if name == "coalesce":
+        def fn(row):
+            return handler(*[argument(row) for argument in fns])
+    else:
+        def fn(row):
+            arguments = [argument(row) for argument in fns]
+            if any(argument is None for argument in arguments):
+                return None
+            return handler(*arguments)
+    return _maybe_fold(fn, *pairs)
+
+
+def _row_substring(node: ast.Substring, layout, slots) -> tuple[bool, Any]:
+    operand_pair = _row(node.operand, layout, slots)
+    start_pair = _row(node.start, layout, slots)
+    operand, start = _as_fn(operand_pair), _as_fn(start_pair)
+    if node.length is not None:
+        length_pair = _row(node.length, layout, slots)
+        length = _as_fn(length_pair)
+
+        def fn(row):
+            value = operand(row)
+            if value is None:
+                return None
+            begin = max(int(start(row)) - 1, 0)
+            return str(value)[begin:begin + int(length(row))]
+        return _maybe_fold(fn, operand_pair, start_pair, length_pair)
+
+    def fn(row):
+        value = operand(row)
+        if value is None:
+            return None
+        return str(value)[max(int(start(row)) - 1, 0):]
+    return _maybe_fold(fn, operand_pair, start_pair)
+
+
+# ---------------------------------------------------------------------------
+# row block kernels (predicates / projection / aggregation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RowPredicates:
+    """A conjunction split into one fused compiled closure + interpreter rest."""
+
+    fused: Callable[[tuple], bool] | None
+    interpreted: list[ast.Expression]
+
+
+def compile_row_predicates(predicates: list[ast.Expression], layout) -> RowPredicates:
+    compiled: list[Callable] = []
+    interpreted: list[ast.Expression] = []
+    for predicate in predicates:
+        try:
+            compiled.append(compile_row_kernel(predicate, layout))
+        except CompileFallback:
+            interpreted.append(predicate)
+    fused: Callable[[tuple], bool] | None = None
+    if compiled:
+        if len(compiled) == 1:
+            kernel = compiled[0]
+
+            def fused(row, _kernel=kernel):
+                return bool(_kernel(row))
+        else:
+            kernels = tuple(compiled)
+
+            def fused(row, _kernels=kernels):
+                for kernel in _kernels:
+                    if not kernel(row):
+                        return False
+                return True
+    return RowPredicates(fused=fused, interpreted=interpreted)
+
+
+@dataclass
+class RowAggregation:
+    """Fused group-by/aggregate kernels for one block.
+
+    ``finalisers`` evaluate each select item over the *combined* tuple
+    ``(agg results) + (first row of the group)``; ``having_fn`` does the same
+    for the HAVING clause.
+    """
+
+    key_fn: Callable[[tuple], tuple] | None
+    inits: list[Callable[[], Any]]
+    updates: list[Callable[[Any, tuple], None]]
+    finals: list[Callable[[Any], Any]]
+    finalisers: list[Callable[[tuple], Any]]
+    having_fn: Callable[[tuple], Any] | None
+
+
+def _accumulator(call: ast.FunctionCall, layout
+                 ) -> tuple[Callable[[], Any], Callable[[Any, tuple], None],
+                            Callable[[Any], Any]]:
+    """Build (init, update, final) for one aggregate call."""
+    name = call.name.lower()
+    if name == "count" and (not call.arguments or isinstance(call.arguments[0], ast.Star)):
+        def update(state, row):
+            state[0] += 1
+        return (lambda: [0]), update, (lambda state: state[0])
+
+    if not call.arguments:
+        raise CompileFallback(f"aggregate '{name}' requires an argument")
+    argument = compile_row_kernel(call.arguments[0], layout)
+
+    if call.distinct:
+        def update(state, row, _argument=argument):
+            value = _argument(row)
+            if value is not None:
+                state.add(value)
+        init = set
+    else:
+        def update(state, row, _argument=argument):
+            value = _argument(row)
+            if value is not None:
+                state.append(value)
+        init = list
+
+    if name == "count":
+        final = len
+    elif name == "sum":
+        def final(state):
+            return sum(state) if state else None
+    elif name == "avg":
+        def final(state):
+            return sum(state) / len(state) if state else None
+    elif name == "min":
+        def final(state):
+            return min(state) if state else None
+    elif name == "max":
+        def final(state):
+            return max(state) if state else None
+    else:
+        raise CompileFallback(f"unknown aggregate function '{name}'")
+    return init, update, final
+
+
+def _compile_finaliser(node: ast.Expression, combined_layout, slots: dict[int, int],
+                       layout) -> Callable[[tuple], Any]:
+    """Compile an aggregate-bearing expression over the combined group tuple.
+
+    Mirrors :func:`repro.engine.expression.evaluate_aggregate`: only the node
+    shapes the interpreter supports around aggregate calls are accepted, so
+    compiled and interpreted blocks reject exactly the same queries.
+    """
+    if id(node) in slots:
+        return compile_row_kernel(node, combined_layout, slots)
+    if not ast.has_local_aggregate(node):
+        # whole subtree is evaluated on the group's first row
+        return compile_row_kernel(node, combined_layout, slots)
+    if isinstance(node, ast.BinaryOp):
+        return _as_fn(_row_binary_from(
+            node, _compile_finaliser(node.left, combined_layout, slots, layout),
+            _compile_finaliser(node.right, combined_layout, slots, layout)))
+    if isinstance(node, ast.UnaryOp):
+        operand = _compile_finaliser(node.operand, combined_layout, slots, layout)
+        if node.operator == "-":
+            def fn(combined):
+                value = operand(combined)
+                return None if value is None else -value
+            return fn
+        return operand
+    if isinstance(node, ast.Comparison):
+        left = _compile_finaliser(node.left, combined_layout, slots, layout)
+        right = _compile_finaliser(node.right, combined_layout, slots, layout)
+        op = node.operator
+
+        def fn(combined):
+            return compare_values(op, left(combined), right(combined))
+        return fn
+    if isinstance(node, ast.BoolOp):
+        operands = [_compile_finaliser(operand, combined_layout, slots, layout)
+                    for operand in node.operands]
+        if node.operator == "and":
+            def fn(combined):
+                return all(bool(operand(combined)) for operand in operands)
+        else:
+            def fn(combined):
+                return any(bool(operand(combined)) for operand in operands)
+        return fn
+    if isinstance(node, ast.CaseWhen):
+        branches = [(_compile_finaliser(condition, combined_layout, slots, layout),
+                     _compile_finaliser(result, combined_layout, slots, layout))
+                    for condition, result in node.branches]
+        default = _compile_finaliser(node.default, combined_layout, slots, layout) \
+            if node.default is not None else None
+
+        def fn(combined):
+            for condition, result in branches:
+                if condition(combined):
+                    return result(combined)
+            return default(combined) if default is not None else None
+        return fn
+    if isinstance(node, ast.Cast):
+        inner = _compile_finaliser(node.operand, combined_layout, slots, layout)
+        converter = _cast_converter(node.type_name)
+
+        def fn(combined):
+            value = inner(combined)
+            return None if value is None else converter(value)
+        return fn
+    raise CompileFallback(
+        f"cannot compile aggregate expression node {type(node).__name__}")
+
+
+def _row_binary_from(node: ast.BinaryOp, left: Callable, right: Callable
+                     ) -> tuple[bool, Any]:
+    """Binary combinator over already-compiled operand closures.
+
+    The single copy of the row engine's arithmetic semantics: both plain row
+    kernels (:func:`_row_binary`) and aggregate finalisers build on it.
+    """
+    op = node.operator
+    if op == "+":
+        def fn(combined):
+            lhs, rhs = left(combined), right(combined)
+            return None if lhs is None or rhs is None else lhs + rhs
+    elif op == "-":
+        def fn(combined):
+            lhs, rhs = left(combined), right(combined)
+            if lhs is None or rhs is None:
+                return None
+            if isinstance(lhs, datetime.date) and isinstance(rhs, datetime.date):
+                return (lhs - rhs).days
+            return lhs - rhs
+    elif op == "*":
+        def fn(combined):
+            lhs, rhs = left(combined), right(combined)
+            return None if lhs is None or rhs is None else lhs * rhs
+    elif op == "/":
+        def fn(combined):
+            lhs, rhs = left(combined), right(combined)
+            if lhs is None or rhs is None:
+                return None
+            if rhs == 0:
+                raise ExecutionError("division by zero")
+            return lhs / rhs
+    elif op == "%":
+        def fn(combined):
+            lhs, rhs = left(combined), right(combined)
+            return None if lhs is None or rhs is None else lhs % rhs
+    elif op == "||":
+        def fn(combined):
+            lhs, rhs = left(combined), right(combined)
+            return None if lhs is None or rhs is None else str(lhs) + str(rhs)
+    else:
+        raise CompileFallback(f"unsupported binary operator '{op}'")
+    return False, fn
+
+
+def _collect_aggregate_calls(select: ast.Select) -> list[ast.FunctionCall]:
+    expressions = [item.expression for item in select.items]
+    if select.having is not None:
+        expressions.append(select.having)
+    calls: list[ast.FunctionCall] = []
+    for expression in expressions:
+        for node in ast.walk_local(expression):
+            if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                calls.append(node)
+    return calls
+
+
+def compile_row_aggregation(select: ast.Select, layout) -> RowAggregation:
+    """Fuse grouping + accumulation + finalisation into closures.
+
+    Raises :class:`CompileFallback` when any piece needs the interpreter; the
+    executor then keeps the whole aggregation on the interpreted path.
+    """
+    for item in select.items:
+        if any(isinstance(node, ast.Select) for node in item.expression.walk()):
+            raise CompileFallback("subquery in an aggregated select item")
+    if select.having is not None and any(
+            isinstance(node, ast.Select) for node in select.having.walk()):
+        raise CompileFallback("subquery in HAVING")
+
+    calls = _collect_aggregate_calls(select)
+    slots = {id(call): index for index, call in enumerate(calls)}
+    combined_layout = _OffsetLayout(layout, len(calls))
+
+    inits, updates, finals = [], [], []
+    for call in calls:
+        init, update, final = _accumulator(call, layout)
+        inits.append(init)
+        updates.append(update)
+        finals.append(final)
+
+    finalisers = [
+        _compile_finaliser(item.expression, combined_layout, slots, layout)
+        for item in select.items
+    ]
+    having_fn = _compile_finaliser(select.having, combined_layout, slots, layout) \
+        if select.having is not None else None
+
+    key_fn: Callable[[tuple], tuple] | None = None
+    if select.group_by:
+        key_kernels = tuple(compile_row_kernel(expression, layout)
+                            for expression in select.group_by)
+        if len(key_kernels) == 1:
+            key0 = key_kernels[0]
+
+            def key_fn(row, _key=key0):
+                return (_key(row),)
+        else:
+            def key_fn(row, _keys=key_kernels):
+                return tuple(key(row) for key in _keys)
+
+    return RowAggregation(key_fn=key_fn, inits=inits, updates=updates, finals=finals,
+                          finalisers=finalisers, having_fn=having_fn)
+
+
+@dataclass
+class RowBlockKernels:
+    """Every compiled kernel of one planned block (row engine)."""
+
+    #: per FROM item: fused push-down predicates (None = no predicates).
+    pushdown: list[RowPredicates | None]
+    #: the block's residual conjunction.
+    residual: RowPredicates | None
+    #: per select item: compiled projection kernel (None = star / interpreter);
+    #: the whole list is None for aggregated blocks.
+    projection: list[Callable | None] | None
+    #: fused aggregation kernels (None when interpretation is required).
+    aggregation: RowAggregation | None
+
+
+def compile_row_block(block) -> RowBlockKernels:
+    """Compile one :class:`~repro.engine.plan.BlockPlan` for the row engine."""
+    select = block.select
+    item_layouts = [Layout(columns) for columns in block.item_columns]
+    joined_columns = [
+        column
+        for step in block.join_order
+        for column in block.item_columns[step.frame_index]
+    ]
+    joined_layout = Layout(joined_columns if block.join_order else block.columns)
+
+    pushdown: list[RowPredicates | None] = []
+    for index, columns in enumerate(block.item_columns):
+        predicates = _item_pushdown(block, columns)
+        pushdown.append(
+            compile_row_predicates(predicates, item_layouts[index]) if predicates else None)
+
+    residual = compile_row_predicates(block.residual, joined_layout) \
+        if block.residual else None
+
+    projection: list[Callable | None] | None = None
+    aggregation: RowAggregation | None = None
+    if block.needs_aggregation:
+        try:
+            aggregation = compile_row_aggregation(select, joined_layout)
+        except CompileFallback:
+            aggregation = None
+    else:
+        projection = []
+        for item in select.items:
+            if isinstance(item.expression, ast.Star):
+                projection.append(None)
+                continue
+            try:
+                projection.append(compile_row_kernel(item.expression, joined_layout))
+            except CompileFallback:
+                projection.append(None)
+    return RowBlockKernels(pushdown=pushdown, residual=residual,
+                           projection=projection, aggregation=aggregation)
+
+
+def _item_pushdown(block, columns: list[ColumnInfo]) -> list[ast.Expression]:
+    """The push-down predicates targeting one FROM item, in binding order."""
+    seen: list[str] = []
+    for column in columns:
+        binding = column.binding.lower()
+        if binding not in seen:
+            seen.append(binding)
+    predicates: list[ast.Expression] = []
+    for binding in seen:
+        predicates.extend(block.pushdown.get(binding, []))
+    return predicates
+
+
+# ---------------------------------------------------------------------------
+# column kernels (selection-vector execution)
+# ---------------------------------------------------------------------------
+
+
+class ColumnContext:
+    """One kernel evaluation over a frame's arrays through a selection vector.
+
+    ``sel`` is an ``int64`` index of the surviving rows (None = all rows);
+    ``length`` is the number of *selected* rows.  Gathered columns are
+    memoised so every column is gathered at most once per evaluation batch.
+    """
+
+    __slots__ = ("arrays", "length", "sel", "_gathered")
+
+    def __init__(self, arrays: list[np.ndarray], length: int,
+                 sel: np.ndarray | None = None):
+        self.arrays = arrays
+        self.length = length
+        self.sel = sel
+        self._gathered: dict[int, np.ndarray] = {}
+
+    def column(self, position: int) -> np.ndarray:
+        if self.sel is None:
+            return self.arrays[position]
+        gathered = self._gathered.get(position)
+        if gathered is None:
+            gathered = self.arrays[position][self.sel]
+            self._gathered[position] = gathered
+        return gathered
+
+
+def as_mask(value: Any, length: int) -> np.ndarray:
+    """Coerce a kernel result to a boolean mask (mirrors evaluate_predicate)."""
+    if isinstance(value, np.ndarray):
+        return value if value.dtype == bool else value.astype(bool)
+    return np.full(length, bool(value), dtype=bool)
+
+
+def compile_column_kernel(expression: ast.Expression, layout,
+                          overflow_guard: bool = False) -> Callable[[ColumnContext], Any]:
+    """Lower ``expression`` to a ``fn(ctx) -> ndarray | scalar`` closure.
+
+    Mirrors :class:`~repro.engine.vector.VectorEvaluator` semantics (dates as
+    int64 ordinals, NULL-as-NaN for floats, the overflow-guard widening).
+    Raises :class:`CompileFallback` where the evaluator would raise
+    :class:`~repro.engine.vector.VectorFallback`.
+    """
+    pair = _col(expression, layout, overflow_guard)
+    const, value = pair
+    if const:
+        return lambda _ctx, _value=value: _value
+    return value
+
+
+def _col(node: ast.Expression, layout, guard: bool) -> tuple[bool, Any]:
+    if isinstance(node, ast.Literal):
+        return True, node.value
+    if isinstance(node, ast.DateLiteral):
+        return True, date_to_ordinal(node.value)
+    if isinstance(node, ast.IntervalLiteral):
+        return True, node
+    if isinstance(node, ast.ColumnRef):
+        position = layout.position(node)
+        if position is None:
+            raise CompileFallback(f"column '{node.qualified}' is not local")
+        return False, lambda ctx, _p=position: ctx.column(_p)
+    if isinstance(node, ast.Star):
+        return False, lambda ctx: np.ones(ctx.length, dtype=np.int64)
+    if isinstance(node, ast.UnaryOp):
+        return _col_unary(node, layout, guard)
+    if isinstance(node, ast.BinaryOp):
+        return _col_binary(node, layout, guard)
+    if isinstance(node, ast.BoolOp):
+        return _col_bool(node, layout, guard)
+    if isinstance(node, ast.Comparison):
+        return _col_comparison(node, layout, guard)
+    if isinstance(node, ast.IsNull):
+        return _col_isnull(node, layout, guard)
+    if isinstance(node, ast.Between):
+        return _col_between(node, layout, guard)
+    if isinstance(node, ast.Like):
+        return _col_like(node, layout, guard)
+    if isinstance(node, ast.InList):
+        return _col_in_list(node, layout, guard)
+    if isinstance(node, ast.CaseWhen):
+        return _col_case(node, layout, guard)
+    if isinstance(node, ast.Cast):
+        return _col_cast(node, layout, guard)
+    if isinstance(node, ast.Extract):
+        return _col_extract(node, layout, guard)
+    if isinstance(node, ast.Substring):
+        return _col_substring(node, layout, guard)
+    if isinstance(node, ast.FunctionCall):
+        return _col_function(node, layout, guard)
+    raise CompileFallback(f"unsupported expression node {type(node).__name__}")
+
+
+def _col_unary(node: ast.UnaryOp, layout, guard) -> tuple[bool, Any]:
+    operand_pair = _col(node.operand, layout, guard)
+    operand = _as_fn(operand_pair)
+    if node.operator == "not":
+        def fn(ctx):
+            value = operand(ctx)
+            if isinstance(value, np.ndarray):
+                return ~value.astype(bool)
+            return not value
+        return False, fn
+    if node.operator == "-":
+        def fn(ctx):
+            return -operand(ctx)
+        return _maybe_fold(fn, operand_pair)
+    return operand_pair
+
+
+def _col_binary(node: ast.BinaryOp, layout, guard) -> tuple[bool, Any]:
+    left_pair = _col(node.left, layout, guard)
+    right_pair = _col(node.right, layout, guard)
+    op = node.operator
+
+    if right_pair[0] and isinstance(right_pair[1], ast.IntervalLiteral):
+        interval = right_pair[1]
+        if interval.unit in ("day", "week"):
+            days = interval.value * (7 if interval.unit == "week" else 1)
+            delta = days if op == "+" else -days
+            left = _as_fn(left_pair)
+
+            def fn(ctx):
+                return left(ctx) + delta
+            return _maybe_fold(fn, left_pair)
+        if left_pair[0] and isinstance(left_pair[1], (int, np.integer)):
+            base = ordinal_to_date(int(left_pair[1]))
+            amount = interval.value if op == "+" else -interval.value
+            return True, date_to_ordinal(add_interval(base, amount, interval.unit))
+        raise CompileFallback("month/year interval arithmetic on a column")
+    if left_pair[0] and isinstance(left_pair[1], ast.IntervalLiteral):
+        raise CompileFallback("unsupported interval arithmetic form")
+
+    left, right = _as_fn(left_pair), _as_fn(right_pair)
+    if guard and op in ("+", "-", "*"):
+        plain_left, plain_right = left, right
+
+        def left(ctx, _fn=plain_left):
+            value = _fn(ctx)
+            if isinstance(value, np.ndarray):
+                return np.ascontiguousarray(value.astype(np.longdouble))
+            return value
+
+        def right(ctx, _fn=plain_right):
+            value = _fn(ctx)
+            if isinstance(value, np.ndarray):
+                return np.ascontiguousarray(value.astype(np.longdouble))
+            return value
+
+    if op == "+":
+        def fn(ctx):
+            return left(ctx) + right(ctx)
+    elif op == "-":
+        def fn(ctx):
+            return left(ctx) - right(ctx)
+    elif op == "*":
+        def fn(ctx):
+            return left(ctx) * right(ctx)
+    elif op == "/":
+        def fn(ctx):
+            return left(ctx) / right(ctx)
+    elif op == "%":
+        def fn(ctx):
+            return left(ctx) % right(ctx)
+    elif op == "||":
+        def fn(ctx):
+            return concat_values(left(ctx), right(ctx))
+    else:
+        raise CompileFallback(f"unsupported binary operator '{op}'")
+    return _maybe_fold(fn, left_pair, right_pair)
+
+
+def _col_bool(node: ast.BoolOp, layout, guard) -> tuple[bool, Any]:
+    mask_fns = [_col_mask_fn(operand, layout, guard) for operand in node.operands]
+    combine_and = node.operator == "and"
+
+    def fn(ctx):
+        combined = mask_fns[0](ctx)
+        for mask_fn in mask_fns[1:]:
+            mask = mask_fn(ctx)
+            combined = (combined & mask) if combine_and else (combined | mask)
+        return combined
+    return False, fn
+
+
+def _col_mask_fn(node: ast.Expression, layout, guard) -> Callable[[ColumnContext], np.ndarray]:
+    operand = _as_fn(_col(node, layout, guard))
+
+    def fn(ctx):
+        return as_mask(operand(ctx), ctx.length)
+    return fn
+
+
+def _col_align(left_node, right_node, left_pair, right_pair, layout):
+    """Compile-time date alignment (mirrors ``_align_date_operands``).
+
+    Constant strings compared against date-ordinal columns are converted at
+    compile time; non-constant operands get a runtime str check, matching the
+    evaluator's scalar coercion.
+    """
+    def is_date_column(node):
+        if isinstance(node, ast.ColumnRef):
+            position = layout.position(node)
+            return position is not None and layout.type_of(position) == "date"
+        return False
+
+    if is_date_column(left_node):
+        if right_pair[0] and isinstance(right_pair[1], str):
+            right_pair = (True, date_to_ordinal(right_pair[1]))
+        elif not right_pair[0]:
+            inner = right_pair[1]
+
+            def aligned(ctx, _fn=inner):
+                value = _fn(ctx)
+                return date_to_ordinal(value) if isinstance(value, str) else value
+            right_pair = (False, aligned)
+    if is_date_column(right_node):
+        if left_pair[0] and isinstance(left_pair[1], str):
+            left_pair = (True, date_to_ordinal(left_pair[1]))
+        elif not left_pair[0]:
+            inner = left_pair[1]
+
+            def aligned(ctx, _fn=inner):
+                value = _fn(ctx)
+                return date_to_ordinal(value) if isinstance(value, str) else value
+            left_pair = (False, aligned)
+    return left_pair, right_pair
+
+
+def _col_comparison(node: ast.Comparison, layout, guard) -> tuple[bool, Any]:
+    if node.quantifier is not None:
+        raise CompileFallback("quantified comparisons require row-at-a-time evaluation")
+    compare = _CMP.get(node.operator)
+    if compare is None:
+        raise CompileFallback(f"unsupported comparison operator '{node.operator}'")
+    left_pair = _col(node.left, layout, guard)
+    right_pair = _col(node.right, layout, guard)
+    left_pair, right_pair = _col_align(node.left, node.right, left_pair, right_pair,
+                                       layout)
+    left, right = _as_fn(left_pair), _as_fn(right_pair)
+
+    def fn(ctx):
+        return compare(left(ctx), right(ctx))
+    return _maybe_fold(fn, left_pair, right_pair)
+
+
+def _col_isnull(node: ast.IsNull, layout, guard) -> tuple[bool, Any]:
+    operand = _as_fn(_col(node.operand, layout, guard))
+    negated = node.negated
+
+    def fn(ctx):
+        value = operand(ctx)
+        if isinstance(value, np.ndarray):
+            if value.dtype == np.float64:
+                mask = np.isnan(value)
+            elif value.dtype == object:
+                mask = np.array([item is None or item == "" for item in value], dtype=bool)
+            else:
+                mask = np.zeros(len(value), dtype=bool)
+        else:
+            mask = np.full(ctx.length, value is None, dtype=bool)
+        return ~mask if negated else mask
+    return False, fn
+
+
+def _col_between(node: ast.Between, layout, guard) -> tuple[bool, Any]:
+    operand_pair = _col(node.operand, layout, guard)
+    low_pair = _col(node.low, layout, guard)
+    high_pair = _col(node.high, layout, guard)
+    operand_pair, low_pair = _col_align(node.operand, node.low, operand_pair, low_pair,
+                                        layout)
+    operand_pair, high_pair = _col_align(node.operand, node.high, operand_pair,
+                                         high_pair, layout)
+    operand, low, high = _as_fn(operand_pair), _as_fn(low_pair), _as_fn(high_pair)
+    negated = node.negated
+
+    def fn(ctx):
+        value = operand(ctx)
+        inside = (value >= low(ctx)) & (value <= high(ctx))
+        return ~inside if negated else inside
+    return False, fn
+
+
+def _col_like(node: ast.Like, layout, guard) -> tuple[bool, Any]:
+    operand = _as_fn(_col(node.operand, layout, guard))
+    pattern_pair = _col(node.pattern, layout, guard)
+    negated = node.negated
+    if pattern_pair[0]:
+        predicate = like_predicate(str(pattern_pair[1]))
+
+        def matcher(ctx):
+            return predicate
+    else:
+        pattern = _as_fn(pattern_pair)
+
+        def matcher(ctx):
+            return like_predicate(str(pattern(ctx)))
+
+    def fn(ctx):
+        predicate = matcher(ctx)
+        value = operand(ctx)
+        if isinstance(value, np.ndarray):
+            matches = np.fromiter((predicate(item) for item in value), dtype=bool,
+                                  count=len(value))
+        else:
+            matches = np.full(ctx.length, predicate(value), dtype=bool)
+        return ~matches if negated else matches
+    return False, fn
+
+
+def _col_in_list(node: ast.InList, layout, guard) -> tuple[bool, Any]:
+    operand = _as_fn(_col(node.operand, layout, guard))
+    item_pairs = [_col(item, layout, guard) for item in node.items]
+    if not all(const for const, _ in item_pairs):
+        raise CompileFallback("IN list with non-constant members")
+    values = [value for _, value in item_pairs]
+    negated = node.negated
+    typed_cache: dict[Any, np.ndarray] = {}
+
+    def fn(ctx):
+        value = operand(ctx)
+        if isinstance(value, np.ndarray):
+            members = typed_cache.get(value.dtype)
+            if members is None:
+                members = np.array(values, dtype=value.dtype)
+                typed_cache[value.dtype] = members
+            mask = np.isin(value, members)
+        else:
+            mask = np.full(ctx.length, value in values, dtype=bool)
+        return ~mask if negated else mask
+    return False, fn
+
+
+def _col_case(node: ast.CaseWhen, layout, guard) -> tuple[bool, Any]:
+    branches = [(_col_mask_fn(condition, layout, guard),
+                 _as_fn(_col(result, layout, guard)))
+                for condition, result in node.branches]
+    default = _as_fn(_col(node.default, layout, guard)) \
+        if node.default is not None else None
+
+    def fn(ctx):
+        default_value = default(ctx) if default is not None else None
+        if isinstance(default_value, np.ndarray):
+            result = default_value.astype(object)
+        else:
+            result = np.full(ctx.length, default_value, dtype=object)
+        decided = np.zeros(ctx.length, dtype=bool)
+        for condition, branch in branches:
+            mask = condition(ctx) & ~decided
+            value = branch(ctx)
+            if isinstance(value, np.ndarray):
+                result[mask] = value[mask]
+            else:
+                result[mask] = value
+            decided |= mask
+        try:
+            return result.astype(np.float64)
+        except (TypeError, ValueError):
+            return result
+    return False, fn
+
+
+def _col_cast(node: ast.Cast, layout, guard) -> tuple[bool, Any]:
+    operand = _as_fn(_col(node.operand, layout, guard))
+    target = node.type_name.lower()
+    if target.startswith(("int", "bigint", "smallint")):
+        def convert(array):
+            return array.astype(np.int64)
+    elif target.startswith(("float", "double", "real", "decimal", "numeric")):
+        def convert(array):
+            return array.astype(np.float64)
+    elif target.startswith(("char", "varchar", "text", "string")):
+        def convert(array):
+            return array.astype(object)
+    else:
+        raise CompileFallback(f"unsupported vectorised CAST to '{node.type_name}'")
+
+    def fn(ctx):
+        value = operand(ctx)
+        return convert(value) if isinstance(value, np.ndarray) else value
+    return False, fn
+
+
+def _col_extract(node: ast.Extract, layout, guard) -> tuple[bool, Any]:
+    if node.field_name not in ("year", "month", "day"):
+        raise CompileFallback(f"unsupported EXTRACT field '{node.field_name}'")
+    operand_pair = _col(node.operand, layout, guard)
+    operand = _as_fn(operand_pair)
+    field_name = node.field_name
+
+    def fn(ctx):
+        value = operand(ctx)
+        if not isinstance(value, np.ndarray):
+            date_value = ordinal_to_date(int(value))
+            return {"year": date_value.year, "month": date_value.month,
+                    "day": date_value.day}[field_name]
+        dates = value.astype("datetime64[D]")
+        if field_name == "year":
+            return dates.astype("datetime64[Y]").astype(np.int64) + 1970
+        if field_name == "month":
+            years = dates.astype("datetime64[Y]")
+            return (dates.astype("datetime64[M]")
+                    - years.astype("datetime64[M]")).astype(np.int64) + 1
+        months = dates.astype("datetime64[M]")
+        return (dates - months.astype("datetime64[D]")).astype(np.int64) + 1
+    return _maybe_fold(fn, operand_pair)
+
+
+def _col_substring(node: ast.Substring, layout, guard) -> tuple[bool, Any]:
+    operand = _as_fn(_col(node.operand, layout, guard))
+    start = _as_fn(_col(node.start, layout, guard))
+    length = _as_fn(_col(node.length, layout, guard)) if node.length is not None else None
+
+    def fn(ctx):
+        value = operand(ctx)
+        begin = max(int(start(ctx)) - 1, 0)
+        end = None if length is None else begin + int(length(ctx))
+
+        def slice_one(item):
+            text = str(item)
+            return text[begin:end] if end is not None else text[begin:]
+
+        if isinstance(value, np.ndarray):
+            return np.array([slice_one(item) for item in value], dtype=object)
+        return slice_one(value)
+    return False, fn
+
+
+def _col_function(node: ast.FunctionCall, layout, guard) -> tuple[bool, Any]:
+    name = node.name.lower()
+    if node.is_aggregate:
+        raise CompileFallback(
+            f"aggregate function '{name}' used outside an aggregation context")
+    pairs = [_col(argument, layout, guard) for argument in node.arguments]
+    fns = [_as_fn(pair) for pair in pairs]
+    if name == "abs":
+        def fn(ctx):
+            return np.abs(fns[0](ctx))
+    elif name == "round":
+        def fn(ctx):
+            digits = int(fns[1](ctx)) if len(fns) > 1 else 0
+            return np.round(fns[0](ctx), digits)
+    elif name == "length":
+        def fn(ctx):
+            values = fns[0](ctx)
+            if isinstance(values, np.ndarray):
+                return np.array([len(str(value)) for value in values], dtype=np.int64)
+            return len(str(values))
+    elif name in ("lower", "upper"):
+        transform = str.lower if name == "lower" else str.upper
+
+        def fn(ctx):
+            values = fns[0](ctx)
+            if isinstance(values, np.ndarray):
+                return np.array([transform(str(value)) for value in values], dtype=object)
+            return transform(str(values))
+    else:
+        raise CompileFallback(f"function '{name}' has no vectorised implementation")
+    return _maybe_fold(fn, *pairs)
+
+
+# ---------------------------------------------------------------------------
+# column block kernels
+# ---------------------------------------------------------------------------
+
+#: a predicate with its compiled kernel (None = evaluate via the interpreter).
+ColumnPredicate = tuple["Callable[[ColumnContext], Any] | None", ast.Expression]
+
+
+@dataclass
+class ColumnBlockKernels:
+    """Every compiled kernel of one planned block (column engine)."""
+
+    #: per FROM item: its push-down predicates (empty list = nothing to apply).
+    pushdown: list[list[ColumnPredicate]]
+    #: the block's residual conjunction, one entry per predicate.
+    residual: list[ColumnPredicate]
+    #: per select item: projection kernel (None = star / interpreter); the
+    #: whole list is None for aggregated blocks.
+    projection: list[Callable | None] | None
+    #: kernels for aggregation-internal expressions (group keys, aggregate
+    #: arguments, per-group first-row values), keyed by ``id(expression)``.
+    vectors: dict[int, Callable]
+
+
+def compile_column_block(block, overflow_guard: bool = False) -> ColumnBlockKernels:
+    """Compile one :class:`~repro.engine.plan.BlockPlan` for the column engine."""
+    select = block.select
+    item_layouts = [Layout(columns, ambiguous="raise") for columns in block.item_columns]
+    joined_columns = [
+        column
+        for step in block.join_order
+        for column in block.item_columns[step.frame_index]
+    ]
+    joined_layout = Layout(joined_columns if block.join_order else block.columns,
+                           ambiguous="raise")
+
+    def try_compile(expression, layout):
+        try:
+            return compile_column_kernel(expression, layout, overflow_guard)
+        except CompileFallback:
+            return None
+
+    pushdown = [
+        [(try_compile(predicate, item_layouts[index]), predicate)
+         for predicate in _item_pushdown(block, columns)]
+        for index, columns in enumerate(block.item_columns)
+    ]
+    residual = [(try_compile(predicate, joined_layout), predicate)
+                for predicate in block.residual]
+
+    projection: list[Callable | None] | None = None
+    vectors: dict[int, Callable] = {}
+    if block.needs_aggregation:
+        for expression in _aggregation_vector_expressions(select):
+            kernel = try_compile(expression, joined_layout)
+            if kernel is not None:
+                vectors[id(expression)] = kernel
+    else:
+        projection = [
+            None if isinstance(item.expression, ast.Star)
+            else try_compile(item.expression, joined_layout)
+            for item in select.items
+        ]
+    return ColumnBlockKernels(pushdown=pushdown, residual=residual,
+                              projection=projection, vectors=vectors)
+
+
+def _aggregation_vector_expressions(select: ast.Select) -> list[ast.Expression]:
+    """Expressions the group aggregator evaluates as whole vectors.
+
+    Mirrors the recursion of the executor's group aggregator: aggregate-call
+    arguments and maximal aggregate-free subtrees are evaluated column-wise;
+    everything in between is combined per group.
+    """
+    collected: list[ast.Expression] = []
+
+    def collect(expression: ast.Expression) -> None:
+        if isinstance(expression, ast.FunctionCall) and expression.is_aggregate:
+            collected.extend(argument for argument in expression.arguments
+                             if not isinstance(argument, ast.Star))
+            return
+        if not ast.has_local_aggregate(expression):
+            collected.append(expression)
+            return
+        if isinstance(expression, ast.BinaryOp):
+            collect(expression.left)
+            collect(expression.right)
+        elif isinstance(expression, ast.UnaryOp):
+            collect(expression.operand)
+        elif isinstance(expression, ast.Comparison):
+            collect(expression.left)
+            collect(expression.right)
+        elif isinstance(expression, ast.BoolOp):
+            for operand in expression.operands:
+                collect(operand)
+        elif isinstance(expression, ast.CaseWhen):
+            for condition, result in expression.branches:
+                collect(condition)
+                collect(result)
+            if expression.default is not None:
+                collect(expression.default)
+        elif isinstance(expression, ast.Cast):
+            collect(expression.operand)
+
+    for expression in select.group_by:
+        collect(expression)
+    for item in select.items:
+        collect(item.expression)
+    if select.having is not None:
+        collect(select.having)
+    return collected

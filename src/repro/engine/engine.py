@@ -47,11 +47,23 @@ class EngineOptions:
         Column engine only: widen and materialise arithmetic intermediates,
         mimicking the overflow-guarded expression evaluation the paper's
         MonetDB Q1 anecdote describes.
+    compile_expressions:
+        Lower each prepared plan's expressions once into compiled Python
+        closures (fused per-row kernels on the row engine, column kernels on
+        the column engine) instead of walking the AST with the recursive
+        interpreter per row / per operator.  Compiled kernels are cached on
+        the :class:`QueryPlan`, so the plan cache amortises compilation.
+    selection_vectors:
+        Column engine only: scans and residual predicates refine an ``int64``
+        selection index that flows through joins, grouping and projection,
+        instead of materialising a masked ``ColFrame`` after every predicate.
     """
 
     predicate_pushdown: bool = True
     hash_joins: bool = True
     overflow_guard: bool = False
+    compile_expressions: bool = True
+    selection_vectors: bool = True
 
     def describe(self) -> dict[str, bool]:
         """Return the options as a plain dict (for platform catalog entries)."""
@@ -59,6 +71,8 @@ class EngineOptions:
             "predicate_pushdown": self.predicate_pushdown,
             "hash_joins": self.hash_joins,
             "overflow_guard": self.overflow_guard,
+            "compile_expressions": self.compile_expressions,
+            "selection_vectors": self.selection_vectors,
         }
 
 
@@ -106,11 +120,14 @@ class Engine:
         if isinstance(query, QueryPlan):
             return query
         if isinstance(query, ast.Select):
-            return self.planner.plan(query, sql_text=to_sql(query))
+            plan = self.planner.plan(query, sql_text=to_sql(query))
+            self._precompile(plan)
+            return plan
         key = normalize_sql(query)
         plan = self.plan_cache.get(key)
         if plan is None:
             plan = self.planner.plan(parse_select(query), sql_text=query)
+            self._precompile(plan)
             self.plan_cache.put(key, plan)
         return plan
 
@@ -169,6 +186,31 @@ class Engine:
         """Run a prepared plan on this engine's physical backend."""
         raise NotImplementedError
 
+    def _precompile(self, plan: QueryPlan) -> None:
+        """Eagerly compile the plan's kernels (so execution timing excludes it).
+
+        Compilation is best-effort: a block the compiler cannot lower simply
+        stays on the interpreter, and any unexpected compile failure must
+        never break a query that interprets fine.
+        """
+        if not self.options.compile_expressions:
+            return
+        from repro.engine.compile import compile_column_block, compile_row_block
+        if self.strategy() == "column":
+            guard = self.options.overflow_guard
+
+            def build(block):
+                return compile_column_block(block, overflow_guard=guard)
+            flavour = ("col", guard)
+        else:
+            build = compile_row_block
+            flavour = ("row",)
+        for block in plan.blocks.values():
+            try:
+                plan.kernels(block, flavour, build)
+            except Exception:
+                continue
+
 
 class RowEngine(Engine):
     """Tuple-at-a-time engine (the "row store" target system)."""
@@ -190,6 +232,7 @@ class RowEngine(Engine):
             self.database,
             predicate_pushdown=self.options.predicate_pushdown,
             hash_joins=self.options.hash_joins,
+            compile_expressions=self.options.compile_expressions,
             plan=plan,
         )
         return executor.execute(plan)
@@ -214,6 +257,8 @@ class ColumnEngine(Engine):
             predicate_pushdown=self.options.predicate_pushdown,
             hash_joins=self.options.hash_joins,
             overflow_guard=self.options.overflow_guard,
+            compile_expressions=self.options.compile_expressions,
+            selection_vectors=self.options.selection_vectors,
             plan=plan,
         )
         return executor.execute(plan)

@@ -26,6 +26,12 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.compile import (
+    ColumnBlockKernels,
+    ColumnContext,
+    as_mask,
+    compile_column_block,
+)
 from repro.engine.database import Database
 from repro.engine.executor_row import RowExecutor
 from repro.engine.expression import evaluate as row_evaluate
@@ -65,17 +71,23 @@ class ColumnExecutor:
 
     def __init__(self, database: Database, predicate_pushdown: bool = True,
                  hash_joins: bool = True, overflow_guard: bool = False,
+                 compile_expressions: bool = True, selection_vectors: bool = True,
                  plan: QueryPlan | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
         self.overflow_guard = overflow_guard
+        self.compile_expressions = compile_expressions
+        self.selection_vectors = selection_vectors
         self._plan = plan
         self._planner: Planner | None = None
         self._extra_blocks: dict[int, BlockPlan] = {}
         self._row_executor = RowExecutor(database, predicate_pushdown=predicate_pushdown,
-                                         hash_joins=hash_joins, plan=plan)
-        self._uncorrelated_cache: dict[str, list[tuple]] = {}
+                                         hash_joins=hash_joins,
+                                         compile_expressions=compile_expressions,
+                                         plan=plan)
+        self._uncorrelated_cache: dict[int, list[tuple]] = {}
+        self._vector_subquery_failed: set[int] = set()
 
     def _evaluator(self, frame: ColFrame) -> VectorEvaluator:
         return VectorEvaluator(frame, overflow_guard=self.overflow_guard)
@@ -91,6 +103,7 @@ class ColumnExecutor:
         else:
             select = query
         self._uncorrelated_cache = {}
+        self._vector_subquery_failed = set()
         frame, names = self._execute_block(select)
         rows = frame.rows()
         rows = self._order(select, names, rows)
@@ -99,22 +112,30 @@ class ColumnExecutor:
 
     def run_subquery(self, select: ast.Select, outer_env: _FallbackRowEnv | None
                      ) -> list[tuple]:
-        """Execute a nested SELECT for a fallback predicate (row semantics)."""
-        from repro.sqlparser.printer import to_sql
+        """Execute a nested SELECT for a fallback predicate (row semantics).
 
-        key = to_sql(select)
-        if key in self._uncorrelated_cache:
-            return self._uncorrelated_cache[key]
-        try:
-            frame, _names = self._execute_block(select)
-            rows = frame.rows()
-            self._uncorrelated_cache[key] = rows
-            return rows
-        except (VectorFallback, ExecutionError, PlanError):
-            # correlated (or otherwise non-vectorisable) subquery: delegate to
-            # the row executor with the current fallback row as outer context.
-            return self._row_executor.run_subquery(
-                select, outer=None if outer_env is None else _RowEnvBridge(outer_env))
+        Uncorrelated results are cached by ``id(select)`` for the duration of
+        one execution -- the plan keeps the AST alive, so the key is stable
+        and the per-row cache hit is an O(1) dict lookup instead of
+        re-printing the subquery's SQL text.  Subqueries the vectorised path
+        already failed on route straight to the row executor.
+        """
+        key = id(select)
+        cached = self._uncorrelated_cache.get(key)
+        if cached is not None:
+            return cached
+        if key not in self._vector_subquery_failed:
+            try:
+                frame, _names = self._execute_block(select)
+                rows = frame.rows()
+                self._uncorrelated_cache[key] = rows
+                return rows
+            except (VectorFallback, ExecutionError, PlanError):
+                self._vector_subquery_failed.add(key)
+        # correlated (or otherwise non-vectorisable) subquery: delegate to
+        # the row executor with the current fallback row as outer context.
+        return self._row_executor.run_subquery(
+            select, outer=None if outer_env is None else _RowEnvBridge(outer_env))
 
 
     # -- block execution -------------------------------------------------------
@@ -133,8 +154,32 @@ class ColumnExecutor:
             block = self._planner.plan_block(select, registry=self._extra_blocks)
         return block
 
+    def _block_kernels(self, block: BlockPlan) -> ColumnBlockKernels | None:
+        """The block's compiled column kernels (None = interpret).
+
+        Kernels are cached on the shared plan, so repeated executions of a
+        prepared plan reuse them.  Compilation is best-effort; failures leave
+        the block on the vectorised interpreter.
+        """
+        if not self.compile_expressions or self._plan is None:
+            return None
+        if self._plan.block(block.select) is not block:
+            return None
+        guard = self.overflow_guard
+
+        def build(planned):
+            return compile_column_block(planned, overflow_guard=guard)
+        try:
+            return self._plan.kernels(block, ("col", guard), build)
+        except ExecutionError:
+            raise
+        except Exception:
+            return None
+
     def _execute_block(self, select: ast.Select) -> tuple[ColFrame, list[str]]:
         block = self._block(select)
+        if self.selection_vectors:
+            return self._execute_block_sel(select, block)
         frames = [self._materialise(item) for item in select.from_items]
 
         if block.pushdown:
@@ -151,6 +196,226 @@ class ColumnExecutor:
         if select.distinct:
             frame = self._distinct(frame)
         return frame, names
+
+    # -- selection-vector execution ---------------------------------------------
+
+    def _execute_block_sel(self, select: ast.Select, block: BlockPlan
+                           ) -> tuple[ColFrame, list[str]]:
+        """Execute one block with predicates refining a selection vector.
+
+        Scans stay unmaterialised: push-down and residual predicates narrow an
+        ``int64`` selection index over the base arrays, joins gather through
+        the composed selection, and only aggregation / projection produce a
+        new :class:`ColFrame`.
+        """
+        kernels = self._block_kernels(block)
+        frames = [self._materialise(item) for item in select.from_items]
+        if not frames:
+            raise PlanError("a query block needs at least one FROM item")
+
+        selections: list[np.ndarray | None] = [None] * len(frames)
+        if block.pushdown:
+            for index, frame in enumerate(frames):
+                pairs = kernels.pushdown[index] if kernels is not None \
+                    else self._interpreted_pushdown(block, frame)
+                if pairs:
+                    selections[index] = self._refine_selection(frame, selections[index],
+                                                               pairs)
+
+        frame, selection = self._join_frames_sel(frames, selections, block.join_order)
+        if block.residual:
+            pairs = kernels.residual if kernels is not None \
+                else [(None, predicate) for predicate in block.residual]
+            selection = self._refine_selection(frame, selection, pairs)
+
+        if block.needs_aggregation:
+            frame, names = self._aggregate_sel(select, frame, selection, kernels,
+                                               block.output_names)
+        else:
+            frame, names = self._project_sel(select, frame, selection, kernels,
+                                             block.output_names)
+        if select.distinct:
+            frame = self._distinct(frame)
+        return frame, names
+
+    def _interpreted_pushdown(self, block: BlockPlan, frame: ColFrame
+                              ) -> list[tuple[None, ast.Expression]]:
+        """The (uncompiled) push-down predicates applying to one scan frame."""
+        bindings = {column.binding.lower() for column in frame.columns}
+        return [(None, predicate)
+                for binding in bindings
+                for predicate in block.pushdown.get(binding, [])]
+
+    def _refine_selection(self, frame: ColFrame, selection: np.ndarray | None,
+                          pairs) -> np.ndarray:
+        """Narrow ``selection`` by each predicate without materialising.
+
+        Compiled kernels evaluate over the already-selected rows; interpreted
+        predicates evaluate over the full base columns and are sliced at the
+        selected positions; subquery predicates fall back row-at-a-time over
+        the selected rows only.
+        """
+        for kernel, predicate in pairs:
+            if selection is not None and len(selection) == 0:
+                break
+            if kernel is not None:
+                length = frame.length if selection is None else len(selection)
+                context = ColumnContext(frame.arrays, length, selection)
+                mask = as_mask(kernel(context), length)
+                selection = np.flatnonzero(mask) if selection is None \
+                    else selection[mask]
+                continue
+            try:
+                full = self._evaluator(frame).evaluate_predicate(predicate)
+                selection = np.flatnonzero(full) if selection is None \
+                    else selection[full[selection]]
+            except VectorFallback:
+                mask = self._fallback_predicate_sel(frame, selection, predicate)
+                selection = np.flatnonzero(mask) if selection is None \
+                    else selection[mask]
+        if selection is None:
+            selection = np.arange(frame.length, dtype=np.int64)
+        return selection
+
+    def _fallback_predicate_sel(self, frame: ColFrame, selection: np.ndarray | None,
+                                predicate: ast.Expression) -> np.ndarray:
+        """Row-at-a-time predicate over the selected rows only."""
+        indexes = range(frame.length) if selection is None else selection
+        mask = np.zeros(len(indexes), dtype=bool)
+        for position, base_index in enumerate(indexes):
+            env = _FallbackRowEnv(self, frame, int(base_index))
+            mask[position] = bool(row_evaluate(predicate, env))
+        return mask
+
+    def _join_frames_sel(self, frames: list[ColFrame],
+                         selections: list[np.ndarray | None],
+                         join_order: list[JoinStep]
+                         ) -> tuple[ColFrame, np.ndarray | None]:
+        """Join scans following the schedule, composing their selections.
+
+        Each hash join gathers directly from the base arrays through the
+        selection indexes, so a filtered scan is never materialised just to
+        be gathered again by the join.
+        """
+        first = join_order[0].frame_index
+        frame, selection = frames[first], selections[first]
+        for step in join_order[1:]:
+            next_frame = frames[step.frame_index]
+            next_selection = selections[step.frame_index]
+            positions = []
+            for left_ref, right_ref, _ in step.connecting:
+                if frame.position(left_ref) is not None:
+                    positions.append((frame.position(left_ref),
+                                      next_frame.position(right_ref)))
+                else:
+                    positions.append((frame.position(right_ref),
+                                      next_frame.position(left_ref)))
+            frame = self._hash_join_sel(frame, selection, next_frame, next_selection,
+                                        positions)
+            selection = None
+        return frame, selection
+
+    def _hash_join_sel(self, left: ColFrame, left_sel: np.ndarray | None,
+                       right: ColFrame, right_sel: np.ndarray | None,
+                       equi: list[tuple[int, int]]) -> ColFrame:
+        """Inner hash join gathering both sides through their selections."""
+        left_count = left.length if left_sel is None else len(left_sel)
+        right_count = right.length if right_sel is None else len(right_sel)
+
+        if not equi:
+            left_indexes = np.repeat(np.arange(left_count), right_count)
+            right_indexes = np.tile(np.arange(right_count), left_count)
+        else:
+            right_keys = [
+                right.arrays[position] if right_sel is None
+                else right.arrays[position][right_sel]
+                for _, position in equi
+            ]
+            table: dict[tuple, list[int]] = {}
+            for index in range(right_count):
+                key = tuple(array[index] for array in right_keys)
+                table.setdefault(key, []).append(index)
+            left_keys = [
+                left.arrays[position] if left_sel is None
+                else left.arrays[position][left_sel]
+                for position, _ in equi
+            ]
+            left_list: list[int] = []
+            right_list: list[int] = []
+            for index in range(left_count):
+                key = tuple(array[index] for array in left_keys)
+                matches = table.get(key)
+                if matches:
+                    left_list.extend([index] * len(matches))
+                    right_list.extend(matches)
+            left_indexes = np.array(left_list, dtype=np.int64)
+            right_indexes = np.array(right_list, dtype=np.int64)
+
+        if left_sel is not None:
+            left_indexes = left_sel[left_indexes]
+        if right_sel is not None:
+            right_indexes = right_sel[right_indexes]
+        arrays = [array[left_indexes] for array in left.arrays]
+        arrays += [array[right_indexes] for array in right.arrays]
+        return ColFrame(columns=left.columns + right.columns, arrays=arrays,
+                        length=len(left_indexes))
+
+    def _project_sel(self, select: ast.Select, frame: ColFrame,
+                     selection: np.ndarray | None, kernels: ColumnBlockKernels | None,
+                     names: list[str]) -> tuple[ColFrame, list[str]]:
+        length = frame.length if selection is None else len(selection)
+        context = ColumnContext(frame.arrays, length, selection)
+        materialised = _LazySelection(frame, selection)
+        item_fns = kernels.projection if kernels is not None else None
+        arrays: list[np.ndarray] = []
+        columns: list[ColumnInfo] = []
+        for position, item in enumerate(select.items):
+            if isinstance(item.expression, ast.Star):
+                star = item.expression
+                for index, column in enumerate(frame.columns):
+                    if star.table is None or column.binding.lower() == star.table.lower():
+                        arrays.append(context.column(index))
+                        columns.append(ColumnInfo("", column.name, column.type_name))
+                continue
+            kernel = item_fns[position] if item_fns is not None else None
+            if kernel is not None:
+                value = kernel(context)
+            else:
+                value = self._evaluate_materialised(materialised, item.expression)
+            array = self._as_array(value, length)
+            arrays.append(array)
+            columns.append(ColumnInfo("", item.output_name(position),
+                                      self._column_type(item.expression, frame, array)))
+        return ColFrame(columns=columns, arrays=arrays, length=length), names
+
+    def _aggregate_sel(self, select: ast.Select, frame: ColFrame,
+                       selection: np.ndarray | None,
+                       kernels: ColumnBlockKernels | None,
+                       names: list[str]) -> tuple[ColFrame, list[str]]:
+        length = frame.length if selection is None else len(selection)
+        if length == 0 and not select.group_by and select.having is None:
+            return self._empty_aggregate_result(select, frame, names)
+        context = ColumnContext(frame.arrays, length, selection)
+        materialised = _LazySelection(frame, selection)
+        vectors = kernels.vectors if kernels is not None else {}
+
+        def vector_of(expression: ast.Expression) -> np.ndarray:
+            kernel = vectors.get(id(expression))
+            if kernel is not None:
+                return self._as_array(kernel(context), length)
+            value = self._evaluate_materialised(materialised, expression)
+            return self._as_array(value, length)
+
+        return self._aggregate_with(select, frame, length, vector_of, names)
+
+    def _evaluate_materialised(self, materialised: "_LazySelection",
+                               expression: ast.Expression) -> Any:
+        """Interpreter fallback: evaluate over a (lazily) materialised frame."""
+        frame = materialised.frame()
+        try:
+            return self._evaluator(frame).evaluate(expression)
+        except VectorFallback:
+            return self._fallback_column(frame, expression)
 
     # -- FROM materialisation ----------------------------------------------------
 
@@ -386,24 +651,36 @@ class ColumnExecutor:
 
     def _aggregate(self, select: ast.Select, frame: ColFrame,
                    names: list[str]) -> tuple[ColFrame, list[str]]:
+        if frame.length == 0 and not select.group_by and select.having is None:
+            return self._empty_aggregate_result(select, frame, names)
         evaluator = self._evaluator(frame)
 
+        def vector_of(expression: ast.Expression) -> np.ndarray:
+            try:
+                value = evaluator.evaluate(expression)
+            except VectorFallback:
+                value = self._fallback_column(frame, expression)
+            return self._as_array(value, frame.length)
+
+        return self._aggregate_with(select, frame, frame.length, vector_of, names)
+
+    def _aggregate_with(self, select: ast.Select, frame: ColFrame, length: int,
+                        vector_of, names: list[str]) -> tuple[ColFrame, list[str]]:
+        """Shared grouping/aggregation tail over a vector provider.
+
+        ``vector_of(expression)`` returns one value per (selected) input row;
+        the materialised and selection-vector paths only differ in how that
+        provider is built.
+        """
         if select.group_by:
-            keys = []
-            for expression in select.group_by:
-                try:
-                    value = evaluator.evaluate(expression)
-                except VectorFallback:
-                    value = self._fallback_column(frame, expression)
-                keys.append(self._as_array(value, frame.length))
-            group_ids, first_index, group_count = _group_ids(keys, frame.length)
+            keys = [vector_of(expression) for expression in select.group_by]
+            group_ids, first_index, group_count = _group_ids(keys, length)
         else:
-            group_ids = np.zeros(frame.length, dtype=np.int64)
-            first_index = np.zeros(1 if frame.length else 0, dtype=np.int64)
+            group_ids = np.zeros(length, dtype=np.int64)
+            first_index = np.zeros(1 if length else 0, dtype=np.int64)
             group_count = 1
 
-        aggregator = _GroupAggregator(self, frame, evaluator, group_ids, first_index,
-                                      group_count)
+        aggregator = _GroupAggregator(vector_of, group_ids, first_index, group_count)
 
         if select.having is not None:
             having = aggregator.evaluate(select.having)
@@ -420,15 +697,23 @@ class ColumnExecutor:
             columns.append(ColumnInfo("", item.output_name(position),
                                       self._column_type(item.expression, frame,
                                                         np.asarray(values))))
-        length = int(keep.sum())
-        if group_count == 0 and not select.group_by:
-            # aggregate over an empty input still produces one row
-            length = 1
-            arrays = [np.array([None], dtype=object) for _ in arrays] if not arrays else [
-                np.array([_empty_aggregate_value(item.expression)], dtype=object)
-                for item in select.items
-            ]
-        return ColFrame(columns=columns, arrays=arrays, length=length), names
+        return ColFrame(columns=columns, arrays=arrays, length=int(keep.sum())), names
+
+    def _empty_aggregate_result(self, select: ast.Select, frame: ColFrame,
+                                names: list[str]) -> tuple[ColFrame, list[str]]:
+        """A global aggregate over an empty input still produces one row.
+
+        Count aggregates yield 0, everything else NULL -- matching the row
+        interpreter's empty-group semantics exactly.
+        """
+        arrays: list[np.ndarray] = []
+        columns: list[ColumnInfo] = []
+        for position, item in enumerate(select.items):
+            array = np.array([_empty_aggregate_value(item.expression)], dtype=object)
+            arrays.append(array)
+            columns.append(ColumnInfo("", item.output_name(position),
+                                      self._column_type(item.expression, frame, array)))
+        return ColFrame(columns=columns, arrays=arrays, length=1), names
 
     # -- distinct / order / limit -----------------------------------------------------------
 
@@ -502,15 +787,39 @@ class _BridgeFrame:
         return Scope(columns=list(self.columns), outer=outer)
 
 
-class _GroupAggregator:
-    """Evaluates (possibly aggregate) expressions per group, vectorised."""
+class _LazySelection:
+    """Materialises a (frame, selection) pair at most once, on demand.
 
-    def __init__(self, executor: ColumnExecutor, frame: ColFrame,
-                 evaluator: VectorEvaluator, group_ids: np.ndarray,
+    Interpreter fallbacks inside the selection-vector path need a real
+    :class:`ColFrame`; this defers (and shares) that gather so the common
+    all-kernels case never pays it.
+    """
+
+    __slots__ = ("_base", "_selection", "_frame")
+
+    def __init__(self, base: ColFrame, selection: np.ndarray | None):
+        self._base = base
+        self._selection = selection
+        self._frame: ColFrame | None = None
+
+    def frame(self) -> ColFrame:
+        if self._frame is None:
+            self._frame = self._base if self._selection is None \
+                else self._base.take(self._selection)
+        return self._frame
+
+
+class _GroupAggregator:
+    """Evaluates (possibly aggregate) expressions per group, vectorised.
+
+    ``vector_of(expression)`` supplies one value per input row; the caller
+    decides whether that comes from compiled kernels over a selection vector
+    or from the vectorised interpreter over a materialised frame.
+    """
+
+    def __init__(self, vector_of, group_ids: np.ndarray,
                  first_index: np.ndarray, group_count: int):
-        self.executor = executor
-        self.frame = frame
-        self.evaluator = evaluator
+        self.vector_of = vector_of
         self.group_ids = group_ids
         self.first_index = first_index
         self.group_count = group_count
@@ -557,11 +866,7 @@ class _GroupAggregator:
         return ast.has_local_aggregate(expression)
 
     def _vector(self, expression: ast.Expression) -> np.ndarray:
-        try:
-            value = self.evaluator.evaluate(expression)
-        except VectorFallback:
-            value = self.executor._fallback_column(self.frame, expression)
-        return self.executor._as_array(value, self.frame.length)
+        return self.vector_of(expression)
 
     def _first_row_values(self, expression: ast.Expression) -> np.ndarray:
         values = self._vector(expression)

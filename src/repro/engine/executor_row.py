@@ -24,6 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.engine.compile import (
+    RowAggregation,
+    RowBlockKernels,
+    RowPredicates,
+    compile_row_block,
+)
 from repro.engine.database import Database
 from repro.engine.expression import evaluate, evaluate_aggregate
 from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
@@ -96,14 +102,17 @@ class RowExecutor:
     """Executes planned SELECT blocks against a :class:`Database`, tuple at a time."""
 
     def __init__(self, database: Database, predicate_pushdown: bool = True,
-                 hash_joins: bool = True, plan: QueryPlan | None = None):
+                 hash_joins: bool = True, compile_expressions: bool = True,
+                 plan: QueryPlan | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
+        self.compile_expressions = compile_expressions
         self._plan = plan
         self._planner: Planner | None = None
         self._extra_blocks: dict[int, BlockPlan] = {}
-        self._uncorrelated_cache: dict[str, list[tuple]] = {}
+        self._uncorrelated_cache: dict[int, list[tuple]] = {}
+        self._correlated: dict[int, bool] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -118,9 +127,14 @@ class RowExecutor:
         return self._execute_block(select, outer=None)
 
     def run_subquery(self, select: ast.Select, outer: "_RowEnv | None") -> list[tuple]:
-        """Execute a nested SELECT, caching uncorrelated results."""
+        """Execute a nested SELECT, caching uncorrelated results.
+
+        The per-execution cache (and the correlation analysis) is keyed by
+        ``id(select)`` -- the plan keeps the AST alive, so the key is stable
+        and the per-row lookup does not re-print the subquery's SQL.
+        """
         correlated = self._is_correlated(select, outer)
-        cache_key = to_sql(select) if not correlated else None
+        cache_key = id(select) if not correlated else None
         if cache_key is not None and cache_key in self._uncorrelated_cache:
             return self._uncorrelated_cache[cache_key]
         _, rows = self._execute_block(select, outer=outer if correlated else None)
@@ -144,21 +158,61 @@ class RowExecutor:
             block = self._planner.plan_block(select, registry=self._extra_blocks)
         return block
 
+    def _block_kernels(self, block: BlockPlan) -> RowBlockKernels | None:
+        """The block's compiled kernels (None = interpret).
+
+        Only blocks owned by a shared plan get kernels: the plan caches the
+        compiled closures, so repeated executions -- and the column engine's
+        row-fallback subqueries -- reuse them.  Compilation is best-effort;
+        any failure leaves the block on the interpreter.
+        """
+        if not self.compile_expressions or self._plan is None:
+            return None
+        if self._plan.block(block.select) is not block:
+            return None
+        try:
+            return self._plan.kernels(block, ("row",), compile_row_block)
+        except Exception:
+            return None
+
     def _execute_block(self, select: ast.Select, outer: "_RowEnv | None"
                        ) -> tuple[list[str], list[tuple]]:
         block = self._block(select)
+        kernels = self._block_kernels(block)
         frames = [self._materialise(item, outer) for item in select.from_items]
 
         if block.pushdown:
             # single-relation predicates are applied while scanning each input.
-            frames = [self._apply_pushdown(frame, block.pushdown, outer)
-                      for frame in frames]
+            if kernels is not None:
+                frames = [
+                    frame if compiled is None
+                    else self._filter_kernels(frame, compiled, outer)
+                    for frame, compiled in zip(frames, kernels.pushdown)
+                ]
+            else:
+                frames = [self._apply_pushdown(frame, block.pushdown, outer)
+                          for frame in frames]
 
         frame = self._join_frames(frames, block.join_order, outer)
-        frame = self._filter(frame, block.residual, outer)
+        if kernels is not None and kernels.residual is not None:
+            frame = self._filter_kernels(frame, kernels.residual, outer)
+        else:
+            frame = self._filter(frame, block.residual, outer)
 
         if block.needs_aggregation:
-            columns, rows = self._aggregate(select, frame, outer, block.output_names)
+            aggregation = kernels.aggregation if kernels is not None else None
+            if aggregation is not None and (frame.rows or select.group_by):
+                columns, rows = self._aggregate_kernels(select, frame, aggregation,
+                                                        block.output_names)
+            else:
+                # the empty global group keeps the interpreter's semantics
+                # (non-aggregate subexpressions evaluate to NULL).
+                columns, rows = self._aggregate(select, frame, outer,
+                                                block.output_names)
+        elif kernels is not None and kernels.projection is not None:
+            columns, rows = self._project_kernels(select, frame, outer,
+                                                  block.output_names,
+                                                  kernels.projection)
         else:
             columns, rows = self._project(select, frame, outer, block.output_names)
 
@@ -166,6 +220,73 @@ class RowExecutor:
             rows = list(dict.fromkeys(rows))
         rows = self._order(select, columns, rows, frame)
         rows = self._limit(select, rows)
+        return columns, rows
+
+    # -- compiled physical operators ---------------------------------------------
+
+    def _filter_kernels(self, frame: RowFrame, predicates: RowPredicates,
+                        outer: "_RowEnv | None") -> RowFrame:
+        """Filter a frame through a compiled conjunction (+ interpreter rest)."""
+        rows = frame.rows
+        if predicates.fused is not None:
+            fused = predicates.fused
+            rows = [row for row in rows if fused(row)]
+        if predicates.interpreted:
+            rows = [row for row in rows
+                    if self._passes(predicates.interpreted, frame, row, outer)]
+        if rows is frame.rows:
+            return frame
+        return RowFrame(columns=frame.columns, rows=rows)
+
+    def _project_kernels(self, select: ast.Select, frame: RowFrame,
+                         outer: "_RowEnv | None", columns: list[str],
+                         item_fns: list) -> tuple[list[str], list[tuple]]:
+        star_positions = self._star_positions(select, frame)
+        items = list(zip(select.items, item_fns))
+        need_env = any(fn is None and not isinstance(item.expression, ast.Star)
+                       for item, fn in items)
+        rows: list[tuple] = []
+        for row in frame.rows:
+            env = _RowEnv(self, frame, row, outer) if need_env else None
+            values: list[Any] = []
+            for item, fn in items:
+                if fn is not None:
+                    values.append(fn(row))
+                elif isinstance(item.expression, ast.Star):
+                    values.extend(row[position]
+                                  for position in star_positions[id(item)])
+                else:
+                    values.append(evaluate(item.expression, env))
+            rows.append(tuple(values))
+        return columns, rows
+
+    def _aggregate_kernels(self, select: ast.Select, frame: RowFrame,
+                           aggregation: RowAggregation, columns: list[str]
+                           ) -> tuple[list[str], list[tuple]]:
+        """Fused grouping + accumulation + finalisation over compiled kernels."""
+        key_fn = aggregation.key_fn
+        inits = aggregation.inits
+        updates = aggregation.updates
+        groups: dict[tuple, tuple[list, tuple]] = {}
+        for row in frame.rows:
+            key = key_fn(row) if key_fn is not None else ()
+            entry = groups.get(key)
+            if entry is None:
+                entry = groups[key] = ([init() for init in inits], row)
+            states = entry[0]
+            for state, update in zip(states, updates):
+                update(state, row)
+
+        rows: list[tuple] = []
+        finals = aggregation.finals
+        having_fn = aggregation.having_fn
+        for states, first_row in groups.values():
+            combined = tuple(final(state)
+                             for final, state in zip(finals, states)) + first_row
+            if having_fn is not None and not bool(having_fn(combined)):
+                continue
+            rows.append(tuple(finaliser(combined)
+                              for finaliser in aggregation.finalisers))
         return columns, rows
 
     # -- FROM materialisation ----------------------------------------------------
@@ -455,17 +576,26 @@ class RowExecutor:
     # -- helpers ----------------------------------------------------------------------------
 
     def _is_correlated(self, select: ast.Select, outer: "_RowEnv | None") -> bool:
-        """Heuristic correlation test: any column not resolvable locally."""
+        """Heuristic correlation test: any column not resolvable locally.
+
+        The walk is memoised by ``id(select)`` -- the driver re-runs the same
+        subquery once per outer row, and the answer never changes.
+        """
         if outer is None:
             return False
+        cached = self._correlated.get(id(select))
+        if cached is not None:
+            return cached
         local_bindings: list[ColumnInfo] = []
         for item in select.from_items:
             local_bindings.extend(self._item_columns(item))
         local = Scope(columns=local_bindings)
-        for node in select.walk():
-            if isinstance(node, ast.ColumnRef) and local.resolve_local(node) is None:
-                return True
-        return False
+        correlated = any(
+            isinstance(node, ast.ColumnRef) and local.resolve_local(node) is None
+            for node in select.walk()
+        )
+        self._correlated[id(select)] = correlated
+        return correlated
 
     def _item_columns(self, item: ast.TableExpression) -> list[ColumnInfo]:
         if isinstance(item, ast.TableRef):

@@ -259,6 +259,13 @@ def _evaluate_function(node: ast.FunctionCall, env: RowEnv) -> Any:
     return handler(*arguments)
 
 
+# public aliases consumed by the kernel compiler (repro.engine.compile); the
+# compiled closures must share these exact semantics with the interpreter.
+compare_values = _compare
+scalar_functions = _SCALAR_FUNCTIONS
+like_predicate = _like
+
+
 def _evaluate_cast(node: ast.Cast, env: RowEnv) -> Any:
     value = evaluate(node.operand, env)
     if value is None:

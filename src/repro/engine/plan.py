@@ -143,6 +143,30 @@ class QueryPlan:
     sql: str
     blocks: dict[int, BlockPlan]
     predicate_pushdown: bool = True
+    #: compiled physical kernels keyed by (block id, flavour); populated
+    #: lazily by the executors (see :meth:`kernels`) and therefore amortised
+    #: by the plan cache exactly like the logical analysis itself.
+    _kernels: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _kernels_lock: threading.Lock = field(default_factory=threading.Lock, init=False,
+                                          repr=False, compare=False)
+
+    def kernels(self, block: "BlockPlan", flavour: tuple, build):
+        """Get-or-build the compiled kernels of ``block`` for ``flavour``.
+
+        ``flavour`` distinguishes kernel families that cannot be shared (row
+        vs column, overflow-guarded vs not).  ``build(block)`` runs at most
+        once per (block, flavour) for the lifetime of the plan; the result is
+        shared across executions and across driver worker threads.
+        """
+        key = (id(block.select),) + flavour
+        found = self._kernels.get(key)
+        if found is None:
+            with self._kernels_lock:
+                found = self._kernels.get(key)
+                if found is None:
+                    found = build(block)
+                    self._kernels[key] = found
+        return found
 
     def block(self, select: ast.Select) -> BlockPlan | None:
         """The plan of one query block (None when the block is unknown)."""

@@ -31,7 +31,14 @@ class VectorFallback(Exception):
 class ColFrame:
     """An intermediate relation in column-major (numpy) form."""
 
+    #: process-wide count of frame constructions.  The selection-vector
+    #: executor is asserted (in tests) to allocate no intermediate frame per
+    #: residual predicate; this counter is that assertion's probe.  It is a
+    #: plain int -- instrumentation, not a thread-safe statistic.
+    materialisations: int = 0
+
     def __init__(self, columns: list[ColumnInfo], arrays: list[np.ndarray], length: int):
+        ColFrame.materialisations += 1
         self.columns = columns
         self.arrays = arrays
         self.length = length
@@ -48,12 +55,19 @@ class ColFrame:
             self._by_name.setdefault(column.name.lower(), []).append(position)
 
     def position(self, ref: ast.ColumnRef) -> int | None:
-        """Column position of ``ref`` in this frame, or None when absent."""
+        """Column position of ``ref`` in this frame, or None when absent.
+
+        An unqualified name matching several bindings is a user error a real
+        engine reports rather than silently resolving to the first match.
+        """
         if ref.table:
             return self._index.get((ref.table.lower(), ref.name.lower()))
         positions = self._by_name.get(ref.name.lower())
         if not positions:
             return None
+        if len(positions) > 1:
+            raise ExecutionError(
+                f"ambiguous column '{ref.name}' (qualify it with a table alias)")
         return positions[0]
 
     def array(self, position: int) -> np.ndarray:
@@ -81,6 +95,17 @@ class ColFrame:
     def rows(self) -> list[tuple]:
         """Materialise every row (used at result-delivery time)."""
         return [self.row(index) for index in range(self.length)]
+
+
+def concat_values(left: Any, right: Any) -> Any:
+    """SQL ``||`` over columns and/or scalars (shared with the kernel compiler)."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        length = len(left) if isinstance(left, np.ndarray) else len(right)
+        left_values = left if isinstance(left, np.ndarray) else [left] * length
+        right_values = right if isinstance(right, np.ndarray) else [right] * length
+        return np.array([str(a) + str(b) for a, b in zip(left_values, right_values)],
+                        dtype=object)
+    return str(left) + str(right)
 
 
 def _to_python(value: Any, type_name: str) -> Any:
@@ -209,13 +234,7 @@ class VectorEvaluator:
         raise ExecutionError(f"unsupported binary operator '{operator}'")
 
     def _concat(self, left: Any, right: Any) -> Any:
-        if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
-            length = len(left) if isinstance(left, np.ndarray) else len(right)
-            left_values = left if isinstance(left, np.ndarray) else [left] * length
-            right_values = right if isinstance(right, np.ndarray) else [right] * length
-            return np.array([str(a) + str(b) for a, b in zip(left_values, right_values)],
-                            dtype=object)
-        return str(left) + str(right)
+        return concat_values(left, right)
 
     def _interval_arithmetic(self, node: ast.BinaryOp, left: Any, right: Any) -> Any:
         if isinstance(right, ast.IntervalLiteral) and isinstance(left, (int, np.integer)):

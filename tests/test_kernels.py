@@ -1,0 +1,224 @@
+"""Tests for the compiled-kernel layer and selection-vector execution.
+
+Covers the kernel-compilation subsystem (``engine/compile.py``), the
+``compile_expressions`` / ``selection_vectors`` engine options, the
+ambiguous-column fix in ``ColFrame.position``, the O(1) subquery-cache
+keying, and an 8-way row/column parity sweep over every TPC-H query.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.data import populate_tpch
+from repro.engine import ColumnEngine, Database, EngineOptions, RowEngine
+from repro.engine.compile import CompileFallback, Layout, compile_row_kernel
+from repro.engine.planner import ColumnInfo
+from repro.engine.vector import ColFrame
+from repro.errors import ExecutionError
+from repro.sqlparser import ast
+from repro.tpch import QUERIES
+from tests.conftest import normalise
+
+#: every combination of the two new engine options.
+TOGGLES = list(itertools.product([False, True], repeat=2))
+
+
+def _options(compile_expressions: bool, selection_vectors: bool) -> EngineOptions:
+    return EngineOptions(compile_expressions=compile_expressions,
+                         selection_vectors=selection_vectors)
+
+
+@pytest.fixture(scope="module")
+def parity_db() -> Database:
+    """A very small TPC-H instance: the parity sweep runs 8 configurations
+    per query, so the interpreted row engine must stay fast on the join-heavy
+    queries (Q19/Q21 walk a cross product)."""
+    database = Database("tpch-parity")
+    populate_tpch(database, scale_factor=0.0003)
+    return database
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    database = Database("kernel-unit")
+    database.create_table("t", [("id", "int"), ("name", "str"), ("price", "float"),
+                                ("day", "date")])
+    database.insert_rows("t", [
+        (1, "alpha", 10.0, "2020-01-01"),
+        (2, "beta", 20.0, "2020-02-01"),
+        (3, "gamma", 30.0, "2020-03-01"),
+    ])
+    database.create_table("u", [("id", "int"), ("t_id", "int"), ("tag", "str")])
+    database.insert_rows("u", [(1, 1, "x"), (2, 3, "y")])
+    return database
+
+
+class TestTPCHParity:
+    """Row and column engines agree on every TPC-H query under every
+    combination of compile_expressions x selection_vectors: the kernels and
+    the selection-vector pipeline must change performance, never semantics."""
+
+    @pytest.mark.parametrize("query_id", sorted(QUERIES))
+    def test_all_toggle_combinations_agree(self, query_id, parity_db):
+        sql = QUERIES[query_id]
+        reference = RowEngine(parity_db, options=_options(False, False)).execute(sql)
+        expected = (reference.columns, normalise(reference.rows))
+        for compile_expressions, selection_vectors in TOGGLES:
+            options = _options(compile_expressions, selection_vectors)
+            for engine in (RowEngine(parity_db, options=options),
+                           ColumnEngine(parity_db, options=options)):
+                result = engine.execute(sql)
+                label = (f"Q{query_id} {engine.strategy()} "
+                         f"compile={compile_expressions} sel={selection_vectors}")
+                assert result.columns == reference.columns, f"{label}: columns differ"
+                assert normalise(result.rows) == expected[1], f"{label}: rows differ"
+
+
+class TestAmbiguousColumns:
+    def test_colframe_position_raises_on_ambiguity(self):
+        import numpy as np
+
+        frame = ColFrame(
+            columns=[ColumnInfo("t", "id", "int"), ColumnInfo("u", "id", "int")],
+            arrays=[np.array([1]), np.array([2])], length=1)
+        with pytest.raises(ExecutionError, match="ambiguous column 'id'"):
+            frame.position(ast.ColumnRef(name="id"))
+        # qualified references still resolve
+        assert frame.position(ast.ColumnRef(name="id", table="u")) == 1
+
+    def test_column_engine_rejects_ambiguous_reference(self, small_db):
+        engine = ColumnEngine(small_db)
+        with pytest.raises(ExecutionError, match="ambiguous column"):
+            engine.execute("select id from t, u where t.id = u.t_id")
+
+    def test_qualified_reference_still_works(self, small_db):
+        engine = ColumnEngine(small_db)
+        result = engine.execute(
+            "select t.id from t, u where t.id = u.t_id order by t.id")
+        assert [row[0] for row in result.rows] == [1, 3]
+
+
+class TestSubqueryCacheKeying:
+    @pytest.mark.parametrize("kind", ["row", "column"])
+    def test_uncorrelated_subquery_never_reprints_sql(self, kind, small_db, monkeypatch):
+        """The per-row cache hit must be an id() lookup, not a to_sql render."""
+        import repro.engine.executor_row as executor_row
+        import repro.sqlparser.printer as printer
+
+        calls = {"count": 0}
+        original = printer.to_sql
+
+        def counting(node):
+            calls["count"] += 1
+            return original(node)
+
+        monkeypatch.setattr(printer, "to_sql", counting)
+        monkeypatch.setattr(executor_row, "to_sql", counting)
+
+        engine = (RowEngine if kind == "row" else ColumnEngine)(small_db)
+        plan = engine.prepare(
+            "select count(*) from t where id in (select t_id from u)")
+        calls["count"] = 0
+        result = engine.execute(plan)
+        assert result.scalar() == 2
+        assert calls["count"] == 0, "execution re-printed subquery SQL"
+
+
+class TestSelectionVectors:
+    def _frames_per_execution(self, engine, sql) -> int:
+        plan = engine.prepare(sql)
+        engine.execute(plan)  # warm kernels and columnar views
+        before = ColFrame.materialisations
+        engine.execute(plan)
+        return ColFrame.materialisations - before
+
+    def test_no_intermediate_frame_per_residual_predicate(self, parity_db):
+        """With selection vectors, a query with four predicates allocates
+        exactly as many ColFrames as one with none: predicates refine the
+        selection index instead of materialising masked frames."""
+        engine = ColumnEngine(parity_db)
+        with_predicates = self._frames_per_execution(engine, QUERIES[6])
+        without_predicates = self._frames_per_execution(
+            engine, "select sum(l_extendedprice * l_discount) as revenue from lineitem")
+        assert with_predicates == without_predicates == 2  # scan + result
+
+    def test_materialising_path_allocates_more(self, parity_db):
+        masked = ColumnEngine(parity_db, options=_options(True, False))
+        selecting = ColumnEngine(parity_db, options=_options(True, True))
+        assert (self._frames_per_execution(masked, QUERIES[6])
+                > self._frames_per_execution(selecting, QUERIES[6]))
+
+    def test_join_pipeline_composes_selections(self, parity_db):
+        masked = ColumnEngine(parity_db, options=_options(True, False))
+        selecting = ColumnEngine(parity_db, options=_options(True, True))
+        assert (self._frames_per_execution(selecting, QUERIES[3])
+                < self._frames_per_execution(masked, QUERIES[3]))
+
+
+class TestEmptyAggregates:
+    """Regression: Q17's correlated-subquery filter can empty the frame; the
+    column engine used to crash combining aggregates over zero groups."""
+
+    @pytest.mark.parametrize("kind", ["row", "column"])
+    @pytest.mark.parametrize("toggles", TOGGLES)
+    def test_arithmetic_over_empty_aggregate(self, kind, toggles, small_db):
+        engine = (RowEngine if kind == "row" else ColumnEngine)(
+            small_db, options=_options(*toggles))
+        result = engine.execute("select sum(price) / 7.0 as avg_x from t where id > 99")
+        assert result.rows == [(None,)]
+
+    @pytest.mark.parametrize("toggles", TOGGLES)
+    def test_count_over_empty_input(self, toggles, small_db):
+        engine = ColumnEngine(small_db, options=_options(*toggles))
+        result = engine.execute("select count(*), sum(price) from t where id > 99")
+        assert result.rows == [(0, None)]
+
+
+class TestKernelCompilation:
+    def test_options_describe_includes_new_toggles(self, small_db):
+        described = ColumnEngine(small_db).options.describe()
+        assert described["compile_expressions"] is True
+        assert described["selection_vectors"] is True
+
+    def test_with_version_overrides_toggles(self, small_db):
+        base = ColumnEngine(small_db)
+        interpreted = base.with_version("interp", compile_expressions=False,
+                                        selection_vectors=False)
+        assert not interpreted.options.compile_expressions
+        assert not interpreted.options.selection_vectors
+        assert base.options.compile_expressions
+
+    def test_kernels_cached_on_plan(self, small_db):
+        from repro.engine.compile import compile_row_block
+
+        engine = RowEngine(small_db)
+        plan = engine.prepare("select name from t where price > 15")
+        block = plan.root
+        first = plan.kernels(block, ("row",), compile_row_block)
+        second = plan.kernels(block, ("row",), compile_row_block)
+        assert first is second
+
+    def test_row_kernel_matches_interpreter(self):
+        layout = Layout([ColumnInfo("t", "a", "int"), ColumnInfo("t", "b", "float")])
+        expression = ast.BinaryOp(
+            "*", ast.ColumnRef(name="a"),
+            ast.BinaryOp("+", ast.Literal(1, "number"), ast.ColumnRef(name="b")))
+        kernel = compile_row_kernel(expression, layout)
+        assert kernel((3, 0.5)) == pytest.approx(4.5)
+        assert kernel((None, 0.5)) is None  # NULL propagation
+
+    def test_subquery_expressions_fall_back(self):
+        layout = Layout([ColumnInfo("t", "a", "int")])
+        subquery = ast.ScalarSubquery(ast.Select())
+        with pytest.raises(CompileFallback):
+            compile_row_kernel(ast.Comparison("=", ast.ColumnRef(name="a"), subquery),
+                               layout)
+
+    def test_constant_folding(self):
+        kernel = compile_row_kernel(
+            ast.BinaryOp("+", ast.Literal(1, "number"), ast.Literal(2, "number")),
+            Layout([]))
+        assert kernel(()) == 3
