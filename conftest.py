@@ -3,11 +3,28 @@
 Makes the ``src`` layout importable even when the package has not been
 installed (e.g. in offline environments where ``pip install -e .`` cannot
 resolve build requirements); an installed package takes precedence.
+
+Also resets the engine's process-wide instrumentation counters before every
+test (both the ``tests/`` and ``benchmarks/`` suites), so materialisation
+and chunk-skip assertions can never bleed between tests.
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(autouse=True)
+def _reset_instrumentation_counters():
+    """Zero ``ColFrame.materialisations`` and ``ScanStats`` per test."""
+    from repro.engine.storage import ScanStats
+    from repro.engine.vector import ColFrame
+
+    ColFrame.materialisations = 0
+    ScanStats.reset()
+    yield

@@ -44,7 +44,11 @@ def tpch_q1_example() -> None:
 
     database = build_tpch_database(scale_factor=0.001)
     row_engine, column_engine = build_engines(database)
-    print(f"database rows: {database.size_summary()}")
+    print("database storage:")
+    for table, entry in database.size_summary().items():
+        print(f"  {table:10s} {entry['rows']:6d} rows, {entry['chunks']:2d} chunks, "
+              f"{entry['encoded_bytes'] / 1024:7.1f} KiB encoded "
+              f"({entry['compression_ratio']:.2f}x vs raw)")
 
     pool = QueryPool(grammar, seed=42)
     pool.seed_baseline()

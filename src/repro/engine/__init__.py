@@ -15,11 +15,15 @@ experiment can also compare two *versions* of the same engine (e.g. with and
 without predicate push-down, or with the overflow-guarded expression
 evaluation that the paper's MonetDB anecdote describes).
 
-The shared pieces are the catalog/storage (:class:`Database`), the SQL
+The shared pieces are the catalog (:class:`Catalog`), the chunked columnar
+storage subsystem (:mod:`repro.engine.storage`: fixed-size chunks of typed
+segments with null masks, zone maps, dictionary-encoded strings and
+aggregated table statistics, fronted by :class:`Database`), the SQL
 front-end (:mod:`repro.sqlparser`) and the logical plan layer
 (:mod:`repro.engine.plan`): a :class:`Planner` analyses each query once into
-a :class:`QueryPlan` that both physical backends consume, and every engine
-keeps a keyed LRU :class:`PlanCache` so repeated executions -- the driver's
+a :class:`QueryPlan` that both physical backends consume (ordering scan
+predicates by statistics-estimated selectivity), and every engine keeps a
+keyed LRU :class:`PlanCache` so repeated executions -- the driver's
 five-repetition loop, the pool's morph/re-measure cycle -- parse and plan
 exactly once per distinct query.
 
@@ -39,7 +43,14 @@ from repro.engine.compile import (
     compile_row_block,
     compile_row_kernel,
 )
-from repro.engine.database import Database
+from repro.engine.database import ColumnarTable, Database
+from repro.engine.storage import (
+    DEFAULT_CHUNK_ROWS,
+    ScanStats,
+    StorageTable,
+    TableStatistics,
+    ZoneMap,
+)
 from repro.engine.plan import (
     BlockPlan,
     JoinStep,
@@ -69,7 +80,13 @@ __all__ = [
     "compile_column_kernel",
     "compile_row_block",
     "compile_row_kernel",
+    "ColumnarTable",
     "Database",
+    "DEFAULT_CHUNK_ROWS",
+    "ScanStats",
+    "StorageTable",
+    "TableStatistics",
+    "ZoneMap",
     "QueryResult",
     "BlockPlan",
     "JoinStep",

@@ -1,12 +1,15 @@
-"""Catalog: table and column metadata shared by both engines."""
+"""Catalog: table and column metadata (plus statistics) shared by both engines."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.engine.types import LOGICAL_TYPES
 from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime cycle with storage
+    from repro.engine.storage.stats import TableStatistics
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,7 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, TableSchema] = {}
+        self._statistics: dict[str, Callable[[], "TableStatistics"]] = {}
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -98,11 +102,27 @@ class Catalog:
         return schema
 
     def drop_table(self, name: str) -> None:
-        """Remove table ``name`` from the catalog."""
+        """Remove table ``name`` (and its statistics binding) from the catalog."""
         try:
             del self._tables[name.lower()]
         except KeyError:
             raise CatalogError(f"unknown table '{name}'") from None
+        self._statistics.pop(name.lower(), None)
+
+    def bind_statistics(self, name: str,
+                        provider: Callable[[], "TableStatistics"]) -> None:
+        """Register a statistics provider for table ``name``.
+
+        The storage layer binds its (cached) aggregation here, so planners
+        consulting the catalog always see statistics reflecting the current
+        table contents without the catalog owning storage state.
+        """
+        self._statistics[name.lower()] = provider
+
+    def table_statistics(self, name: str) -> "TableStatistics | None":
+        """Current statistics of table ``name`` (None when no storage bound)."""
+        provider = self._statistics.get(name.lower())
+        return provider() if provider is not None else None
 
     def table(self, name: str) -> TableSchema:
         """Return the schema of table ``name``."""

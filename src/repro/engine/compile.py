@@ -40,7 +40,17 @@ import numpy as np
 from repro.engine.expression import compare_values, like_predicate, scalar_functions
 from repro.engine.planner import ColumnInfo
 from repro.engine.types import add_interval, date_to_ordinal, ordinal_to_date, to_date
-from repro.engine.vector import concat_values
+from repro.engine.vector import (
+    arith_arrays,
+    cast_array,
+    compare_arrays,
+    concat_values,
+    extract_object_date_field,
+    map_object_values,
+    mask_object_nulls,
+    negate_values,
+    none_positions,
+)
 from repro.errors import ExecutionError
 from repro.sqlparser import ast
 
@@ -58,6 +68,10 @@ _CMP = {
     ">": _operator.gt,
     ">=": _operator.ge,
 }
+
+#: arithmetic operators the column kernels lower through
+#: :func:`repro.engine.vector.arith_arrays` (NULL-propagating).
+_ARITH_OPS = ("+", "-", "*", "/", "%")
 
 
 class Layout:
@@ -963,7 +977,7 @@ def _col_unary(node: ast.UnaryOp, layout, guard) -> tuple[bool, Any]:
         return False, fn
     if node.operator == "-":
         def fn(ctx):
-            return -operand(ctx)
+            return negate_values(operand(ctx))
         return _maybe_fold(fn, operand_pair)
     return operand_pair
 
@@ -997,34 +1011,22 @@ def _col_binary(node: ast.BinaryOp, layout, guard) -> tuple[bool, Any]:
 
         def left(ctx, _fn=plain_left):
             value = _fn(ctx)
-            if isinstance(value, np.ndarray):
+            if isinstance(value, np.ndarray) and value.dtype != object:
                 return np.ascontiguousarray(value.astype(np.longdouble))
             return value
 
         def right(ctx, _fn=plain_right):
             value = _fn(ctx)
-            if isinstance(value, np.ndarray):
+            if isinstance(value, np.ndarray) and value.dtype != object:
                 return np.ascontiguousarray(value.astype(np.longdouble))
             return value
 
-    if op == "+":
-        def fn(ctx):
-            return left(ctx) + right(ctx)
-    elif op == "-":
-        def fn(ctx):
-            return left(ctx) - right(ctx)
-    elif op == "*":
-        def fn(ctx):
-            return left(ctx) * right(ctx)
-    elif op == "/":
-        def fn(ctx):
-            return left(ctx) / right(ctx)
-    elif op == "%":
-        def fn(ctx):
-            return left(ctx) % right(ctx)
-    elif op == "||":
+    if op == "||":
         def fn(ctx):
             return concat_values(left(ctx), right(ctx))
+    elif op in _ARITH_OPS:
+        def fn(ctx):
+            return arith_arrays(op, left(ctx), right(ctx))
     else:
         raise CompileFallback(f"unsupported binary operator '{op}'")
     return _maybe_fold(fn, left_pair, right_pair)
@@ -1090,17 +1092,17 @@ def _col_align(left_node, right_node, left_pair, right_pair, layout):
 def _col_comparison(node: ast.Comparison, layout, guard) -> tuple[bool, Any]:
     if node.quantifier is not None:
         raise CompileFallback("quantified comparisons require row-at-a-time evaluation")
-    compare = _CMP.get(node.operator)
-    if compare is None:
+    if node.operator not in _CMP:
         raise CompileFallback(f"unsupported comparison operator '{node.operator}'")
     left_pair = _col(node.left, layout, guard)
     right_pair = _col(node.right, layout, guard)
     left_pair, right_pair = _col_align(node.left, node.right, left_pair, right_pair,
                                        layout)
     left, right = _as_fn(left_pair), _as_fn(right_pair)
+    op = node.operator
 
     def fn(ctx):
-        return compare(left(ctx), right(ctx))
+        return compare_arrays(op, left(ctx), right(ctx))
     return _maybe_fold(fn, left_pair, right_pair)
 
 
@@ -1114,7 +1116,7 @@ def _col_isnull(node: ast.IsNull, layout, guard) -> tuple[bool, Any]:
             if value.dtype == np.float64:
                 mask = np.isnan(value)
             elif value.dtype == object:
-                mask = np.array([item is None or item == "" for item in value], dtype=bool)
+                mask = none_positions(value)
             else:
                 mask = np.zeros(len(value), dtype=bool)
         else:
@@ -1136,8 +1138,14 @@ def _col_between(node: ast.Between, layout, guard) -> tuple[bool, Any]:
 
     def fn(ctx):
         value = operand(ctx)
-        inside = (value >= low(ctx)) & (value <= high(ctx))
-        return ~inside if negated else inside
+        low_value, high_value = low(ctx), high(ctx)
+        inside = (compare_arrays(">=", value, low_value)
+                  & compare_arrays("<=", value, high_value))
+        if not negated:
+            return inside
+        # NOT BETWEEN over a NULL operand *or* NULL bound is NULL (false).
+        outside = ~inside if isinstance(inside, np.ndarray) else (not inside)
+        return mask_object_nulls(outside, value, low_value, high_value)
     return False, fn
 
 
@@ -1174,6 +1182,10 @@ def _col_in_list(node: ast.InList, layout, guard) -> tuple[bool, Any]:
     if not all(const for const, _ in item_pairs):
         raise CompileFallback("IN list with non-constant members")
     values = [value for _, value in item_pairs]
+    #: NULL list members can never match under row semantics (x = NULL is
+    #: NULL), and np.isin would match a NULL operand by identity -- exclude
+    #: them from the vectorised member set up front.
+    member_values = [value for value in values if value is not None]
     negated = node.negated
     typed_cache: dict[Any, np.ndarray] = {}
 
@@ -1182,11 +1194,17 @@ def _col_in_list(node: ast.InList, layout, guard) -> tuple[bool, Any]:
         if isinstance(value, np.ndarray):
             members = typed_cache.get(value.dtype)
             if members is None:
-                members = np.array(values, dtype=value.dtype)
+                members = np.array(member_values, dtype=value.dtype)
                 typed_cache[value.dtype] = members
             mask = np.isin(value, members)
-        else:
-            mask = np.full(ctx.length, value in values, dtype=bool)
+            if negated:
+                # NOT IN over a NULL operand is NULL (false), not true.
+                return mask_object_nulls(~mask, value)
+            return mask
+        if value is None:
+            # NULL IN (...) / NULL NOT IN (...) are both NULL -> false.
+            return np.zeros(ctx.length, dtype=bool)
+        mask = np.full(ctx.length, value in member_values, dtype=bool)
         return ~mask if negated else mask
     return False, fn
 
@@ -1237,7 +1255,7 @@ def _col_cast(node: ast.Cast, layout, guard) -> tuple[bool, Any]:
 
     def fn(ctx):
         value = operand(ctx)
-        return convert(value) if isinstance(value, np.ndarray) else value
+        return cast_array(value, convert) if isinstance(value, np.ndarray) else value
     return False, fn
 
 
@@ -1254,6 +1272,9 @@ def _col_extract(node: ast.Extract, layout, guard) -> tuple[bool, Any]:
             date_value = ordinal_to_date(int(value))
             return {"year": date_value.year, "month": date_value.month,
                     "day": date_value.day}[field_name]
+        if value.dtype == object:
+            # nullable date column: NULL-propagating elementwise extraction.
+            return extract_object_date_field(value, field_name)
         dates = value.astype("datetime64[D]")
         if field_name == "year":
             return dates.astype("datetime64[Y]").astype(np.int64) + 1970
@@ -1277,6 +1298,8 @@ def _col_substring(node: ast.Substring, layout, guard) -> tuple[bool, Any]:
         end = None if length is None else begin + int(length(ctx))
 
         def slice_one(item):
+            if item is None:
+                return None  # row semantics: SUBSTRING over NULL is NULL
             text = str(item)
             return text[begin:end] if end is not None else text[begin:]
 
@@ -1294,25 +1317,46 @@ def _col_function(node: ast.FunctionCall, layout, guard) -> tuple[bool, Any]:
     pairs = [_col(argument, layout, guard) for argument in node.arguments]
     fns = [_as_fn(pair) for pair in pairs]
     if name == "abs":
+        def apply(value):
+            if isinstance(value, np.ndarray) and value.dtype == object:
+                return map_object_values(value, abs)
+            return np.abs(value)
+
         def fn(ctx):
-            return np.abs(fns[0](ctx))
+            value = fns[0](ctx)
+            return None if value is None else apply(value)
     elif name == "round":
         def fn(ctx):
-            digits = int(fns[1](ctx)) if len(fns) > 1 else 0
-            return np.round(fns[0](ctx), digits)
+            value = fns[0](ctx)
+            digits_value = fns[1](ctx) if len(fns) > 1 else 0
+            if value is None or digits_value is None:
+                return None
+            digits = int(digits_value)
+            if isinstance(value, np.ndarray) and value.dtype == object:
+                return map_object_values(value, lambda item: round(item, digits))
+            return np.round(value, digits)
     elif name == "length":
         def fn(ctx):
             values = fns[0](ctx)
+            if values is None:
+                return None
             if isinstance(values, np.ndarray):
-                return np.array([len(str(value)) for value in values], dtype=np.int64)
+                lengths = [None if value is None else len(str(value))
+                           for value in values]
+                if any(value is None for value in lengths):
+                    return np.array(lengths, dtype=object)
+                return np.array(lengths, dtype=np.int64)
             return len(str(values))
     elif name in ("lower", "upper"):
         transform = str.lower if name == "lower" else str.upper
 
         def fn(ctx):
             values = fns[0](ctx)
+            if values is None:
+                return None
             if isinstance(values, np.ndarray):
-                return np.array([transform(str(value)) for value in values], dtype=object)
+                return map_object_values(values,
+                                         lambda item: transform(str(item)))
             return transform(str(values))
     else:
         raise CompileFallback(f"function '{name}' has no vectorised implementation")

@@ -1,40 +1,56 @@
-"""Database: catalog plus row storage, shared by both engine kinds.
+"""Database: catalog plus chunked columnar storage, shared by both engines.
 
-Rows are stored once, in row-major form with values coerced to their declared
-logical type.  The column engine derives numpy column arrays lazily (and
-caches them) from the same storage, so both engines always see identical
-data -- a prerequisite for discriminative benchmarking, where only the
-execution model may differ.
+Rows are stored once, in the chunked columnar layout of
+:mod:`repro.engine.storage`: fixed-size chunks of typed column segments with
+explicit null masks, per-chunk zone maps, and dictionary-encoded string
+columns.  Both execution models read derived views of the same segments --
+the row engine iterates chunk row-views (tuples with real ``None`` NULLs),
+the column engine scans cached whole-column numpy arrays (plus dictionary
+code vectors) -- so the engines always see identical data, a prerequisite
+for discriminative benchmarking where only the execution model may differ.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.engine.catalog import Catalog, ColumnDef, TableSchema
-from repro.engine.types import coerce_value, date_to_ordinal
-from repro.errors import CatalogError, ExecutionError
+from repro.engine.storage import DEFAULT_CHUNK_ROWS, Dictionary, StorageTable
+from repro.engine.types import coerce_value
+from repro.errors import ExecutionError
 
 
 @dataclass
 class ColumnarTable:
-    """Column-major view of one table (numpy arrays keyed by column name)."""
+    """Column-major view of one table (numpy arrays keyed by column name).
+
+    A column containing NULLs decodes to an object array holding ``None`` at
+    NULL positions; NULL-free columns keep their native dtypes (int64,
+    float64, bool, int64 day ordinals for dates, object strings).
+    ``codes``/``dictionaries`` expose the dictionary encoding of string
+    columns so scans can evaluate predicates over int32 codes.
+    """
 
     schema: TableSchema
     columns: dict[str, np.ndarray]
     length: int
+    codes: dict[str, np.ndarray] = field(default_factory=dict)
+    dictionaries: dict[str, Dictionary] = field(default_factory=dict)
 
 
 class Database:
-    """An in-memory database instance: catalog + rows (+ cached column views)."""
+    """An in-memory database instance: catalog + storage (+ cached views)."""
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db", chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 dictionary_strings: bool = True):
         self.name = name
+        self.chunk_rows = chunk_rows
+        self.dictionary_strings = dictionary_strings
         self.catalog = Catalog()
-        self._rows: dict[str, list[tuple]] = {}
+        self._storage: dict[str, StorageTable] = {}
         self._columnar: dict[str, ColumnarTable] = {}
 
     # -- DDL / DML -----------------------------------------------------------
@@ -43,43 +59,53 @@ class Database:
                      columns: Iterable[tuple[str, str]] | Iterable[ColumnDef]) -> TableSchema:
         """Create table ``name`` and return its schema."""
         schema = self.catalog.create_table(name, columns)
-        self._rows[schema.name] = []
+        table = StorageTable(schema, chunk_rows=self.chunk_rows,
+                             dictionary_strings=self.dictionary_strings)
+        self._storage[schema.name] = table
+        self._columnar.pop(schema.name, None)
+        self.catalog.bind_statistics(schema.name, table.statistics)
         return schema
 
     def drop_table(self, name: str) -> None:
-        """Drop table ``name`` and its data."""
+        """Drop table ``name``, its storage, and every cached derived view."""
         self.catalog.drop_table(name)
-        self._rows.pop(name.lower(), None)
+        self._storage.pop(name.lower(), None)
         self._columnar.pop(name.lower(), None)
 
     def insert_rows(self, name: str, rows: Iterable[Sequence]) -> int:
         """Append ``rows`` (sequences in column order) to table ``name``."""
         schema = self.catalog.table(name)
-        storage = self._rows[schema.name]
-        count = 0
+        coerced: list[tuple] = []
         for row in rows:
             if len(row) != len(schema):
                 raise ExecutionError(
                     f"table '{name}' expects {len(schema)} values per row, got {len(row)}"
                 )
-            coerced = tuple(
+            coerced.append(tuple(
                 coerce_value(value, column.type_name)
                 for value, column in zip(row, schema.columns)
-            )
-            storage.append(coerced)
-            count += 1
+            ))
+        count = self._storage[schema.name].append_rows(coerced)
         self._columnar.pop(schema.name, None)
         return count
 
     # -- access ------------------------------------------------------------------
 
+    def storage(self, name: str) -> StorageTable:
+        """The chunked storage backing table ``name``."""
+        return self._storage[self.catalog.table(name).name]
+
     def row_count(self, name: str) -> int:
         """Number of rows currently stored in table ``name``."""
-        return len(self._rows[self.catalog.table(name).name])
+        return self.storage(name).row_count
 
     def rows(self, name: str) -> list[tuple]:
-        """Return the row list of table ``name`` (not a copy; treat as read-only)."""
-        return self._rows[self.catalog.table(name).name]
+        """Row tuples of table ``name``, decoded chunk by chunk.
+
+        The list is cached inside the storage table until the next mutation;
+        treat it as read-only.
+        """
+        return self.storage(name).rows()
 
     def columnar(self, name: str) -> ColumnarTable:
         """Return (building and caching if needed) the column view of ``name``."""
@@ -87,12 +113,18 @@ class Database:
         cached = self._columnar.get(schema.name)
         if cached is not None:
             return cached
-        rows = self._rows[schema.name]
+        table = self._storage[schema.name]
         columns: dict[str, np.ndarray] = {}
-        for index, column in enumerate(schema.columns):
-            values = [row[index] for row in rows]
-            columns[column.name] = _to_array(values, column.type_name)
-        view = ColumnarTable(schema=schema, columns=columns, length=len(rows))
+        codes: dict[str, np.ndarray] = {}
+        dictionaries: dict[str, Dictionary] = {}
+        for column in schema.columns:
+            columns[column.name] = table.column_array(column.name)
+            column_codes = table.column_codes(column.name)
+            if column_codes is not None:
+                codes[column.name] = column_codes
+                dictionaries[column.name] = table.dictionary(column.name)
+        view = ColumnarTable(schema=schema, columns=columns, length=table.row_count,
+                             codes=codes, dictionaries=dictionaries)
         self._columnar[schema.name] = view
         return view
 
@@ -100,38 +132,26 @@ class Database:
         """Names of all tables in the database."""
         return self.catalog.table_names()
 
-    def size_summary(self) -> dict[str, int]:
-        """Row count per table -- handy for experiment documentation."""
-        return {name: self.row_count(name) for name in self.table_names()}
+    def size_summary(self) -> dict[str, dict]:
+        """Per-table storage summary (rows, chunks, bytes, compression).
+
+        Derived from the aggregated storage statistics -- the experiment
+        documentation path prints this so runs record the data layout they
+        measured against.
+        """
+        return {name: self.storage(name).statistics().describe()
+                for name in self.table_names()}
 
     def __contains__(self, name: str) -> bool:
         return name in self.catalog
 
 
-def _to_array(values: list, type_name: str) -> np.ndarray:
-    """Build the numpy array for one column, honouring the logical type."""
-    if type_name == "int":
-        return np.array([0 if value is None else value for value in values], dtype=np.int64)
-    if type_name == "float":
-        return np.array(
-            [np.nan if value is None else value for value in values], dtype=np.float64
-        )
-    if type_name == "bool":
-        return np.array([bool(value) for value in values], dtype=bool)
-    if type_name == "date":
-        ordinals = [
-            np.iinfo(np.int64).min if value is None else date_to_ordinal(value)
-            for value in values
-        ]
-        return np.array(ordinals, dtype=np.int64)
-    return np.array(["" if value is None else str(value) for value in values], dtype=object)
-
-
 def database_from_tables(tables: dict[str, list[tuple]],
                          schema: dict[str, list[tuple[str, str]]],
-                         name: str = "db") -> Database:
+                         name: str = "db",
+                         chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Database:
     """Build a :class:`Database` from generator output (rows + column defs)."""
-    database = Database(name=name)
+    database = Database(name=name, chunk_rows=chunk_rows)
     for table, columns in schema.items():
         database.create_table(table, columns)
         database.insert_rows(table, tables.get(table, []))

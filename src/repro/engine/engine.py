@@ -57,6 +57,15 @@ class EngineOptions:
         Column engine only: scans and residual predicates refine an ``int64``
         selection index that flows through joins, grouping and projection,
         instead of materialising a masked ``ColFrame`` after every predicate.
+    zone_maps:
+        Column engine only (with ``selection_vectors``): the scan loop skips
+        whole storage chunks whose zone maps refute the push-down predicates
+        before the selection vector is refined.
+    dictionary_encoding:
+        Column engine only (with ``selection_vectors``): equality / IN / LIKE
+        scan predicates over dictionary-encoded string columns evaluate once
+        over the table-wide dictionary and then against the ``int32`` code
+        vector instead of the object string array.
     """
 
     predicate_pushdown: bool = True
@@ -64,6 +73,8 @@ class EngineOptions:
     overflow_guard: bool = False
     compile_expressions: bool = True
     selection_vectors: bool = True
+    zone_maps: bool = True
+    dictionary_encoding: bool = True
 
     def describe(self) -> dict[str, bool]:
         """Return the options as a plain dict (for platform catalog entries)."""
@@ -73,6 +84,8 @@ class EngineOptions:
             "overflow_guard": self.overflow_guard,
             "compile_expressions": self.compile_expressions,
             "selection_vectors": self.selection_vectors,
+            "zone_maps": self.zone_maps,
+            "dictionary_encoding": self.dictionary_encoding,
         }
 
 
@@ -259,6 +272,8 @@ class ColumnEngine(Engine):
             overflow_guard=self.options.overflow_guard,
             compile_expressions=self.options.compile_expressions,
             selection_vectors=self.options.selection_vectors,
+            zone_maps=self.options.zone_maps,
+            dictionary_encoding=self.options.dictionary_encoding,
             plan=plan,
         )
         return executor.execute(plan)

@@ -29,16 +29,27 @@ import numpy as np
 from repro.engine.compile import (
     ColumnBlockKernels,
     ColumnContext,
+    CompileFallback,
+    Layout,
     as_mask,
     compile_column_block,
+    compile_row_kernel,
 )
-from repro.engine.database import Database
+from repro.engine.database import ColumnarTable, Database
 from repro.engine.executor_row import RowExecutor
 from repro.engine.expression import evaluate as row_evaluate
 from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
 from repro.engine.planner import ColumnInfo, Scope
+from repro.engine.storage import ScanStats
 from repro.engine.types import infer_type
-from repro.engine.vector import ColFrame, VectorEvaluator, VectorFallback, _to_python
+from repro.engine.vector import (
+    ColFrame,
+    VectorEvaluator,
+    VectorFallback,
+    _to_python,
+    compare_arrays,
+    none_positions,
+)
 from repro.errors import ExecutionError, PlanError
 from repro.sqlparser import ast
 
@@ -72,6 +83,7 @@ class ColumnExecutor:
     def __init__(self, database: Database, predicate_pushdown: bool = True,
                  hash_joins: bool = True, overflow_guard: bool = False,
                  compile_expressions: bool = True, selection_vectors: bool = True,
+                 zone_maps: bool = True, dictionary_encoding: bool = True,
                  plan: QueryPlan | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
@@ -79,6 +91,8 @@ class ColumnExecutor:
         self.overflow_guard = overflow_guard
         self.compile_expressions = compile_expressions
         self.selection_vectors = selection_vectors
+        self.zone_maps = zone_maps
+        self.dictionary_encoding = dictionary_encoding
         self._plan = plan
         self._planner: Planner | None = None
         self._extra_blocks: dict[int, BlockPlan] = {}
@@ -218,9 +232,17 @@ class ColumnExecutor:
             for index, frame in enumerate(frames):
                 pairs = kernels.pushdown[index] if kernels is not None \
                     else self._interpreted_pushdown(block, frame)
-                if pairs:
-                    selections[index] = self._refine_selection(frame, selections[index],
-                                                               pairs)
+                if not pairs:
+                    continue
+                base = None
+                item = select.from_items[index]
+                if isinstance(item, ast.TableRef):
+                    if self.dictionary_encoding:
+                        pairs = self._dictionary_pairs(item, frame, pairs)
+                    if self.zone_maps:
+                        base = self._zone_map_selection(
+                            item, frame, [predicate for _, predicate in pairs])
+                selections[index] = self._refine_selection(frame, base, pairs)
 
         frame, selection = self._join_frames_sel(frames, selections, block.join_order)
         if block.residual:
@@ -245,6 +267,98 @@ class ColumnExecutor:
         return [(None, predicate)
                 for binding in bindings
                 for predicate in block.pushdown.get(binding, [])]
+
+    # -- statistics-driven scan skipping ----------------------------------------
+
+    def _zone_map_selection(self, item: ast.TableRef, frame: ColFrame,
+                            predicates: list[ast.Expression]) -> np.ndarray | None:
+        """Initial scan selection skipping chunks the zone maps refute.
+
+        Returns None when no chunk can be skipped, preserving the
+        no-selection fast path; otherwise an int64 index covering exactly
+        the rows of the surviving chunks.
+        """
+        zone_index = self.database.storage(item.name).zone_index()
+
+        def resolve(ref: ast.ColumnRef) -> tuple[str, str] | None:
+            position = frame.position(ref)
+            if position is None:
+                return None
+            column = frame.columns[position]
+            return column.name, column.type_name
+
+        selection, scanned, skipped = zone_index.selection(predicates, resolve)
+        ScanStats.record(scanned, skipped)
+        return selection
+
+    def _dictionary_pairs(self, item: ast.TableRef, frame: ColFrame, pairs):
+        """Swap scan predicates over dictionary-encoded columns to code kernels.
+
+        Equality / IN / LIKE (and their negations) over a dictionary-encoded
+        string column are evaluated once over the table-wide dictionary via a
+        compiled *row* kernel -- giving exact row-engine NULL semantics --
+        and then applied to the int32 code vector instead of the object
+        array.
+        """
+        view = self.database.columnar(item.name)
+        if not view.codes:
+            return pairs
+        cache = self.database.storage(item.name).scan_kernel_cache
+        swapped = []
+        for kernel, predicate in pairs:
+            hit, dictionary_kernel = cache.get((predicate,))
+            if not hit:
+                dictionary_kernel = self._dictionary_kernel(view, frame, predicate)
+                cache.put((predicate,), dictionary_kernel)
+            swapped.append((dictionary_kernel or kernel, predicate))
+        return swapped
+
+    def _dictionary_kernel(self, view: ColumnarTable, frame: ColFrame,
+                           predicate: ast.Expression):
+        if isinstance(predicate, ast.Comparison):
+            if predicate.operator not in ("=", "<>") or predicate.quantifier is not None:
+                return None
+        elif not isinstance(predicate, (ast.InList, ast.Like)):
+            return None
+        refs = [node for node in predicate.walk() if isinstance(node, ast.ColumnRef)]
+        if not refs:
+            return None
+        positions = set()
+        for ref in refs:
+            try:
+                position = frame.position(ref)
+            except ExecutionError:
+                return None
+            if position is None:
+                return None
+            positions.add(position)
+        if len(positions) != 1:
+            return None
+        column = frame.columns[positions.pop()]
+        codes = view.codes.get(column.name)
+        if codes is None:
+            return None
+        dictionary = view.dictionaries[column.name]
+        try:
+            evaluate = compile_row_kernel(predicate, Layout([column]))
+            null_matches = bool(evaluate((None,)))
+            matching = [code for code, value in enumerate(dictionary.values)
+                        if evaluate((value,))]
+        except Exception:
+            # includes CompileFallback: predicate stays on its generic kernel
+            return None
+        matching_codes = np.array(matching, dtype=np.int32)
+
+        def kernel(ctx, _codes=codes, _matching=matching_codes, _null=null_matches):
+            gathered = _codes if ctx.sel is None else _codes[ctx.sel]
+            if len(_matching) == 1:
+                mask = gathered == _matching[0]
+            else:
+                mask = np.isin(gathered, _matching)
+            if _null:
+                mask = mask | (gathered == -1)
+            return mask
+        return kernel
 
     def _refine_selection(self, frame: ColFrame, selection: np.ndarray | None,
                           pairs) -> np.ndarray:
@@ -970,7 +1084,7 @@ def _null_mask(values: np.ndarray) -> np.ndarray:
     if values.dtype == np.float64:
         return np.isnan(values)
     if values.dtype == object:
-        return np.array([value is None for value in values], dtype=bool)
+        return none_positions(values)
     return np.zeros(len(values), dtype=bool)
 
 
@@ -984,38 +1098,48 @@ def _mask_empty(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
 
 
 def _combine(operator: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-    left = np.asarray(left, dtype=np.float64)
-    right = np.asarray(right, dtype=np.float64)
+    left, left_nulls = _as_float_with_nulls(left)
+    right, right_nulls = _as_float_with_nulls(right)
     if operator == "+":
-        return left + right
-    if operator == "-":
-        return left - right
-    if operator == "*":
-        return left * right
-    if operator == "/":
+        result = left + right
+    elif operator == "-":
+        result = left - right
+    elif operator == "*":
+        result = left * right
+    elif operator == "/":
         with np.errstate(invalid="ignore", divide="ignore"):
-            return left / right
-    if operator == "%":
-        return left % right
-    raise ExecutionError(f"unsupported aggregate operator '{operator}'")
+            result = left / right
+    elif operator == "%":
+        result = left % right
+    else:
+        raise ExecutionError(f"unsupported aggregate operator '{operator}'")
+    nulls = left_nulls
+    if right_nulls is not None:
+        nulls = right_nulls if nulls is None else (nulls | right_nulls)
+    if nulls is not None and nulls.any():
+        result = result.astype(object)
+        result[nulls] = None
+    return result
+
+
+def _as_float_with_nulls(values) -> tuple[np.ndarray, np.ndarray | None]:
+    """Float view of per-group values plus the mask of NULL groups."""
+    array = np.asarray(values)
+    if array.dtype != object:
+        return np.asarray(array, dtype=np.float64), None
+    nulls = none_positions(array)
+    if not nulls.any():
+        return array.astype(np.float64), None
+    converted = np.fromiter(
+        (0.0 if value is None else float(value) for value in array),
+        dtype=np.float64, count=len(array))
+    return converted, nulls
 
 
 def _compare_groups(operator: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-    left = np.asarray(left)
-    right = np.asarray(right)
-    if operator == "=":
-        return left == right
-    if operator == "<>":
-        return left != right
-    if operator == "<":
-        return left < right
-    if operator == "<=":
-        return left <= right
-    if operator == ">":
-        return left > right
-    if operator == ">=":
-        return left >= right
-    raise ExecutionError(f"unsupported comparison operator '{operator}'")
+    if operator not in ("=", "<>", "<", "<=", ">", ">="):
+        raise ExecutionError(f"unsupported comparison operator '{operator}'")
+    return compare_arrays(operator, np.asarray(left), np.asarray(right))
 
 
 def _null_array(length: int, type_name: str) -> np.ndarray:

@@ -7,8 +7,9 @@ the :class:`BlockPlan` of each query block instead of being re-derived from
 the AST per execution.  The physical pipeline for one block is:
 
 1. materialise every FROM item into a :class:`RowFrame` (base tables read
-   straight from storage, derived tables executed recursively, explicit JOINs
-   folded into a frame),
+   the chunk row-views the columnar storage layer decodes -- NULLs arrive
+   as real ``None`` -- derived tables are executed recursively, explicit
+   JOINs folded into a frame),
 2. apply the plan's per-binding push-down predicates at scan time,
 3. join the frames following the plan's join schedule, preferring hash joins
    on the scheduled equi-join conditions, falling back to nested loops,

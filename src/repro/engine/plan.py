@@ -40,6 +40,7 @@ from repro.engine.planner import (
     classify_conjuncts,
     output_columns,
 )
+from repro.engine.storage.skipping import estimate_selectivity
 from repro.errors import PlanError
 from repro.sqlparser import ast
 from repro.sqlparser.printer import to_sql
@@ -233,8 +234,11 @@ class Planner:
         classified = classify_conjuncts(select.where, scope)
 
         if self.predicate_pushdown:
-            pushdown = {binding: list(predicates)
-                        for binding, predicates in classified.single.items()}
+            binding_tables = _binding_tables(select.from_items)
+            pushdown = {
+                binding: self._order_pushdown(binding, list(predicates), binding_tables)
+                for binding, predicates in classified.single.items()
+            }
             residual = list(classified.residual)
         else:
             pushdown = {}
@@ -274,6 +278,24 @@ class Planner:
             for subselect in _direct_subselects(expression):
                 self._plan_block(subselect, scope, blocks)
         return block
+
+    def _order_pushdown(self, binding: str, predicates: list[ast.Expression],
+                        binding_tables: dict[str, str]) -> list[ast.Expression]:
+        """Order one scan's push-down conjuncts by estimated selectivity.
+
+        Consults the table statistics the storage layer binds on the catalog;
+        without statistics (or with a single predicate) the textual order is
+        preserved.  The sort is stable, so ties keep their original order and
+        plans stay deterministic.
+        """
+        if len(predicates) < 2:
+            return predicates
+        table = binding_tables.get(binding)
+        statistics = self.catalog.table_statistics(table) if table else None
+        if statistics is None or not statistics.row_count:
+            return predicates
+        return sorted(predicates,
+                      key=lambda predicate: estimate_selectivity(predicate, statistics))
 
     def _block_expressions(self, select: ast.Select) -> list[ast.Expression]:
         expressions: list[ast.Expression] = []
@@ -375,6 +397,22 @@ def _connecting(left: _ColumnSet, right: _ColumnSet,
         elif left.has(right_ref) and right.has(left_ref):
             found.append((left_ref, right_ref, conjunct))
     return found
+
+
+def _binding_tables(items: list[ast.TableExpression]) -> dict[str, str]:
+    """Map each FROM binding (lower-cased) to its base table name."""
+    tables: dict[str, str] = {}
+
+    def collect(item: ast.TableExpression) -> None:
+        if isinstance(item, ast.TableRef):
+            tables[item.binding.lower()] = item.name
+        elif isinstance(item, ast.Join):
+            collect(item.left)
+            collect(item.right)
+
+    for item in items:
+        collect(item)
+    return tables
 
 
 def _direct_subselects(expression: ast.Expression) -> list[ast.Select]:

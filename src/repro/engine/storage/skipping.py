@@ -1,0 +1,497 @@
+"""Statistics-driven data skipping and predicate-selectivity estimation.
+
+Two consumers sit on top of the chunk zone maps:
+
+* :class:`ZoneIndex` -- a vectorised, per-table index of chunk min/max/null
+  summaries.  The column executor's scan loop asks it which chunks a
+  conjunction of push-down predicates can possibly touch and receives an
+  initial selection vector covering only the surviving chunks (or ``None``
+  when nothing could be skipped, keeping the no-selection fast path).
+  Refutation is *conservative*: a predicate shape the index does not
+  understand simply keeps every chunk.
+* :func:`estimate_selectivity` -- the planner's ordering heuristic: given
+  table statistics it scores each push-down conjunct with an estimated
+  selectivity in ``[0, 1]`` so the most selective predicate refines the
+  selection vector first.
+
+Both work in the encoded value domain (dates as day ordinals), matching the
+zone maps and column statistics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.engine.storage.memo import IdentityMemo
+from repro.engine.types import add_interval, date_to_ordinal, ordinal_to_date
+from repro.sqlparser import ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.storage.stats import TableStatistics
+    from repro.engine.storage.table import StorageTable
+
+#: sentinel for "no usable constant on this side".
+_MISSING = object()
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+class ScanStats:
+    """Process-wide chunk-skipping instrumentation (mirrors
+    :class:`~repro.engine.vector.ColFrame.materialisations`): plain class
+    counters, reset by the test fixtures, reported by the storage benchmark.
+    """
+
+    chunks_scanned: int = 0
+    chunks_skipped: int = 0
+
+    @classmethod
+    def record(cls, scanned: int, skipped: int) -> None:
+        cls.chunks_scanned += scanned
+        cls.chunks_skipped += skipped
+
+    @classmethod
+    def reset(cls) -> None:
+        cls.chunks_scanned = 0
+        cls.chunks_skipped = 0
+
+
+# ---------------------------------------------------------------------------
+# zone-map index
+# ---------------------------------------------------------------------------
+
+
+class ZoneIndex:
+    """Vectorised chunk-level min/max/null arrays for one storage table.
+
+    Float zone boundaries live in ``float64`` arrays with NaN marking
+    all-NULL chunks -- NaN comparisons are False, so an all-NULL chunk is
+    refuted by every ordinary predicate for free.  Int / date / bool
+    boundaries stay exact in ``int64`` arrays (a float64 conversion would
+    round values beyond 2**53 and could wrongly refute a matching chunk)
+    with an empty-range sentinel (min=int64.max, max=int64.min) for all-NULL
+    chunks, which every keep-test rejects for the same reason.  String
+    boundaries are object arrays with ``None`` for all-NULL chunks, compared
+    through a small None-aware helper.
+    """
+
+    def __init__(self, table: "StorageTable"):
+        chunks = table.chunks
+        self.chunk_count = len(chunks)
+        #: memoised refutation results keyed by predicate identity; only the
+        #: (small) surviving-chunk index is cached, never the expanded row
+        #: selection.  The whole index is dropped on table mutation.
+        self._selection_cache = IdentityMemo()
+        self.starts = np.array([chunk.start for chunk in chunks], dtype=np.int64)
+        self.counts = np.array([chunk.row_count for chunk in chunks], dtype=np.int64)
+        self._mins: dict[str, np.ndarray] = {}
+        self._maxs: dict[str, np.ndarray] = {}
+        self._null_counts: dict[str, np.ndarray] = {}
+        self._types: dict[str, str] = {}
+        for index, column in enumerate(table.schema.columns):
+            lowered = column.name.lower()
+            zones = [chunk.segments[index].zone_map for chunk in chunks]
+            self._types[lowered] = column.type_name
+            self._null_counts[lowered] = np.array([zone.null_count for zone in zones],
+                                                  dtype=np.int64)
+            if column.type_name == "str":
+                self._mins[lowered] = np.array([zone.min_value for zone in zones],
+                                               dtype=object)
+                self._maxs[lowered] = np.array([zone.max_value for zone in zones],
+                                               dtype=object)
+            elif column.type_name == "float":
+                self._mins[lowered] = np.array(
+                    [np.nan if zone.min_value is None else float(zone.min_value)
+                     for zone in zones], dtype=np.float64)
+                self._maxs[lowered] = np.array(
+                    [np.nan if zone.max_value is None else float(zone.max_value)
+                     for zone in zones], dtype=np.float64)
+            else:  # int / date / bool: exact int64 bounds
+                empty_min = np.iinfo(np.int64).max
+                empty_max = np.iinfo(np.int64).min
+                self._mins[lowered] = np.array(
+                    [empty_min if zone.min_value is None else int(zone.min_value)
+                     for zone in zones], dtype=np.int64)
+                self._maxs[lowered] = np.array(
+                    [empty_max if zone.max_value is None else int(zone.max_value)
+                     for zone in zones], dtype=np.int64)
+
+    # -- public -----------------------------------------------------------------
+
+    def selection(self, predicates: list[ast.Expression],
+                  resolve: Callable[[ast.ColumnRef], tuple[str, str] | None]
+                  ) -> tuple[np.ndarray | None, int, int]:
+        """Initial selection for a scan filtered by ``predicates``.
+
+        Returns ``(selection, scanned, skipped)``: ``selection`` is None when
+        no chunk could be refuted (scan everything, no gather overhead),
+        otherwise an int64 index covering exactly the surviving chunks.
+        """
+        if not self.chunk_count:
+            return None, 0, 0
+        hit, survivors = self._selection_cache.get(tuple(predicates))
+        if not hit:
+            keep = np.ones(self.chunk_count, dtype=bool)
+            for predicate in predicates:
+                mask = self._keep_mask(predicate, resolve)
+                if mask is not None:
+                    keep &= mask
+            survivors = None if keep.all() else np.flatnonzero(keep)
+            self._selection_cache.put(tuple(predicates), survivors)
+        if survivors is None:
+            return None, self.chunk_count, 0
+        skipped = self.chunk_count - len(survivors)
+        if len(survivors) == 0:
+            return np.empty(0, dtype=np.int64), self.chunk_count, skipped
+        selection = np.concatenate([
+            np.arange(self.starts[index], self.starts[index] + self.counts[index],
+                      dtype=np.int64)
+            for index in survivors
+        ])
+        return selection, self.chunk_count, skipped
+
+    # -- refutation -------------------------------------------------------------
+
+    def _keep_mask(self, predicate: ast.Expression,
+                   resolve) -> np.ndarray | None:
+        """Chunks predicate might accept rows in (None = cannot analyse)."""
+        try:
+            return self._keep(predicate, resolve)
+        except Exception:
+            return None
+
+    def _keep(self, node: ast.Expression, resolve) -> np.ndarray | None:
+        if isinstance(node, ast.BoolOp):
+            masks = [self._keep(operand, resolve) for operand in node.operands]
+            if node.operator == "and":
+                known = [mask for mask in masks if mask is not None]
+                if not known:
+                    return None
+                combined = known[0].copy()
+                for mask in known[1:]:
+                    combined &= mask
+                return combined
+            if any(mask is None for mask in masks):
+                return None
+            combined = masks[0].copy()
+            for mask in masks[1:]:
+                combined |= mask
+            return combined
+        if isinstance(node, ast.Comparison):
+            return self._keep_comparison(node, resolve)
+        if isinstance(node, ast.Between) and not node.negated:
+            return self._keep_between(node, resolve)
+        if isinstance(node, ast.InList) and not node.negated:
+            return self._keep_in_list(node, resolve)
+        if isinstance(node, ast.Like) and not node.negated:
+            return self._keep_like(node, resolve)
+        if isinstance(node, ast.IsNull):
+            return self._keep_is_null(node, resolve)
+        return None
+
+    def _column(self, node: ast.Expression, resolve) -> str | None:
+        if not isinstance(node, ast.ColumnRef):
+            return None
+        resolved = resolve(node)
+        if resolved is None:
+            return None
+        name, _type_name = resolved
+        return name.lower()
+
+    def _keep_comparison(self, node: ast.Comparison, resolve) -> np.ndarray | None:
+        if node.quantifier is not None:
+            return None
+        column = self._column(node.left, resolve)
+        operator = node.operator
+        constant_node = node.right
+        if column is None:
+            column = self._column(node.right, resolve)
+            operator = _FLIPPED.get(operator)
+            constant_node = node.left
+        if column is None or operator is None:
+            return None
+        constant = self._constant(constant_node, column)
+        if constant is _MISSING:
+            return None
+        mins, maxs = self._mins[column], self._maxs[column]
+        if self._types[column] == "str":
+            if operator == "=":
+                return _obj_cmp(mins, "<=", constant) & _obj_cmp(maxs, ">=", constant)
+            if operator == "<>":
+                all_equal = _obj_cmp(mins, "==", constant) & _obj_cmp(maxs, "==", constant)
+                return ~all_equal & self._has_non_null(column)
+            if operator in ("<", "<="):
+                return _obj_cmp(mins, operator, constant)
+            return _obj_cmp(maxs, operator, constant)
+        if operator == "=":
+            return (mins <= constant) & (maxs >= constant)
+        if operator == "<>":
+            return ~((mins == constant) & (maxs == constant)) & self._has_non_null(column)
+        if operator == "<":
+            return mins < constant
+        if operator == "<=":
+            return mins <= constant
+        if operator == ">":
+            return maxs > constant
+        return maxs >= constant
+
+    def _keep_between(self, node: ast.Between, resolve) -> np.ndarray | None:
+        column = self._column(node.operand, resolve)
+        if column is None:
+            return None
+        low = self._constant(node.low, column)
+        high = self._constant(node.high, column)
+        if low is _MISSING or high is _MISSING:
+            return None
+        mins, maxs = self._mins[column], self._maxs[column]
+        if self._types[column] == "str":
+            return _obj_cmp(maxs, ">=", low) & _obj_cmp(mins, "<=", high)
+        return (maxs >= low) & (mins <= high)
+
+    def _keep_in_list(self, node: ast.InList, resolve) -> np.ndarray | None:
+        column = self._column(node.operand, resolve)
+        if column is None:
+            return None
+        keep = np.zeros(self.chunk_count, dtype=bool)
+        mins, maxs = self._mins[column], self._maxs[column]
+        is_str = self._types[column] == "str"
+        for item in node.items:
+            constant = self._constant(item, column)
+            if constant is _MISSING:
+                return None
+            if is_str:
+                keep |= _obj_cmp(mins, "<=", constant) & _obj_cmp(maxs, ">=", constant)
+            else:
+                keep |= (mins <= constant) & (maxs >= constant)
+        return keep
+
+    def _keep_like(self, node: ast.Like, resolve) -> np.ndarray | None:
+        column = self._column(node.operand, resolve)
+        if column is None or self._types[column] != "str":
+            return None
+        if not isinstance(node.pattern, ast.Literal) or not isinstance(
+                node.pattern.value, str):
+            return None
+        prefix = _like_prefix(node.pattern.value)
+        if not prefix:
+            return None
+        upper = _prefix_upper_bound(prefix)
+        keep = _obj_cmp(self._maxs[column], ">=", prefix)
+        if upper is not None:
+            keep &= _obj_cmp(self._mins[column], "<", upper)
+        return keep
+
+    def _keep_is_null(self, node: ast.IsNull, resolve) -> np.ndarray | None:
+        column = self._column(node.operand, resolve)
+        if column is None:
+            return None
+        nulls = self._null_counts[column]
+        if node.negated:
+            return nulls < self.counts
+        return nulls > 0
+
+    def _has_non_null(self, column: str) -> np.ndarray:
+        return self._null_counts[column] < self.counts
+
+    def _constant(self, node: ast.Expression, column: str) -> Any:
+        """Constant of ``node`` in the column's encoded domain, or _MISSING."""
+        type_name = self._types[column]
+        if isinstance(node, ast.DateLiteral):
+            return date_to_ordinal(node.value) if type_name == "date" else _MISSING
+        if isinstance(node, ast.Literal):
+            value = node.value
+            if type_name == "date":
+                if isinstance(value, str):
+                    try:
+                        return date_to_ordinal(value)
+                    except Exception:
+                        return _MISSING
+                return _MISSING
+            if type_name == "str":
+                return value if isinstance(value, str) else _MISSING
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return value
+            if type_name == "bool" and isinstance(value, bool):
+                return int(value)
+            return _MISSING
+        if type_name == "date":
+            folded = _fold_date_interval(node)
+            if folded is not None:
+                return folded
+        return _MISSING
+
+
+def _fold_date_interval(node: ast.Expression) -> int | None:
+    """Day ordinal of a constant ``date +/- interval`` expression, or None."""
+    if (isinstance(node, ast.BinaryOp) and node.operator in ("+", "-")
+            and isinstance(node.left, ast.DateLiteral)
+            and isinstance(node.right, ast.IntervalLiteral)):
+        interval = node.right
+        amount = interval.value if node.operator == "+" else -interval.value
+        base = ordinal_to_date(date_to_ordinal(node.left.value))
+        return date_to_ordinal(add_interval(base, amount, interval.unit))
+    return None
+
+
+def _obj_cmp(bounds: np.ndarray, operator: str, constant: str) -> np.ndarray:
+    """None-aware elementwise comparison over object (string) bound arrays."""
+    ops = {
+        "<": lambda value: value < constant,
+        "<=": lambda value: value <= constant,
+        ">": lambda value: value > constant,
+        ">=": lambda value: value >= constant,
+        "==": lambda value: value == constant,
+    }
+    compare = ops[operator]
+    return np.fromiter(
+        (value is not None and compare(value) for value in bounds),
+        dtype=bool, count=len(bounds))
+
+
+def _like_prefix(pattern: str) -> str:
+    """Literal prefix of a LIKE pattern (up to the first wildcard)."""
+    for index, char in enumerate(pattern):
+        if char in ("%", "_"):
+            return pattern[:index]
+    return pattern
+
+
+def _prefix_upper_bound(prefix: str) -> str | None:
+    """Smallest string greater than every string starting with ``prefix``."""
+    for index in range(len(prefix) - 1, -1, -1):
+        code = ord(prefix[index])
+        if code < 0x10FFFF:
+            return prefix[:index] + chr(code + 1)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# selectivity estimation
+# ---------------------------------------------------------------------------
+
+#: default estimate for predicates the heuristic cannot analyse.
+_DEFAULT_SELECTIVITY = 0.4
+
+
+def estimate_selectivity(predicate: ast.Expression,
+                         statistics: "TableStatistics") -> float:
+    """Estimated fraction of rows ``predicate`` keeps, from table statistics.
+
+    A coarse System-R style heuristic: equality costs ``1/NDV``, ranges cost
+    their fraction of the column's [min, max] span, LIKE prefixes are assumed
+    moderately selective.  Used only to *order* conjuncts, so absolute
+    accuracy matters less than the ranking.
+    """
+    try:
+        return max(0.0, min(1.0, _estimate(predicate, statistics)))
+    except Exception:
+        return _DEFAULT_SELECTIVITY
+
+
+def _estimate(node: ast.Expression, statistics: "TableStatistics") -> float:
+    if isinstance(node, ast.BoolOp):
+        parts = [_estimate(operand, statistics) for operand in node.operands]
+        if node.operator == "and":
+            product = 1.0
+            for part in parts:
+                product *= part
+            return product
+        return min(1.0, sum(parts))
+    if isinstance(node, ast.Comparison):
+        return _estimate_comparison(node, statistics)
+    if isinstance(node, ast.Between):
+        column = _stats_column(node.operand, statistics)
+        low = _numeric_constant(node.low, column)
+        high = _numeric_constant(node.high, column)
+        if column is None or low is None or high is None:
+            return _DEFAULT_SELECTIVITY
+        fraction = _range_fraction(column, low, high)
+        return (1.0 - fraction) if node.negated else fraction
+    if isinstance(node, ast.InList):
+        column = _stats_column(node.operand, statistics)
+        if column is None or not column.distinct_estimate:
+            return _DEFAULT_SELECTIVITY
+        fraction = min(1.0, len(node.items) / column.distinct_estimate)
+        return (1.0 - fraction) if node.negated else fraction
+    if isinstance(node, ast.Like):
+        prefix = _like_prefix(node.pattern.value) \
+            if isinstance(node.pattern, ast.Literal) else ""
+        fraction = 0.15 if prefix else 0.5
+        return (1.0 - fraction) if node.negated else fraction
+    if isinstance(node, ast.IsNull):
+        column = _stats_column(node.operand, statistics)
+        if column is None or not statistics.row_count:
+            return _DEFAULT_SELECTIVITY
+        fraction = column.null_count / statistics.row_count
+        return (1.0 - fraction) if node.negated else fraction
+    return _DEFAULT_SELECTIVITY
+
+
+def _estimate_comparison(node: ast.Comparison, statistics) -> float:
+    if node.quantifier is not None:
+        return _DEFAULT_SELECTIVITY
+    column = _stats_column(node.left, statistics)
+    operator = node.operator
+    constant_node = node.right
+    if column is None:
+        column = _stats_column(node.right, statistics)
+        operator = _FLIPPED.get(node.operator, node.operator)
+        constant_node = node.left
+    if column is None:
+        return _DEFAULT_SELECTIVITY
+    if operator == "=":
+        if column.type_name == "str" or column.distinct_estimate:
+            return 1.0 / max(column.distinct_estimate, 1)
+        return _DEFAULT_SELECTIVITY
+    if operator == "<>":
+        return 1.0 - 1.0 / max(column.distinct_estimate, 1)
+    constant = _numeric_constant(constant_node, column)
+    if constant is None:
+        return _DEFAULT_SELECTIVITY
+    if operator in ("<", "<="):
+        return _range_fraction(column, None, constant)
+    return _range_fraction(column, constant, None)
+
+
+def _stats_column(node: ast.Expression, statistics):
+    if isinstance(node, ast.ColumnRef) and statistics is not None:
+        return statistics.column(node.name)
+    return None
+
+
+def _numeric_constant(node: ast.Expression, column) -> float | None:
+    """Constant of ``node`` on a numeric/date column's encoded scale."""
+    if column is None or column.type_name == "str":
+        return None
+    if isinstance(node, ast.DateLiteral):
+        return float(date_to_ordinal(node.value)) if column.type_name == "date" else None
+    if isinstance(node, ast.Literal):
+        value = node.value
+        if column.type_name == "date" and isinstance(value, str):
+            try:
+                return float(date_to_ordinal(value))
+            except Exception:
+                return None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    if column.type_name == "date":
+        folded = _fold_date_interval(node)
+        if folded is not None:
+            return float(folded)
+    return None
+
+
+def _range_fraction(column, low: float | None, high: float | None) -> float:
+    """Fraction of the column's [min, max] span covered by [low, high]."""
+    if column.min_value is None or column.max_value is None:
+        return _DEFAULT_SELECTIVITY
+    span = float(column.max_value) - float(column.min_value)
+    if span <= 0:
+        return 1.0
+    start = float(column.min_value) if low is None else max(low, float(column.min_value))
+    stop = float(column.max_value) if high is None else min(high, float(column.max_value))
+    if stop <= start:
+        return 0.0
+    return (stop - start) / span

@@ -1,0 +1,206 @@
+"""Chunked columnar storage for one table.
+
+A :class:`StorageTable` is the single source of truth both engines read:
+appended rows are sealed into fixed-size chunks (default 4096 rows) of typed
+:class:`~repro.engine.storage.segment.ColumnSegment` objects, and every view
+-- the row executor's row tuples, the column executor's whole-column arrays,
+the dictionary code vectors, the zone-map index, the table statistics -- is
+derived (and cached) from those segments.  Mutations bump ``version`` and
+drop the caches, so stale views can never leak across inserts or re-creates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.engine.storage.chunk import Chunk
+from repro.engine.storage.memo import IdentityMemo
+from repro.engine.storage.segment import ColumnSegment, Dictionary, build_segment
+from repro.engine.storage.stats import ColumnStatistics, TableStatistics, ZoneMap
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (catalog is runtime-free here)
+    from repro.engine.catalog import TableSchema
+    from repro.engine.storage.skipping import ZoneIndex
+
+#: default number of rows per chunk (the morsel size).
+DEFAULT_CHUNK_ROWS = 4096
+
+#: columnar dtype of the NULL-free whole-column view, per logical type.
+_EMPTY_DTYPES = {"int": np.int64, "float": np.float64, "bool": np.bool_,
+                 "date": np.int64}
+
+
+class StorageTable:
+    """Chunked, encoded storage for one table's rows."""
+
+    def __init__(self, schema: "TableSchema", chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 dictionary_strings: bool = True):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self.schema = schema
+        self.chunk_rows = chunk_rows
+        self.chunks: list[Chunk] = []
+        self.dictionaries: dict[str, Dictionary] = {}
+        if dictionary_strings:
+            for column in schema.columns:
+                if column.type_name == "str":
+                    self.dictionaries[column.name.lower()] = Dictionary()
+        #: bumped on every mutation; callers key caches on it.
+        self.version = 0
+        #: scan-kernel memo (predicate identity -> kernel); the column
+        #: executor caches its dictionary-code kernels here so a prepared
+        #: plan pays the dictionary walk once per table version.
+        self.scan_kernel_cache = IdentityMemo()
+        self._tail: list[tuple] = []
+        self._rows_cache: list[tuple] | None = None
+        self._stats_cache: TableStatistics | None = None
+        self._zone_index: "ZoneIndex | None" = None
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append_rows(self, rows: list[tuple]) -> int:
+        """Append already-coerced row tuples, sealing full chunks eagerly."""
+        if not rows:
+            return 0
+        self._invalidate()
+        self._tail.extend(rows)
+        while len(self._tail) >= self.chunk_rows:
+            self._seal(self._tail[:self.chunk_rows])
+            self._tail = self._tail[self.chunk_rows:]
+        return len(rows)
+
+    def flush(self) -> None:
+        """Seal any pending tail rows into a (possibly short) chunk."""
+        if self._tail:
+            self._seal(self._tail)
+            self._tail = []
+
+    def _seal(self, rows: list[tuple]) -> None:
+        start = self.chunks[-1].stop if self.chunks else 0
+        segments: list[ColumnSegment] = []
+        for index, column in enumerate(self.schema.columns):
+            values = [row[index] for row in rows]
+            segments.append(build_segment(values, column.type_name,
+                                          self.dictionaries.get(column.name.lower())))
+        self.chunks.append(Chunk(segments, len(rows), start))
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self.scan_kernel_cache = IdentityMemo()
+        self._rows_cache = None
+        self._stats_cache = None
+        self._zone_index = None
+
+    # -- row views ---------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        sealed = self.chunks[-1].stop if self.chunks else 0
+        return sealed + len(self._tail)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate rows chunk by chunk (the row engine's scan order)."""
+        self.flush()
+        for chunk in self.chunks:
+            yield from chunk.rows()
+
+    def rows(self) -> list[tuple]:
+        """All rows as decoded tuples (cached until the next mutation)."""
+        if self._rows_cache is None:
+            self._rows_cache = list(self.iter_rows())
+        return self._rows_cache
+
+    # -- column views --------------------------------------------------------------
+
+    def column_array(self, name: str) -> np.ndarray:
+        """The whole-column array in the engines' columnar representation.
+
+        NULL-free columns decode to their native dtypes (int64, float64,
+        bool, int64 day ordinals, object strings).  A column containing any
+        NULL decodes to an object array carrying ``None`` at NULL positions,
+        which is the representation the NULL-aware vectorised operators
+        understand.
+        """
+        self.flush()
+        index = self.schema.column_index(name)
+        segments = [chunk.segments[index] for chunk in self.chunks]
+        if not segments:
+            type_name = self.schema.columns[index].type_name
+            return np.empty(0, dtype=_EMPTY_DTYPES.get(type_name, object))
+        if any(segment.has_nulls for segment in segments):
+            values: list = []
+            for segment in segments:
+                values.extend(segment.encoded_python_values())
+            return np.array(values, dtype=object)
+        arrays = [segment.typed_array() for segment in segments]
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+    def column_codes(self, name: str) -> np.ndarray | None:
+        """Whole-column int32 dictionary codes (None when not dict-encoded)."""
+        if name.lower() not in self.dictionaries:
+            return None
+        self.flush()
+        index = self.schema.column_index(name)
+        arrays = [chunk.segments[index].values for chunk in self.chunks]
+        if not arrays:
+            return np.empty(0, dtype=np.int32)
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+    def dictionary(self, name: str) -> Dictionary | None:
+        return self.dictionaries.get(name.lower())
+
+    def zone_maps(self, name: str) -> list[ZoneMap]:
+        """Per-chunk zone maps of one column (flushes the tail first)."""
+        self.flush()
+        index = self.schema.column_index(name)
+        return [chunk.segments[index].zone_map for chunk in self.chunks]
+
+    def zone_index(self) -> "ZoneIndex":
+        """The vectorised zone-map index over all chunks (cached)."""
+        from repro.engine.storage.skipping import ZoneIndex
+
+        self.flush()
+        if self._zone_index is None:
+            self._zone_index = ZoneIndex(self)
+        return self._zone_index
+
+    # -- statistics ----------------------------------------------------------------
+
+    def statistics(self) -> TableStatistics:
+        """Aggregate chunk zone maps into table statistics (cached)."""
+        if self._stats_cache is not None:
+            return self._stats_cache
+        self.flush()
+        stats = TableStatistics(name=self.schema.name, row_count=self.row_count,
+                                chunk_count=len(self.chunks))
+        for index, column in enumerate(self.schema.columns):
+            lowered = column.name.lower()
+            entry = ColumnStatistics(name=column.name, type_name=column.type_name)
+            distinct_sum = 0
+            for chunk in self.chunks:
+                segment = chunk.segments[index]
+                zone = segment.zone_map
+                entry.null_count += zone.null_count
+                entry.encoded_bytes += segment.encoded_bytes
+                entry.raw_bytes += segment.raw_bytes
+                distinct_sum += zone.distinct_count
+                if zone.min_value is not None:
+                    if entry.min_value is None or zone.min_value < entry.min_value:
+                        entry.min_value = zone.min_value
+                    if entry.max_value is None or zone.max_value > entry.max_value:
+                        entry.max_value = zone.max_value
+            dictionary = self.dictionaries.get(lowered)
+            if dictionary is not None:
+                entry.dictionary_size = len(dictionary)
+                entry.distinct_estimate = len(dictionary)
+                entry.encoded_bytes += dictionary.encoded_bytes
+            else:
+                entry.distinct_estimate = min(distinct_sum,
+                                              stats.row_count - entry.null_count)
+            stats.columns[lowered] = entry
+            stats.encoded_bytes += entry.encoded_bytes
+            stats.raw_bytes += entry.raw_bytes
+        self._stats_cache = stats
+        return stats

@@ -14,18 +14,197 @@ how vectorised engines punt on non-vectorisable operators.
 
 from __future__ import annotations
 
-from typing import Any
+import operator as _operator
+from typing import Any, Callable
 
 import numpy as np
 
+from repro.engine.expression import compare_values
 from repro.engine.planner import ColumnInfo
-from repro.engine.types import add_interval, date_to_ordinal, like_to_predicate, to_date
+from repro.engine.types import (
+    add_interval,
+    date_to_ordinal,
+    like_to_predicate,
+    ordinal_to_date,
+    to_date,
+)
 from repro.errors import ExecutionError
 from repro.sqlparser import ast
 
 
 class VectorFallback(Exception):
     """Raised when an expression cannot be evaluated column-at-a-time."""
+
+
+# ---------------------------------------------------------------------------
+# NULL-aware vectorised primitives
+#
+# Columns containing NULLs arrive from storage as object arrays holding
+# ``None``; the helpers below give the bulk operators the row engine's NULL
+# semantics (comparisons with NULL are false, arithmetic propagates NULL)
+# while keeping the numpy fast path for NULL-free arrays.
+# ---------------------------------------------------------------------------
+
+_IS_NONE = np.frompyfunc(lambda value: value is None, 1, 1)
+
+_NUMPY_CMP: dict[str, Callable] = {
+    "=": _operator.eq,
+    "<>": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+_PY_ARITH: dict[str, Callable] = {
+    "+": _operator.add,
+    "-": _operator.sub,
+    "*": _operator.mul,
+    "/": _operator.truediv,
+    "%": _operator.mod,
+}
+
+
+def none_positions(array: np.ndarray) -> np.ndarray:
+    """Boolean mask of the ``None`` entries of an object array."""
+    return _IS_NONE(array).astype(bool)
+
+
+def mask_object_nulls(result: Any, *operands: Any) -> Any:
+    """Force a predicate result to False wherever an operand is NULL.
+
+    A scalar ``None`` operand (a NULL literal) nullifies every row,
+    whatever shape the result has.
+    """
+    if any(operand is None for operand in operands):
+        if isinstance(result, np.ndarray):
+            return np.zeros(len(result), dtype=bool)
+        return False
+    if not isinstance(result, np.ndarray):
+        return result
+    for operand in operands:
+        if isinstance(operand, np.ndarray) and operand.dtype == object:
+            nulls = none_positions(operand)
+            if nulls.any():
+                result = result.astype(bool) & ~nulls
+    return result
+
+
+def compare_arrays(operator: str, left: Any, right: Any) -> Any:
+    """Comparison with row-engine NULL semantics over bulk operands.
+
+    The numpy fast path runs first; ordering comparisons against ``None``
+    raise TypeError and fall back to an elementwise :func:`compare_values`
+    walk, while equality comparisons (where numpy happily treats None as an
+    ordinary value) get their NULL positions masked to False afterwards.
+    A scalar ``None`` comparand (a NULL literal) compares false everywhere.
+    """
+    if left is None or right is None:
+        return False
+    compare = _NUMPY_CMP[operator]
+    try:
+        result = compare(left, right)
+    except TypeError:
+        return _compare_elementwise(operator, left, right)
+    if isinstance(result, np.ndarray):
+        for side in (left, right):
+            if isinstance(side, np.ndarray) and side.dtype == object:
+                nulls = none_positions(side)
+                if nulls.any():
+                    result = result.astype(bool) & ~nulls
+    return result
+
+
+def _compare_elementwise(operator: str, left: Any, right: Any) -> Any:
+    left_array = isinstance(left, np.ndarray)
+    right_array = isinstance(right, np.ndarray)
+    if not left_array and not right_array:
+        return compare_values(operator, left, right)
+    length = len(left) if left_array else len(right)
+    left_values = left if left_array else [left] * length
+    right_values = right if right_array else [right] * length
+    return np.fromiter(
+        (bool(compare_values(operator, a, b))
+         if a is not None and b is not None else False
+         for a, b in zip(left_values, right_values)),
+        dtype=bool, count=length)
+
+
+def arith_arrays(operator: str, left: Any, right: Any) -> Any:
+    """NULL-propagating arithmetic: numpy fast path, object fallback.
+
+    A TypeError -- the signature of ``None`` inside an object array (or a
+    NULL-literal scalar) -- routes to an elementwise evaluation that
+    propagates NULL like the row engine.
+    """
+    operation = _PY_ARITH[operator]
+    try:
+        return operation(left, right)
+    except TypeError:
+        pass
+    left_array = isinstance(left, np.ndarray)
+    right_array = isinstance(right, np.ndarray)
+    if not left_array and not right_array:
+        if left is None or right is None:
+            return None
+        return operation(left, right)
+    length = len(left) if left_array else len(right)
+    left_values = left if left_array else [left] * length
+    right_values = right if right_array else [right] * length
+    out = np.empty(length, dtype=object)
+    try:
+        for index, (a, b) in enumerate(zip(left_values, right_values)):
+            out[index] = None if a is None or b is None else operation(a, b)
+    except ZeroDivisionError:
+        raise ExecutionError("division by zero") from None
+    return out
+
+
+def map_object_values(values: np.ndarray, transform: Callable) -> np.ndarray:
+    """Elementwise NULL-propagating map over an object array."""
+    out = np.empty(len(values), dtype=object)
+    for index, value in enumerate(values):
+        out[index] = None if value is None else transform(value)
+    return out
+
+
+def negate_values(value: Any) -> Any:
+    """Unary minus with NULL propagation (scalars and object arrays)."""
+    try:
+        return -value
+    except TypeError:
+        if not isinstance(value, np.ndarray):
+            return None
+        out = np.empty(len(value), dtype=object)
+        for index, item in enumerate(value):
+            out[index] = None if item is None else -item
+        return out
+
+
+def extract_object_date_field(values: np.ndarray, field_name: str) -> np.ndarray:
+    """NULL-propagating year/month/day extraction over object ordinal arrays."""
+    out = np.empty(len(values), dtype=object)
+    for index, value in enumerate(values):
+        out[index] = None if value is None else getattr(
+            ordinal_to_date(int(value)), field_name)
+    return out
+
+
+def cast_array(array: np.ndarray, convert: Callable) -> np.ndarray:
+    """Apply a dtype cast, keeping ``None`` entries of object arrays NULL.
+
+    The NULL check must run *before* the bulk cast: numpy's object->float64
+    ``astype`` happily converts ``None`` to NaN without raising, which would
+    silently turn NULL into a value the row engine does not produce.
+    """
+    if array.dtype == object:
+        nulls = none_positions(array)
+        if nulls.any():
+            out = np.empty(len(array), dtype=object)
+            for index, value in enumerate(array):
+                out[index] = None if value is None else convert(np.array([value]))[0]
+            return out
+    return convert(array)
 
 
 class ColFrame:
@@ -98,13 +277,21 @@ class ColFrame:
 
 
 def concat_values(left: Any, right: Any) -> Any:
-    """SQL ``||`` over columns and/or scalars (shared with the kernel compiler)."""
+    """SQL ``||`` over columns and/or scalars (shared with the kernel compiler).
+
+    NULL propagates: a ``None`` on either side yields NULL, matching the row
+    engine, instead of concatenating the string ``'None'``.
+    """
     if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
         length = len(left) if isinstance(left, np.ndarray) else len(right)
         left_values = left if isinstance(left, np.ndarray) else [left] * length
         right_values = right if isinstance(right, np.ndarray) else [right] * length
-        return np.array([str(a) + str(b) for a, b in zip(left_values, right_values)],
-                        dtype=object)
+        return np.array(
+            [None if a is None or b is None else str(a) + str(b)
+             for a, b in zip(left_values, right_values)],
+            dtype=object)
+    if left is None or right is None:
+        return None
     return str(left) + str(right)
 
 
@@ -204,7 +391,9 @@ class VectorEvaluator:
             if isinstance(operand, np.ndarray):
                 return ~operand.astype(bool)
             return not operand
-        return -operand if node.operator == "-" else operand
+        if node.operator != "-":
+            return operand
+        return negate_values(operand)
 
     def _binary(self, node: ast.BinaryOp) -> Any:
         left = self.evaluate(node.left)
@@ -215,23 +404,15 @@ class VectorEvaluator:
         if self.overflow_guard and operator in ("+", "-", "*"):
             # widen and materialise every intermediate, as an overflow-guarded
             # engine version would.
-            if isinstance(left, np.ndarray):
+            if isinstance(left, np.ndarray) and left.dtype != object:
                 left = np.ascontiguousarray(left.astype(np.longdouble))
-            if isinstance(right, np.ndarray):
+            if isinstance(right, np.ndarray) and right.dtype != object:
                 right = np.ascontiguousarray(right.astype(np.longdouble))
-        if operator == "+":
-            return left + right
-        if operator == "-":
-            return left - right
-        if operator == "*":
-            return left * right
-        if operator == "/":
-            return left / right
-        if operator == "%":
-            return left % right
         if operator == "||":
             return self._concat(left, right)
-        raise ExecutionError(f"unsupported binary operator '{operator}'")
+        if operator not in _PY_ARITH:
+            raise ExecutionError(f"unsupported binary operator '{operator}'")
+        return arith_arrays(operator, left, right)
 
     def _concat(self, left: Any, right: Any) -> Any:
         return concat_values(left, right)
@@ -263,19 +444,9 @@ class VectorEvaluator:
         right = self.evaluate(node.right)
         left, right = _align_date_operands(node.left, node.right, left, right, self.frame)
         operator = node.operator
-        if operator == "=":
-            return left == right
-        if operator == "<>":
-            return left != right
-        if operator == "<":
-            return left < right
-        if operator == "<=":
-            return left <= right
-        if operator == ">":
-            return left > right
-        if operator == ">=":
-            return left >= right
-        raise ExecutionError(f"unsupported comparison operator '{operator}'")
+        if operator not in _NUMPY_CMP:
+            raise ExecutionError(f"unsupported comparison operator '{operator}'")
+        return compare_arrays(operator, left, right)
 
     def _isnull(self, node: ast.IsNull) -> Any:
         operand = self.evaluate(node.operand)
@@ -283,7 +454,7 @@ class VectorEvaluator:
             if operand.dtype == np.float64:
                 mask = np.isnan(operand)
             elif operand.dtype == object:
-                mask = np.array([value is None or value == "" for value in operand], dtype=bool)
+                mask = none_positions(operand)
             else:
                 mask = np.zeros(len(operand), dtype=bool)
         else:
@@ -296,8 +467,12 @@ class VectorEvaluator:
         high = self.evaluate(node.high)
         operand, low = _align_date_operands(node.operand, node.low, operand, low, self.frame)
         operand, high = _align_date_operands(node.operand, node.high, operand, high, self.frame)
-        inside = (operand >= low) & (operand <= high)
-        return ~inside if node.negated else inside
+        inside = compare_arrays(">=", operand, low) & compare_arrays("<=", operand, high)
+        if not node.negated:
+            return inside
+        # NOT BETWEEN over a NULL operand *or* NULL bound is NULL (false).
+        outside = ~inside if isinstance(inside, np.ndarray) else (not inside)
+        return mask_object_nulls(outside, operand, low, high)
 
     def _like(self, node: ast.Like) -> Any:
         operand = self.evaluate(node.operand)
@@ -315,10 +490,20 @@ class VectorEvaluator:
         values = [self.evaluate(item) for item in node.items]
         if any(isinstance(value, np.ndarray) for value in values):
             raise VectorFallback("IN list with non-constant members")
+        # NULL list members can never match under row semantics (x = NULL is
+        # NULL), and np.isin would match a NULL operand by identity -- so
+        # drop them from the member set instead of masking afterwards.
+        members = [value for value in values if value is not None]
         if isinstance(operand, np.ndarray):
-            mask = np.isin(operand, np.array(values, dtype=operand.dtype))
-        else:
-            mask = np.full(self.frame.length, operand in values, dtype=bool)
+            mask = np.isin(operand, np.array(members, dtype=operand.dtype))
+            if node.negated:
+                # NOT IN over a NULL operand is NULL (false), not true.
+                return mask_object_nulls(~mask, operand)
+            return mask
+        if operand is None:
+            # NULL IN (...) / NULL NOT IN (...) are both NULL -> false.
+            return np.zeros(self.frame.length, dtype=bool)
+        mask = np.full(self.frame.length, operand in members, dtype=bool)
         return ~mask if node.negated else mask
 
     def _case(self, node: ast.CaseWhen) -> Any:
@@ -346,9 +531,9 @@ class VectorEvaluator:
         target = node.type_name.lower()
         if isinstance(operand, np.ndarray):
             if target.startswith(("int", "bigint", "smallint")):
-                return operand.astype(np.int64)
+                return cast_array(operand, lambda array: array.astype(np.int64))
             if target.startswith(("float", "double", "real", "decimal", "numeric")):
-                return operand.astype(np.float64)
+                return cast_array(operand, lambda array: array.astype(np.float64))
             if target.startswith(("char", "varchar", "text", "string")):
                 return operand.astype(object)
             raise VectorFallback(f"unsupported vectorised CAST to '{node.type_name}'")
@@ -359,6 +544,11 @@ class VectorEvaluator:
         if not isinstance(operand, np.ndarray):
             value = to_date(_ordinal_to_iso(int(operand)))
             return {"year": value.year, "month": value.month, "day": value.day}[node.field_name]
+        if operand.dtype == object:
+            # nullable date column: NULL-propagating elementwise extraction.
+            if node.field_name not in ("year", "month", "day"):
+                raise ExecutionError(f"unsupported EXTRACT field '{node.field_name}'")
+            return extract_object_date_field(operand, node.field_name)
         dates = operand.astype("datetime64[D]")
         if node.field_name == "year":
             return dates.astype("datetime64[Y]").astype(np.int64) + 1970
@@ -378,7 +568,9 @@ class VectorEvaluator:
         begin = max(start - 1, 0)
         end = None if length is None else begin + length
 
-        def slice_one(value: Any) -> str:
+        def slice_one(value: Any) -> str | None:
+            if value is None:
+                return None  # row semantics: SUBSTRING over NULL is NULL
             text = str(value)
             return text[begin:end] if end is not None else text[begin:]
 
@@ -393,21 +585,34 @@ class VectorEvaluator:
                 f"aggregate function '{name}' used outside an aggregation context"
             )
         arguments = [self.evaluate(argument) for argument in node.arguments]
+        if any(argument is None for argument in arguments):
+            return None  # row semantics: any NULL argument yields NULL
         if name == "abs":
-            return np.abs(arguments[0])
+            value = arguments[0]
+            if isinstance(value, np.ndarray) and value.dtype == object:
+                return map_object_values(value, abs)
+            return np.abs(value)
         if name == "round":
             digits = int(arguments[1]) if len(arguments) > 1 else 0
-            return np.round(arguments[0], digits)
+            value = arguments[0]
+            if isinstance(value, np.ndarray) and value.dtype == object:
+                return map_object_values(value, lambda item: round(item, digits))
+            return np.round(value, digits)
         if name == "length":
             values = arguments[0]
             if isinstance(values, np.ndarray):
-                return np.array([len(str(value)) for value in values], dtype=np.int64)
+                lengths = [None if value is None else len(str(value))
+                           for value in values]
+                if any(value is None for value in lengths):
+                    return np.array(lengths, dtype=object)
+                return np.array(lengths, dtype=np.int64)
             return len(str(values))
         if name in ("lower", "upper"):
             values = arguments[0]
             transform = str.lower if name == "lower" else str.upper
             if isinstance(values, np.ndarray):
-                return np.array([transform(str(value)) for value in values], dtype=object)
+                return map_object_values(values,
+                                         lambda item: transform(str(item)))
             return transform(str(values))
         raise VectorFallback(f"function '{name}' has no vectorised implementation")
 

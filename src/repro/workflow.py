@@ -74,6 +74,16 @@ class DemoSummary:
             f"executed tasks   : {self.executed_tasks}",
             f"systems          : {', '.join(engine.label for engine in self.engines)}",
         ]
+        if self.engines:
+            summary = self.engines[0].database.size_summary()
+            rows = sum(entry["rows"] for entry in summary.values())
+            encoded = sum(entry["encoded_bytes"] for entry in summary.values())
+            raw = sum(entry["raw_bytes"] for entry in summary.values())
+            ratio = (raw / encoded) if encoded else 1.0
+            lines.append(
+                f"storage          : {len(summary)} tables, {rows} rows, "
+                f"{encoded / 1024:.0f} KiB encoded ({ratio:.2f}x compression)"
+            )
         if self.speedup and self.speedup.points:
             spread = self.speedup.spread()
             lines.append(

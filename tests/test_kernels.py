@@ -22,21 +22,31 @@ from repro.sqlparser import ast
 from repro.tpch import QUERIES
 from tests.conftest import normalise
 
-#: every combination of the two new engine options.
+#: every combination of the kernel engine options.
 TOGGLES = list(itertools.product([False, True], repeat=2))
 
+#: every combination of kernel + storage options
+#: (compile_expressions, selection_vectors, zone_maps, dictionary_encoding).
+STORAGE_TOGGLES = list(itertools.product([False, True], repeat=4))
 
-def _options(compile_expressions: bool, selection_vectors: bool) -> EngineOptions:
+
+def _options(compile_expressions: bool, selection_vectors: bool,
+             zone_maps: bool = True, dictionary_encoding: bool = True
+             ) -> EngineOptions:
     return EngineOptions(compile_expressions=compile_expressions,
-                         selection_vectors=selection_vectors)
+                         selection_vectors=selection_vectors,
+                         zone_maps=zone_maps,
+                         dictionary_encoding=dictionary_encoding)
 
 
 @pytest.fixture(scope="module")
 def parity_db() -> Database:
-    """A very small TPC-H instance: the parity sweep runs 8 configurations
+    """A very small TPC-H instance: the parity sweep runs many configurations
     per query, so the interpreted row engine must stay fast on the join-heavy
-    queries (Q19/Q21 walk a cross product)."""
-    database = Database("tpch-parity")
+    queries (Q19/Q21 walk a cross product).  The odd chunk size forces
+    multiple (and partial) storage chunks so zone maps and chunk boundaries
+    are genuinely exercised."""
+    database = Database("tpch-parity", chunk_rows=53)
     populate_tpch(database, scale_factor=0.0003)
     return database
 
@@ -58,21 +68,33 @@ def small_db() -> Database:
 
 class TestTPCHParity:
     """Row and column engines agree on every TPC-H query under every
-    combination of compile_expressions x selection_vectors: the kernels and
-    the selection-vector pipeline must change performance, never semantics."""
+    combination of compile_expressions x selection_vectors x zone_maps x
+    dictionary_encoding: kernels, the selection-vector pipeline and the
+    storage scan features must change performance, never semantics.
+
+    Redundant configurations are deduplicated by the options each engine
+    actually consumes (the row engine ignores the column-scan toggles), so
+    the sweep covers the full 16-combination matrix without re-running
+    identical row-engine configurations."""
 
     @pytest.mark.parametrize("query_id", sorted(QUERIES))
     def test_all_toggle_combinations_agree(self, query_id, parity_db):
         sql = QUERIES[query_id]
         reference = RowEngine(parity_db, options=_options(False, False)).execute(sql)
         expected = (reference.columns, normalise(reference.rows))
-        for compile_expressions, selection_vectors in TOGGLES:
-            options = _options(compile_expressions, selection_vectors)
+        seen: set[tuple] = set()
+        for toggles in STORAGE_TOGGLES:
+            options = _options(*toggles)
             for engine in (RowEngine(parity_db, options=options),
                            ColumnEngine(parity_db, options=options)):
+                effective = (engine.strategy(), toggles[0]) \
+                    if engine.strategy() == "row" else (engine.strategy(), *toggles)
+                if effective in seen:
+                    continue
+                seen.add(effective)
                 result = engine.execute(sql)
-                label = (f"Q{query_id} {engine.strategy()} "
-                         f"compile={compile_expressions} sel={selection_vectors}")
+                label = (f"Q{query_id} {engine.strategy()} compile={toggles[0]} "
+                         f"sel={toggles[1]} zones={toggles[2]} dict={toggles[3]}")
                 assert result.columns == reference.columns, f"{label}: columns differ"
                 assert normalise(result.rows) == expected[1], f"{label}: rows differ"
 

@@ -1,0 +1,368 @@
+"""Tests for the chunked columnar storage subsystem.
+
+Covers chunking and zone maps, dictionary encoding, NULL round-trips and
+NULL-semantics parity between the engines (filter, join key and aggregate
+positions), statistics-driven scan skipping and predicate ordering, the
+drop/recreate cache-invalidation regression, and the extended
+``Database.size_summary``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ColumnEngine,
+    Database,
+    EngineOptions,
+    RowEngine,
+    ScanStats,
+)
+from repro.engine.storage import DEFAULT_CHUNK_ROWS
+
+#: every combination of the storage + kernel toggles relevant to semantics.
+ALL_TOGGLES = list(itertools.product([False, True], repeat=4))
+
+
+def _options(compile_expressions=True, selection_vectors=True, zone_maps=True,
+             dictionary_encoding=True) -> EngineOptions:
+    return EngineOptions(compile_expressions=compile_expressions,
+                         selection_vectors=selection_vectors,
+                         zone_maps=zone_maps,
+                         dictionary_encoding=dictionary_encoding)
+
+
+def _assert_parity(database: Database, sql: str) -> list[tuple]:
+    """Both engines agree on ``sql`` under every storage/kernel toggle combo."""
+    reference = RowEngine(database, options=_options(False, False)).execute(sql)
+    for toggles in ALL_TOGGLES:
+        options = _options(*toggles)
+        for engine in (RowEngine(database, options=options),
+                       ColumnEngine(database, options=options)):
+            result = engine.execute(sql)
+            label = f"{engine.strategy()} {toggles}"
+            assert result.columns == reference.columns, f"{label}: columns differ"
+            assert result.rows == reference.rows, f"{label}: rows differ on {sql}"
+    return reference.rows
+
+
+@pytest.fixture()
+def nullable_db() -> Database:
+    """Small chunks + NULLs in every position the engines must agree on."""
+    database = Database("storage-nulls", chunk_rows=4)
+    database.create_table("t", [("id", "int"), ("name", "str"), ("price", "float"),
+                                ("day", "date")])
+    database.insert_rows("t", [
+        (1, "alpha", 10.0, "2020-01-01"),
+        (2, None, None, None),
+        (None, "beta", 30.0, "2020-03-01"),
+        (4, "alpha", None, "2020-04-01"),
+        (5, None, 50.0, None),
+        (6, "gamma", 60.0, "2020-06-01"),
+    ])
+    database.create_table("u", [("id", "int"), ("t_id", "int"), ("tag", "str")])
+    database.insert_rows("u", [(1, 1, "x"), (2, None, "y"), (3, 6, None), (4, 4, "z")])
+    return database
+
+
+class TestChunking:
+    def test_rows_sealed_into_chunks(self):
+        database = Database("chunks", chunk_rows=10)
+        database.create_table("t", [("x", "int")])
+        database.insert_rows("t", [(value,) for value in range(25)])
+        storage = database.storage("t")
+        assert storage.row_count == 25
+        storage.flush()
+        assert [chunk.row_count for chunk in storage.chunks] == [10, 10, 5]
+        assert [chunk.start for chunk in storage.chunks] == [0, 10, 20]
+
+    def test_default_chunk_rows(self):
+        database = Database("default-chunks")
+        assert database.chunk_rows == DEFAULT_CHUNK_ROWS == 4096
+
+    def test_zone_maps_track_min_max_and_nulls(self):
+        database = Database("zones", chunk_rows=3)
+        database.create_table("t", [("x", "int")])
+        database.insert_rows("t", [(5,), (1,), (9,), (None,), (7,), (None,)])
+        zones = database.storage("t").zone_maps("x")
+        assert (zones[0].min_value, zones[0].max_value, zones[0].null_count) == (1, 9, 0)
+        assert (zones[1].min_value, zones[1].max_value, zones[1].null_count) == (7, 7, 2)
+
+    def test_zone_maps_exact_beyond_float53(self):
+        # int bounds must stay exact: a float64 zone map would round 2**53+1
+        # down and wrongly refute the chunk.
+        database = Database("bigints", chunk_rows=4)
+        database.create_table("t", [("x", "int")])
+        big = 2**53 + 1
+        database.insert_rows("t", [(1,), (2,), (big,), (3,)])
+        engine = ColumnEngine(database)
+        assert engine.execute(f"select x from t where x > {2**53}").rows == [(big,)]
+
+    def test_row_views_round_trip_values_and_nulls(self, nullable_db):
+        rows = nullable_db.rows("t")
+        assert rows[0] == (1, "alpha", 10.0, datetime.date(2020, 1, 1))
+        assert rows[1] == (2, None, None, None)
+        assert rows[2][0] is None
+
+    def test_columnar_views_null_free_columns_keep_native_dtypes(self):
+        database = Database("typed", chunk_rows=2)
+        database.create_table("t", [("i", "int"), ("f", "float"), ("s", "str"),
+                                    ("d", "date")])
+        database.insert_rows("t", [(1, 1.5, "a", "2020-01-01"),
+                                   (2, 2.5, "b", "2020-01-02"),
+                                   (3, 3.5, "c", "2020-01-03")])
+        view = database.columnar("t")
+        assert view.columns["i"].dtype == np.int64
+        assert view.columns["f"].dtype == np.float64
+        assert view.columns["s"].dtype == object
+        assert view.columns["d"].dtype == np.int64  # day ordinals
+
+    def test_columnar_views_nullable_columns_carry_none(self, nullable_db):
+        view = nullable_db.columnar("t")
+        assert view.columns["price"].dtype == object
+        assert view.columns["price"][1] is None
+        assert view.columns["id"][2] is None
+
+
+class TestDictionaryEncoding:
+    def test_string_columns_store_int32_codes(self):
+        database = Database("dict", chunk_rows=3)
+        database.create_table("t", [("tag", "str")])
+        database.insert_rows("t", [("a",), ("b",), ("a",), (None,), ("c",)])
+        storage = database.storage("t")
+        codes = storage.column_codes("tag")
+        assert codes.dtype == np.int32
+        assert codes.tolist() == [0, 1, 0, -1, 2]
+        assert storage.dictionary("tag").values == ["a", "b", "c"]
+
+    def test_statistics_report_dictionary_size(self):
+        database = Database("dict-stats", chunk_rows=4)
+        database.create_table("t", [("tag", "str")])
+        database.insert_rows("t", [("x",)] * 10 + [("y",)] * 10)
+        stats = database.storage("t").statistics()
+        assert stats.column("tag").dictionary_size == 2
+        assert stats.column("tag").distinct_estimate == 2
+        assert stats.compression_ratio > 1.0  # 20 strings -> 2 + int32 codes
+
+    def test_dictionary_scan_parity(self, nullable_db):
+        for sql in (
+            "select id from t where name = 'alpha' order by id",
+            "select id from t where name <> 'alpha' order by id",
+            "select id from t where name in ('alpha', 'gamma') order by id",
+            "select id from t where name like 'a%' order by id",
+            "select id from t where name not like 'a%' order by id",
+        ):
+            _assert_parity(nullable_db, sql)
+
+
+class TestNullSemantics:
+    """NULLs in filter, join-key and aggregate positions: both engines agree
+    under every toggle combination (the old ``_to_array`` coerced None to
+    0/NaN/'' and the engines could silently disagree)."""
+
+    def test_null_in_filters(self, nullable_db):
+        for sql in (
+            "select id from t where price > 15 order by id",
+            "select id from t where price <= 50 order by id",
+            "select id from t where price is null order by id",
+            "select id from t where price is not null order by id",
+            "select id from t where day >= date '2020-02-01' order by id",
+            "select id from t where price between 20 and 55 order by id",
+            "select id from t where price not between 20 and 55 order by id",
+            "select id from t where id in (1, 4, 5) order by id",
+            "select id from t where id not in (1, 4, 5) order by id",
+        ):
+            _assert_parity(nullable_db, sql)
+
+    def test_null_in_join_keys(self, nullable_db):
+        rows = _assert_parity(
+            nullable_db,
+            "select t.id, u.id from t, u where t.id = u.t_id order by u.id")
+        # a NULL key is never paired with a non-NULL key (both engines share
+        # the same hash-match behaviour, which is what parity pins down)
+        key_of = {1: 1, 2: None, 3: 6, 4: 4}
+        assert all((left is None) == (key_of[right] is None)
+                   for left, right in rows)
+
+    def test_null_in_aggregates(self, nullable_db):
+        rows = _assert_parity(
+            nullable_db,
+            "select count(*), count(price), sum(price), avg(price), "
+            "min(price), max(price) from t")
+        assert rows == [(6, 4, 150.0, 37.5, 10.0, 60.0)]
+
+    def test_null_group_keys_form_their_own_group(self, nullable_db):
+        rows = _assert_parity(
+            nullable_db,
+            "select name, count(*), sum(price) from t group by name order by name")
+        assert (None, 2, 50.0) in rows
+
+    def test_all_null_aggregate_is_null(self, nullable_db):
+        rows = _assert_parity(
+            nullable_db,
+            "select sum(price), min(price), count(price) from t where id = 2")
+        assert rows == [(None, None, 0)]
+
+    def test_null_propagates_through_expressions(self, nullable_db):
+        rows = _assert_parity(
+            nullable_db,
+            "select id, price * 2 + 1 from t order by id")
+        assert (2, None) in rows
+
+    def test_extract_and_concat_propagate_null(self, nullable_db):
+        _assert_parity(nullable_db,
+                       "select id, extract(year from day) from t order by id")
+        _assert_parity(nullable_db, "select id, name || '!' from t order by id")
+
+    def test_scalar_functions_propagate_null(self, nullable_db):
+        # abs/round used to crash on object arrays with None; upper/length/
+        # substring used to stringify None into 'NONE'/4/'Non'.
+        rows = _assert_parity(
+            nullable_db,
+            "select id, abs(price), round(price, 1), upper(name), length(name), "
+            "substring(name from 1 for 2) from t order by id")
+        assert rows[1] == (2, None, None, None, None, None)
+        _assert_parity(nullable_db,
+                       "select id from t where abs(price) > 25 order by id")
+
+    def test_cast_keeps_null_instead_of_nan(self, nullable_db):
+        rows = _assert_parity(
+            nullable_db, "select id, cast(price as float) from t order by id")
+        assert (2, None) in rows  # not (2, nan)
+
+    def test_in_list_with_null_member(self, nullable_db):
+        # NULL IN (...) is NULL -> false, even when the list contains NULL;
+        # np.isin would otherwise match None by identity.
+        rows = _assert_parity(
+            nullable_db, "select id from t where id in (1, null) order by id")
+        assert rows == [(1,)]
+        _assert_parity(nullable_db,
+                       "select id from t where id not in (1, null) order by id")
+
+    def test_null_literal_comparisons_match_rows(self, nullable_db):
+        # a scalar NULL literal compares false everywhere, negations included
+        expected = {
+            "select id from t where id <> null order by id": [],
+            "select id from t where id = null order by id": [],
+            "select id from t where id not between null and 5 order by id": [],
+            "select id from t where null in (1, null) order by id": [],
+            "select id from t where null not in (1, null) order by id": [],
+        }
+        for sql, rows in expected.items():
+            assert _assert_parity(nullable_db, sql) == rows, sql
+
+    def test_not_between_with_null_bound_column(self):
+        database = Database("bounds", chunk_rows=3)
+        database.create_table("b", [("id", "int"), ("x", "int"), ("lo", "int"),
+                                    ("hi", "int")])
+        database.insert_rows("b", [
+            (1, 5, 1, 10), (2, 5, None, 10), (3, 5, 1, None), (4, 50, 1, 10),
+            (5, None, 1, 10),
+        ])
+        rows = _assert_parity(
+            database, "select id from b where x not between lo and hi order by id")
+        assert rows == [(4,)]
+
+
+class TestScanSkipping:
+    @pytest.fixture()
+    def clustered_db(self) -> Database:
+        database = Database("clustered", chunk_rows=100)
+        database.create_table("events", [("id", "int"), ("day", "date"),
+                                         ("val", "float")])
+        start = datetime.date(1994, 1, 1)
+        database.insert_rows("events", [
+            (index, (start + datetime.timedelta(days=index // 10)).isoformat(),
+             float(index % 7))
+            for index in range(3000)
+        ])
+        return database
+
+    def test_zone_maps_skip_refuted_chunks(self, clustered_db):
+        engine = ColumnEngine(clustered_db)
+        sql = ("select sum(val) from events where day >= date '1994-03-01' "
+               "and day < date '1994-04-01'")
+        result = engine.execute(sql)
+        assert ScanStats.chunks_skipped > 0
+        assert (ScanStats.chunks_scanned
+                == len(clustered_db.storage("events").chunks))
+        # and skipping never changes the answer
+        off = ColumnEngine(clustered_db, options=_options(zone_maps=False))
+        assert off.execute(sql).rows == result.rows
+
+    def test_zone_maps_disabled_skip_nothing(self, clustered_db):
+        engine = ColumnEngine(clustered_db, options=_options(zone_maps=False))
+        engine.execute("select sum(val) from events where day < date '1994-02-01'")
+        assert ScanStats.chunks_skipped == 0
+
+    def test_all_chunks_refuted_yields_empty_scan(self, clustered_db):
+        engine = ColumnEngine(clustered_db)
+        result = engine.execute(
+            "select count(*) from events where day >= date '2001-01-01'")
+        assert result.scalar() == 0
+        assert ScanStats.chunks_skipped == len(clustered_db.storage("events").chunks)
+
+    def test_planner_orders_pushdown_by_selectivity(self, clustered_db):
+        # textual order: wide range first, tight equality last -- the planner
+        # must flip them so the most selective predicate refines first.
+        engine = ColumnEngine(clustered_db)
+        plan = engine.prepare(
+            "select count(*) from events where day >= date '1994-01-01' and id = 17")
+        predicates = plan.root.pushdown["events"]
+        from repro.sqlparser.printer import to_sql
+
+        assert to_sql(predicates[0]) == "id = 17"
+
+
+class TestDropRecreate:
+    """insert -> query -> drop -> recreate -> query must not see stale arrays."""
+
+    @pytest.mark.parametrize("kind", ["row", "column"])
+    def test_recreate_invalidates_cached_views(self, kind):
+        database = Database("recreate", chunk_rows=8)
+        database.create_table("t", [("x", "int"), ("tag", "str")])
+        database.insert_rows("t", [(1, "old"), (2, "old")])
+        engine = (RowEngine if kind == "row" else ColumnEngine)(database)
+        sql = "select count(*), sum(x) from t"
+        assert engine.execute(sql).rows == [(2, 3)]
+
+        database.drop_table("t")
+        database.create_table("t", [("x", "int"), ("tag", "str")])
+        database.insert_rows("t", [(10, "new"), (20, "new"), (30, "new")])
+        assert engine.execute(sql).rows == [(3, 60)]
+        assert engine.execute("select count(*) from t where tag = 'new'").rows \
+            == [(3,)]
+
+    def test_drop_clears_storage_and_statistics(self):
+        database = Database("drop")
+        database.create_table("t", [("x", "int")])
+        database.insert_rows("t", [(1,)])
+        assert database.catalog.table_statistics("t").row_count == 1
+        database.drop_table("t")
+        assert "t" not in database
+        assert database.catalog.table_statistics("t") is None
+
+
+class TestSizeSummary:
+    def test_summary_reports_bytes_and_compression(self, nullable_db):
+        summary = nullable_db.size_summary()
+        entry = summary["t"]
+        assert entry["rows"] == 6
+        assert entry["chunks"] == 2
+        assert entry["encoded_bytes"] > 0
+        assert entry["raw_bytes"] > 0
+        assert entry["compression_ratio"] == pytest.approx(
+            entry["raw_bytes"] / entry["encoded_bytes"], rel=1e-3)
+
+    def test_demo_summary_mentions_storage(self):
+        from repro.workflow import run_demo_scenario
+
+        summary = run_demo_scenario(scale_factor=0.0003, pool_size=4, repeats=1,
+                                    seed=3)
+        text = summary.describe()
+        assert "storage" in text
+        assert "compression" in text
