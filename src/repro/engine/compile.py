@@ -37,19 +37,40 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.engine.expression import compare_values, like_predicate, scalar_functions
+from repro.engine.expression import (
+    compare_values,
+    in_members,
+    like_predicate,
+    scalar_functions,
+)
+from repro.engine.mask import (
+    Nullable,
+    as_objects,
+    is_array,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    truth_mask,
+)
 from repro.engine.planner import ColumnInfo
 from repro.engine.types import add_interval, date_to_ordinal, ordinal_to_date, to_date
 from repro.engine.vector import (
+    abs_values,
     arith_arrays,
+    case_branch_values,
     cast_array,
+    collapse_case_result,
     compare_arrays,
     concat_values,
-    extract_object_date_field,
-    map_object_values,
-    mask_object_nulls,
+    extract_date_field,
+    in_list_mask,
+    isnull_mask,
+    length_values,
+    like_mask,
+    map_string_values,
     negate_values,
-    none_positions,
+    round_values,
+    widen_guarded,
 )
 from repro.errors import ExecutionError
 from repro.sqlparser import ast
@@ -360,18 +381,28 @@ def _row_binary(node: ast.BinaryOp, layout, slots) -> tuple[bool, Any]:
 def _row_bool(node: ast.BoolOp, layout, slots) -> tuple[bool, Any]:
     pairs = [_row(operand, layout, slots) for operand in node.operands]
     fns = tuple(_as_fn(pair) for pair in pairs)
+    # Kleene connectives: FALSE decides AND and TRUE decides OR even past
+    # UNKNOWN operands; an undecided combination with an UNKNOWN is UNKNOWN.
     if node.operator == "and":
         def fn(row):
+            unknown = False
             for operand in fns:
-                if not operand(row):
+                value = operand(row)
+                if value is None:
+                    unknown = True
+                elif not value:
                     return False
-            return True
+            return None if unknown else True
     else:
         def fn(row):
+            unknown = False
             for operand in fns:
-                if operand(row):
+                value = operand(row)
+                if value is None:
+                    unknown = True
+                elif value:
                     return True
-            return False
+            return None if unknown else False
     return _maybe_fold(fn, *pairs)
 
 
@@ -408,23 +439,39 @@ def _row_between(node: ast.Between, layout, slots) -> tuple[bool, Any]:
     operands = (node.operand, node.low, node.high)
     fast = (all(_never_date(part, layout) for part in operands)
             or all(_always_date(part, layout) for part in operands))
+    # BETWEEN decomposes into its Kleene conjunction: a NULL operand or
+    # bound only yields UNKNOWN while the range test stays undecided (a
+    # FALSE conjunct still decides, e.g. 6 NOT BETWEEN NULL AND 5 is TRUE).
     if fast:
         def fn(row):
             value = operand(row)
             lo, hi = low(row), high(row)
-            if value is None or lo is None or hi is None:
-                return None
-            inside = lo <= value <= hi
-            return (not inside) if negated else inside
+            above = None if value is None or lo is None else (lo <= value)
+            below = None if value is None or hi is None else (value <= hi)
+            if (above is not None and not above) or (below is not None and not below):
+                inside: Any = False
+            elif above is None or below is None:
+                inside = None
+            else:
+                inside = True
+            if not negated:
+                return inside
+            return None if inside is None else (not inside)
     else:
         def fn(row):
             value = operand(row)
             lo, hi = low(row), high(row)
-            if value is None or lo is None or hi is None:
-                return None
-            inside = (bool(compare_values("<=", lo, value))
-                      and bool(compare_values("<=", value, hi)))
-            return (not inside) if negated else inside
+            above = compare_values("<=", lo, value)
+            below = compare_values("<=", value, hi)
+            if (above is not None and not above) or (below is not None and not below):
+                inside: Any = False
+            elif above is None or below is None:
+                inside = None
+            else:
+                inside = True
+            if not negated:
+                return inside
+            return None if inside is None else (not inside)
     return _maybe_fold(fn, operand_pair, low_pair, high_pair)
 
 
@@ -434,16 +481,25 @@ def _row_like(node: ast.Like, layout, slots) -> tuple[bool, Any]:
     operand = _as_fn(operand_pair)
     negated = node.negated
     if pattern_pair[0]:
+        if pattern_pair[1] is None:
+            return True, None  # NULL pattern: UNKNOWN everywhere
         predicate = like_predicate(str(pattern_pair[1]))
 
         def fn(row):
-            matched = predicate(operand(row))
+            value = operand(row)
+            if value is None:
+                return None  # LIKE over NULL is UNKNOWN, negated or not
+            matched = predicate(value)
             return (not matched) if negated else matched
     else:
         pattern = _as_fn(pattern_pair)
 
         def fn(row):
-            matched = like_predicate(str(pattern(row)))(operand(row))
+            value = operand(row)
+            pattern_value = pattern(row)
+            if value is None or pattern_value is None:
+                return None
+            matched = like_predicate(str(pattern_value))(value)
             return (not matched) if negated else matched
     return False, fn
 
@@ -463,8 +519,7 @@ def _row_in_list(node: ast.InList, layout, slots) -> tuple[bool, Any]:
                 value = operand(row)
                 if value is None:
                     return None
-                found = value in members
-                return (not found) if negated else found
+                return in_members(value, members, negated)
             return _maybe_fold(fn, operand_pair)
     item_fns = tuple(_as_fn(pair) for pair in item_pairs)
 
@@ -472,8 +527,7 @@ def _row_in_list(node: ast.InList, layout, slots) -> tuple[bool, Any]:
         value = operand(row)
         if value is None:
             return None
-        found = value in {item(row) for item in item_fns}
-        return (not found) if negated else found
+        return in_members(value, {item(row) for item in item_fns}, negated)
     return False, fn
 
 
@@ -649,6 +703,11 @@ def _compile_finaliser(node: ast.Expression, combined_layout, slots: dict[int, i
                 value = operand(combined)
                 return None if value is None else -value
             return fn
+        if node.operator == "not":
+            def fn(combined):
+                value = operand(combined)
+                return None if value is None else (not value)
+            return fn
         return operand
     if isinstance(node, ast.Comparison):
         left = _compile_finaliser(node.left, combined_layout, slots, layout)
@@ -663,10 +722,24 @@ def _compile_finaliser(node: ast.Expression, combined_layout, slots: dict[int, i
                     for operand in node.operands]
         if node.operator == "and":
             def fn(combined):
-                return all(bool(operand(combined)) for operand in operands)
+                unknown = False
+                for operand in operands:
+                    value = operand(combined)
+                    if value is None:
+                        unknown = True
+                    elif not value:
+                        return False
+                return None if unknown else True
         else:
             def fn(combined):
-                return any(bool(operand(combined)) for operand in operands)
+                unknown = False
+                for operand in operands:
+                    value = operand(combined)
+                    if value is None:
+                        unknown = True
+                    elif value:
+                        return True
+                return None if unknown else False
         return fn
     if isinstance(node, ast.CaseWhen):
         branches = [(_compile_finaliser(condition, combined_layout, slots, layout),
@@ -900,10 +973,12 @@ class ColumnContext:
 
 
 def as_mask(value: Any, length: int) -> np.ndarray:
-    """Coerce a kernel result to a boolean mask (mirrors evaluate_predicate)."""
-    if isinstance(value, np.ndarray):
-        return value if value.dtype == bool else value.astype(bool)
-    return np.full(length, bool(value), dtype=bool)
+    """Collapse a kernel result to its is-TRUE mask (mirrors evaluate_predicate).
+
+    UNKNOWN rows of a Kleene result come back False -- the SQL filter
+    semantics; interior boolean structure stays three-valued until here.
+    """
+    return truth_mask(value, length)
 
 
 def compile_column_kernel(expression: ast.Expression, layout,
@@ -970,11 +1045,8 @@ def _col_unary(node: ast.UnaryOp, layout, guard) -> tuple[bool, Any]:
     operand = _as_fn(operand_pair)
     if node.operator == "not":
         def fn(ctx):
-            value = operand(ctx)
-            if isinstance(value, np.ndarray):
-                return ~value.astype(bool)
-            return not value
-        return False, fn
+            return kleene_not(operand(ctx))
+        return _maybe_fold(fn, operand_pair)
     if node.operator == "-":
         def fn(ctx):
             return negate_values(operand(ctx))
@@ -1010,16 +1082,10 @@ def _col_binary(node: ast.BinaryOp, layout, guard) -> tuple[bool, Any]:
         plain_left, plain_right = left, right
 
         def left(ctx, _fn=plain_left):
-            value = _fn(ctx)
-            if isinstance(value, np.ndarray) and value.dtype != object:
-                return np.ascontiguousarray(value.astype(np.longdouble))
-            return value
+            return widen_guarded(_fn(ctx))
 
         def right(ctx, _fn=plain_right):
-            value = _fn(ctx)
-            if isinstance(value, np.ndarray) and value.dtype != object:
-                return np.ascontiguousarray(value.astype(np.longdouble))
-            return value
+            return widen_guarded(_fn(ctx))
 
     if op == "||":
         def fn(ctx):
@@ -1033,14 +1099,14 @@ def _col_binary(node: ast.BinaryOp, layout, guard) -> tuple[bool, Any]:
 
 
 def _col_bool(node: ast.BoolOp, layout, guard) -> tuple[bool, Any]:
-    mask_fns = [_col_mask_fn(operand, layout, guard) for operand in node.operands]
-    combine_and = node.operator == "and"
+    operand_fns = [_as_fn(_col(operand, layout, guard))
+                   for operand in node.operands]
+    combine = kleene_and if node.operator == "and" else kleene_or
 
     def fn(ctx):
-        combined = mask_fns[0](ctx)
-        for mask_fn in mask_fns[1:]:
-            mask = mask_fn(ctx)
-            combined = (combined & mask) if combine_and else (combined | mask)
+        combined = operand_fns[0](ctx)
+        for operand in operand_fns[1:]:
+            combined = combine(combined, operand(ctx))
         return combined
     return False, fn
 
@@ -1111,17 +1177,7 @@ def _col_isnull(node: ast.IsNull, layout, guard) -> tuple[bool, Any]:
     negated = node.negated
 
     def fn(ctx):
-        value = operand(ctx)
-        if isinstance(value, np.ndarray):
-            if value.dtype == np.float64:
-                mask = np.isnan(value)
-            elif value.dtype == object:
-                mask = none_positions(value)
-            else:
-                mask = np.zeros(len(value), dtype=bool)
-        else:
-            mask = np.full(ctx.length, value is None, dtype=bool)
-        return ~mask if negated else mask
+        return isnull_mask(operand(ctx), ctx.length, negated)
     return False, fn
 
 
@@ -1138,14 +1194,10 @@ def _col_between(node: ast.Between, layout, guard) -> tuple[bool, Any]:
 
     def fn(ctx):
         value = operand(ctx)
-        low_value, high_value = low(ctx), high(ctx)
-        inside = (compare_arrays(">=", value, low_value)
-                  & compare_arrays("<=", value, high_value))
-        if not negated:
-            return inside
-        # NOT BETWEEN over a NULL operand *or* NULL bound is NULL (false).
-        outside = ~inside if isinstance(inside, np.ndarray) else (not inside)
-        return mask_object_nulls(outside, value, low_value, high_value)
+        inside = kleene_and(compare_arrays(">=", value, low(ctx)),
+                            compare_arrays("<=", value, high(ctx)))
+        # NOT BETWEEN over a NULL operand or bound stays UNKNOWN (Kleene NOT).
+        return kleene_not(inside) if negated else inside
     return False, fn
 
 
@@ -1154,6 +1206,8 @@ def _col_like(node: ast.Like, layout, guard) -> tuple[bool, Any]:
     pattern_pair = _col(node.pattern, layout, guard)
     negated = node.negated
     if pattern_pair[0]:
+        if pattern_pair[1] is None:
+            return True, None  # NULL pattern: UNKNOWN everywhere
         predicate = like_predicate(str(pattern_pair[1]))
 
         def matcher(ctx):
@@ -1162,17 +1216,15 @@ def _col_like(node: ast.Like, layout, guard) -> tuple[bool, Any]:
         pattern = _as_fn(pattern_pair)
 
         def matcher(ctx):
-            return like_predicate(str(pattern(ctx)))
+            pattern_value = pattern(ctx)
+            return None if pattern_value is None \
+                else like_predicate(str(pattern_value))
 
     def fn(ctx):
         predicate = matcher(ctx)
-        value = operand(ctx)
-        if isinstance(value, np.ndarray):
-            matches = np.fromiter((predicate(item) for item in value), dtype=bool,
-                                  count=len(value))
-        else:
-            matches = np.full(ctx.length, predicate(value), dtype=bool)
-        return ~matches if negated else matches
+        if predicate is None:
+            return None
+        return like_mask(predicate, operand(ctx), negated, ctx.length)
     return False, fn
 
 
@@ -1182,30 +1234,17 @@ def _col_in_list(node: ast.InList, layout, guard) -> tuple[bool, Any]:
     if not all(const for const, _ in item_pairs):
         raise CompileFallback("IN list with non-constant members")
     values = [value for _, value in item_pairs]
-    #: NULL list members can never match under row semantics (x = NULL is
-    #: NULL), and np.isin would match a NULL operand by identity -- exclude
-    #: them from the vectorised member set up front.
+    #: NULL list members can never compare TRUE (x = NULL is UNKNOWN), and
+    #: np.isin would match a NULL operand by identity -- exclude them from
+    #: the vectorised member set; their presence turns non-matches UNKNOWN.
     member_values = [value for value in values if value is not None]
+    has_null_member = len(member_values) != len(values)
     negated = node.negated
     typed_cache: dict[Any, np.ndarray] = {}
 
     def fn(ctx):
-        value = operand(ctx)
-        if isinstance(value, np.ndarray):
-            members = typed_cache.get(value.dtype)
-            if members is None:
-                members = np.array(member_values, dtype=value.dtype)
-                typed_cache[value.dtype] = members
-            mask = np.isin(value, members)
-            if negated:
-                # NOT IN over a NULL operand is NULL (false), not true.
-                return mask_object_nulls(~mask, value)
-            return mask
-        if value is None:
-            # NULL IN (...) / NULL NOT IN (...) are both NULL -> false.
-            return np.zeros(ctx.length, dtype=bool)
-        mask = np.full(ctx.length, value in member_values, dtype=bool)
-        return ~mask if negated else mask
+        return in_list_mask(operand(ctx), member_values, has_null_member,
+                            negated, ctx.length, typed_cache)
     return False, fn
 
 
@@ -1217,7 +1256,7 @@ def _col_case(node: ast.CaseWhen, layout, guard) -> tuple[bool, Any]:
         if node.default is not None else None
 
     def fn(ctx):
-        default_value = default(ctx) if default is not None else None
+        default_value = case_branch_values(default(ctx)) if default is not None else None
         if isinstance(default_value, np.ndarray):
             result = default_value.astype(object)
         else:
@@ -1225,16 +1264,13 @@ def _col_case(node: ast.CaseWhen, layout, guard) -> tuple[bool, Any]:
         decided = np.zeros(ctx.length, dtype=bool)
         for condition, branch in branches:
             mask = condition(ctx) & ~decided
-            value = branch(ctx)
+            value = case_branch_values(branch(ctx))
             if isinstance(value, np.ndarray):
                 result[mask] = value[mask]
             else:
                 result[mask] = value
             decided |= mask
-        try:
-            return result.astype(np.float64)
-        except (TypeError, ValueError):
-            return result
+        return collapse_case_result(result)
     return False, fn
 
 
@@ -1247,15 +1283,16 @@ def _col_cast(node: ast.Cast, layout, guard) -> tuple[bool, Any]:
     elif target.startswith(("float", "double", "real", "decimal", "numeric")):
         def convert(array):
             return array.astype(np.float64)
-    elif target.startswith(("char", "varchar", "text", "string")):
-        def convert(array):
-            return array.astype(object)
     else:
-        raise CompileFallback(f"unsupported vectorised CAST to '{node.type_name}'")
+        # string targets need the row value domain (date ordinals would
+        # stringify as integers); the interpreter falls back row-at-a-time.
+        raise CompileFallback(f"CAST to '{node.type_name}' requires row semantics")
 
     def fn(ctx):
         value = operand(ctx)
-        return cast_array(value, convert) if isinstance(value, np.ndarray) else value
+        if not isinstance(value, (np.ndarray, Nullable)):
+            return value
+        return cast_array(value, convert)
     return False, fn
 
 
@@ -1267,23 +1304,7 @@ def _col_extract(node: ast.Extract, layout, guard) -> tuple[bool, Any]:
     field_name = node.field_name
 
     def fn(ctx):
-        value = operand(ctx)
-        if not isinstance(value, np.ndarray):
-            date_value = ordinal_to_date(int(value))
-            return {"year": date_value.year, "month": date_value.month,
-                    "day": date_value.day}[field_name]
-        if value.dtype == object:
-            # nullable date column: NULL-propagating elementwise extraction.
-            return extract_object_date_field(value, field_name)
-        dates = value.astype("datetime64[D]")
-        if field_name == "year":
-            return dates.astype("datetime64[Y]").astype(np.int64) + 1970
-        if field_name == "month":
-            years = dates.astype("datetime64[Y]")
-            return (dates.astype("datetime64[M]")
-                    - years.astype("datetime64[M]")).astype(np.int64) + 1
-        months = dates.astype("datetime64[M]")
-        return (dates - months.astype("datetime64[D]")).astype(np.int64) + 1
+        return extract_date_field(operand(ctx), field_name)
     return _maybe_fold(fn, operand_pair)
 
 
@@ -1303,8 +1324,9 @@ def _col_substring(node: ast.Substring, layout, guard) -> tuple[bool, Any]:
             text = str(item)
             return text[begin:end] if end is not None else text[begin:]
 
-        if isinstance(value, np.ndarray):
-            return np.array([slice_one(item) for item in value], dtype=object)
+        if is_array(value):
+            return np.array([slice_one(item) for item in as_objects(value)],
+                            dtype=object)
         return slice_one(value)
     return False, fn
 
@@ -1317,47 +1339,26 @@ def _col_function(node: ast.FunctionCall, layout, guard) -> tuple[bool, Any]:
     pairs = [_col(argument, layout, guard) for argument in node.arguments]
     fns = [_as_fn(pair) for pair in pairs]
     if name == "abs":
-        def apply(value):
-            if isinstance(value, np.ndarray) and value.dtype == object:
-                return map_object_values(value, abs)
-            return np.abs(value)
-
         def fn(ctx):
             value = fns[0](ctx)
-            return None if value is None else apply(value)
+            return None if value is None else abs_values(value)
     elif name == "round":
         def fn(ctx):
             value = fns[0](ctx)
             digits_value = fns[1](ctx) if len(fns) > 1 else 0
             if value is None or digits_value is None:
                 return None
-            digits = int(digits_value)
-            if isinstance(value, np.ndarray) and value.dtype == object:
-                return map_object_values(value, lambda item: round(item, digits))
-            return np.round(value, digits)
+            return round_values(value, int(digits_value))
     elif name == "length":
         def fn(ctx):
             values = fns[0](ctx)
-            if values is None:
-                return None
-            if isinstance(values, np.ndarray):
-                lengths = [None if value is None else len(str(value))
-                           for value in values]
-                if any(value is None for value in lengths):
-                    return np.array(lengths, dtype=object)
-                return np.array(lengths, dtype=np.int64)
-            return len(str(values))
+            return None if values is None else length_values(values)
     elif name in ("lower", "upper"):
         transform = str.lower if name == "lower" else str.upper
 
         def fn(ctx):
             values = fns[0](ctx)
-            if values is None:
-                return None
-            if isinstance(values, np.ndarray):
-                return map_object_values(values,
-                                         lambda item: transform(str(item)))
-            return transform(str(values))
+            return None if values is None else map_string_values(values, transform)
     else:
         raise CompileFallback(f"function '{name}' has no vectorised implementation")
     return _maybe_fold(fn, *pairs)

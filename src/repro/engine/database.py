@@ -27,9 +27,12 @@ from repro.errors import ExecutionError
 class ColumnarTable:
     """Column-major view of one table (numpy arrays keyed by column name).
 
-    A column containing NULLs decodes to an object array holding ``None`` at
-    NULL positions; NULL-free columns keep their native dtypes (int64,
-    float64, bool, int64 day ordinals for dates, object strings).
+    NULL-free columns keep their native dtypes (int64, float64, bool, int64
+    day ordinals for dates, object strings).  A nullable typed column stays
+    typed as a :class:`~repro.engine.mask.Nullable` ``(values, validity)``
+    pair; nullable string columns -- and every nullable column when the view
+    is built with ``typed_nulls=False`` (the legacy object-array baseline)
+    -- decode to object arrays holding ``None`` at NULL positions.
     ``codes``/``dictionaries`` expose the dictionary encoding of string
     columns so scans can evaluate predicates over int32 codes.
     """
@@ -51,7 +54,7 @@ class Database:
         self.dictionary_strings = dictionary_strings
         self.catalog = Catalog()
         self._storage: dict[str, StorageTable] = {}
-        self._columnar: dict[str, ColumnarTable] = {}
+        self._columnar: dict[tuple[str, bool], ColumnarTable] = {}
 
     # -- DDL / DML -----------------------------------------------------------
 
@@ -62,7 +65,7 @@ class Database:
         table = StorageTable(schema, chunk_rows=self.chunk_rows,
                              dictionary_strings=self.dictionary_strings)
         self._storage[schema.name] = table
-        self._columnar.pop(schema.name, None)
+        self._drop_columnar(schema.name)
         self.catalog.bind_statistics(schema.name, table.statistics)
         return schema
 
@@ -70,7 +73,11 @@ class Database:
         """Drop table ``name``, its storage, and every cached derived view."""
         self.catalog.drop_table(name)
         self._storage.pop(name.lower(), None)
-        self._columnar.pop(name.lower(), None)
+        self._drop_columnar(name.lower())
+
+    def _drop_columnar(self, name: str) -> None:
+        for typed_nulls in (False, True):
+            self._columnar.pop((name, typed_nulls), None)
 
     def insert_rows(self, name: str, rows: Iterable[Sequence]) -> int:
         """Append ``rows`` (sequences in column order) to table ``name``."""
@@ -86,7 +93,7 @@ class Database:
                 for value, column in zip(row, schema.columns)
             ))
         count = self._storage[schema.name].append_rows(coerced)
-        self._columnar.pop(schema.name, None)
+        self._drop_columnar(schema.name)
         return count
 
     # -- access ------------------------------------------------------------------
@@ -107,10 +114,16 @@ class Database:
         """
         return self.storage(name).rows()
 
-    def columnar(self, name: str) -> ColumnarTable:
-        """Return (building and caching if needed) the column view of ``name``."""
+    def columnar(self, name: str, typed_nulls: bool = True) -> ColumnarTable:
+        """Return (building and caching if needed) the column view of ``name``.
+
+        ``typed_nulls`` selects the nullable-column representation: typed
+        ``(values, validity)`` pairs (default) or the legacy object-array
+        decode (the ``null_masks`` engine-option ablation baseline).  The
+        two variants are cached independently.
+        """
         schema = self.catalog.table(name)
-        cached = self._columnar.get(schema.name)
+        cached = self._columnar.get((schema.name, typed_nulls))
         if cached is not None:
             return cached
         table = self._storage[schema.name]
@@ -118,14 +131,15 @@ class Database:
         codes: dict[str, np.ndarray] = {}
         dictionaries: dict[str, Dictionary] = {}
         for column in schema.columns:
-            columns[column.name] = table.column_array(column.name)
+            columns[column.name] = table.column_array(column.name,
+                                                      typed_nulls=typed_nulls)
             column_codes = table.column_codes(column.name)
             if column_codes is not None:
                 codes[column.name] = column_codes
                 dictionaries[column.name] = table.dictionary(column.name)
         view = ColumnarTable(schema=schema, columns=columns, length=table.row_count,
                              codes=codes, dictionaries=dictionaries)
-        self._columnar[schema.name] = view
+        self._columnar[(schema.name, typed_nulls)] = view
         return view
 
     def table_names(self) -> list[str]:

@@ -66,6 +66,13 @@ class EngineOptions:
         scan predicates over dictionary-encoded string columns evaluate once
         over the table-wide dictionary and then against the ``int32`` code
         vector instead of the object string array.
+    null_masks:
+        Column engine only: scan nullable typed columns as ``(values,
+        validity)`` pairs that stay on int64/float64 arrays through the
+        kernel pipeline.  Off, nullable columns decode to the legacy object
+        arrays holding ``None`` (correct but slow -- kept as the ablation
+        baseline the null-mask benchmark measures against).  Semantics are
+        identical either way; only the representation changes.
     """
 
     predicate_pushdown: bool = True
@@ -75,6 +82,7 @@ class EngineOptions:
     selection_vectors: bool = True
     zone_maps: bool = True
     dictionary_encoding: bool = True
+    null_masks: bool = True
 
     def describe(self) -> dict[str, bool]:
         """Return the options as a plain dict (for platform catalog entries)."""
@@ -86,6 +94,7 @@ class EngineOptions:
             "selection_vectors": self.selection_vectors,
             "zone_maps": self.zone_maps,
             "dictionary_encoding": self.dictionary_encoding,
+            "null_masks": self.null_masks,
         }
 
 
@@ -274,6 +283,7 @@ class ColumnEngine(Engine):
             selection_vectors=self.options.selection_vectors,
             zone_maps=self.options.zone_maps,
             dictionary_encoding=self.options.dictionary_encoding,
+            null_masks=self.options.null_masks,
             plan=plan,
         )
         return executor.execute(plan)

@@ -38,6 +38,17 @@ from repro.engine.compile import (
 from repro.engine.database import ColumnarTable, Database
 from repro.engine.executor_row import RowExecutor
 from repro.engine.expression import evaluate as row_evaluate
+from repro.engine.mask import (
+    Kleene,
+    Nullable,
+    as_objects,
+    data_of,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    none_positions,
+    truth_mask,
+)
 from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
 from repro.engine.planner import ColumnInfo, Scope
 from repro.engine.storage import ScanStats
@@ -46,9 +57,8 @@ from repro.engine.vector import (
     ColFrame,
     VectorEvaluator,
     VectorFallback,
-    _to_python,
     compare_arrays,
-    none_positions,
+    isnull_mask,
 )
 from repro.errors import ExecutionError, PlanError
 from repro.sqlparser import ast
@@ -84,7 +94,7 @@ class ColumnExecutor:
                  hash_joins: bool = True, overflow_guard: bool = False,
                  compile_expressions: bool = True, selection_vectors: bool = True,
                  zone_maps: bool = True, dictionary_encoding: bool = True,
-                 plan: QueryPlan | None = None):
+                 null_masks: bool = True, plan: QueryPlan | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
@@ -93,6 +103,7 @@ class ColumnExecutor:
         self.selection_vectors = selection_vectors
         self.zone_maps = zone_maps
         self.dictionary_encoding = dictionary_encoding
+        self.null_masks = null_masks
         self._plan = plan
         self._planner: Planner | None = None
         self._extra_blocks: dict[int, BlockPlan] = {}
@@ -300,7 +311,7 @@ class ColumnExecutor:
         and then applied to the int32 code vector instead of the object
         array.
         """
-        view = self.database.columnar(item.name)
+        view = self.database.columnar(item.name, typed_nulls=self.null_masks)
         if not view.codes:
             return pairs
         cache = self.database.storage(item.name).scan_kernel_cache
@@ -535,7 +546,7 @@ class ColumnExecutor:
 
     def _materialise(self, item: ast.TableExpression) -> ColFrame:
         if isinstance(item, ast.TableRef):
-            view = self.database.columnar(item.name)
+            view = self.database.columnar(item.name, typed_nulls=self.null_masks)
             columns = [
                 ColumnInfo(binding=item.binding, name=column.name, type_name=column.type_name)
                 for column in view.schema.columns
@@ -741,7 +752,10 @@ class ColumnExecutor:
         return np.array(values, dtype=object)
 
     def _as_array(self, value: Any, length: int) -> np.ndarray:
-        if isinstance(value, np.ndarray):
+        if isinstance(value, Kleene):
+            # projected predicates deliver row-engine booleans: True/False/None
+            return as_objects(value)
+        if isinstance(value, (np.ndarray, Nullable)):
             return value
         return np.full(length, value, dtype=object if isinstance(value, str) else None)
 
@@ -797,20 +811,22 @@ class ColumnExecutor:
         aggregator = _GroupAggregator(vector_of, group_ids, first_index, group_count)
 
         if select.having is not None:
-            having = aggregator.evaluate(select.having)
-            keep = np.array([bool(value) for value in having], dtype=bool)
+            # HAVING keeps only groups where the predicate is TRUE; UNKNOWN
+            # (a Kleene mask's invalid rows, or None in an object array)
+            # collapses to False here, exactly like the filter position.
+            keep = truth_mask(aggregator.evaluate(select.having), group_count)
         else:
             keep = np.ones(group_count, dtype=bool)
 
         arrays: list[np.ndarray] = []
         columns: list[ColumnInfo] = []
         for position, item in enumerate(select.items):
-            values = aggregator.evaluate(item.expression)
+            values = _group_values(aggregator.evaluate(item.expression))
             values = np.asarray(values)
             arrays.append(values[keep])
             columns.append(ColumnInfo("", item.output_name(position),
                                       self._column_type(item.expression, frame,
-                                                        np.asarray(values))))
+                                                        values)))
         return ColFrame(columns=columns, arrays=arrays, length=int(keep.sum())), names
 
     def _empty_aggregate_result(self, select: ast.Select, frame: ColFrame,
@@ -952,21 +968,30 @@ class _GroupAggregator:
             return _combine(expression.operator, left, right)
         if isinstance(expression, ast.UnaryOp):
             value = self.evaluate(expression.operand)
+            if expression.operator == "not":
+                return kleene_not(value)
             return -value if expression.operator == "-" else value
         if isinstance(expression, ast.Comparison):
             left = self.evaluate(expression.left)
             right = self.evaluate(expression.right)
             return _compare_groups(expression.operator, left, right)
+        if isinstance(expression, ast.BoolOp):
+            combine = kleene_and if expression.operator == "and" else kleene_or
+            combined = self.evaluate(expression.operands[0])
+            for operand in expression.operands[1:]:
+                combined = combine(combined, self.evaluate(operand))
+            return combined
         if isinstance(expression, ast.CaseWhen):
             result = np.full(self.group_count, None, dtype=object)
             decided = np.zeros(self.group_count, dtype=bool)
             for condition, branch in expression.branches:
-                mask = np.array([bool(v) for v in self.evaluate(condition)]) & ~decided
-                values = self.evaluate(branch)
+                mask = truth_mask(self.evaluate(condition),
+                                  self.group_count) & ~decided
+                values = _group_values(self.evaluate(branch))
                 result[mask] = np.asarray(values, dtype=object)[mask]
                 decided |= mask
             if expression.default is not None:
-                default = self.evaluate(expression.default)
+                default = _group_values(self.evaluate(expression.default))
                 result[~decided] = np.asarray(default, dtype=object)[~decided]
             return result
         if isinstance(expression, ast.Cast):
@@ -985,8 +1010,14 @@ class _GroupAggregator:
     def _first_row_values(self, expression: ast.Expression) -> np.ndarray:
         values = self._vector(expression)
         if len(self.first_index) == 0:
-            return np.array([], dtype=values.dtype)
-        return values[self.first_index]
+            return np.array([], dtype=object if isinstance(values, (Nullable, Kleene))
+                            else values.dtype)
+        gathered = values[self.first_index]
+        # one value per group: decoding masked pairs to objects is cheap and
+        # keeps the per-group combinators on a single representation.
+        if isinstance(gathered, (Nullable, Kleene)):
+            return gathered.to_objects()
+        return gathered
 
     def _aggregate_call(self, call: ast.FunctionCall) -> np.ndarray:
         name = call.name.lower()
@@ -1007,6 +1038,8 @@ class _GroupAggregator:
         valid = ~_null_mask(values)
         group_ids = group_ids[valid]
         numeric = values[valid]
+        if isinstance(numeric, Nullable):
+            numeric = numeric.values  # all-valid after the null-mask slice
         counts = np.bincount(group_ids, minlength=self.group_count)
 
         if name in ("sum", "avg"):
@@ -1080,12 +1113,16 @@ def _group_ids(keys: list[np.ndarray], length: int) -> tuple[np.ndarray, np.ndar
     return ids, np.array(first, dtype=np.int64), len(mapping)
 
 
+def _group_values(values: Any) -> Any:
+    """Per-group results on a single representation (masks decode to objects)."""
+    if isinstance(values, (Nullable, Kleene)):
+        return as_objects(values)
+    return values
+
+
 def _null_mask(values: np.ndarray) -> np.ndarray:
-    if values.dtype == np.float64:
-        return np.isnan(values)
-    if values.dtype == object:
-        return none_positions(values)
-    return np.zeros(len(values), dtype=bool)
+    # one representation dispatch for NULL detection, shared with IS NULL
+    return isnull_mask(values, len(values), negated=False)
 
 
 def _mask_empty(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -1098,8 +1135,8 @@ def _mask_empty(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
 
 
 def _combine(operator: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-    left, left_nulls = _as_float_with_nulls(left)
-    right, right_nulls = _as_float_with_nulls(right)
+    left, left_nulls = _as_float_with_nulls(_group_values(left))
+    right, right_nulls = _as_float_with_nulls(_group_values(right))
     if operator == "+":
         result = left + right
     elif operator == "-":
@@ -1139,26 +1176,55 @@ def _as_float_with_nulls(values) -> tuple[np.ndarray, np.ndarray | None]:
 def _compare_groups(operator: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
     if operator not in ("=", "<>", "<", "<=", ">", ">="):
         raise ExecutionError(f"unsupported comparison operator '{operator}'")
-    return compare_arrays(operator, np.asarray(left), np.asarray(right))
+    return compare_arrays(operator, np.asarray(_group_values(left)),
+                          np.asarray(_group_values(right)))
 
 
-def _null_array(length: int, type_name: str) -> np.ndarray:
+def _null_array(length: int, type_name: str) -> Any:
+    """All-NULL padding column for the unmatched side of an outer join."""
     if type_name == "float":
-        return np.full(length, np.nan, dtype=np.float64)
+        # an explicit validity mask, not bare NaN: predicates over the
+        # padded rows must evaluate UNKNOWN (in-band NaN would compare
+        # False and make NOT over the comparison wrongly TRUE).
+        return Nullable(np.full(length, np.nan, dtype=np.float64),
+                        np.zeros(length, dtype=bool))
     # integers and dates have no in-band null in the columnar layout, so the
     # padding side of an outer join switches to object arrays holding None.
     return np.full(length, None, dtype=object)
 
 
 def _concat_frames(first: ColFrame, second: ColFrame) -> ColFrame:
-    arrays = []
-    for left, right in zip(first.arrays, second.arrays):
-        if left.dtype != right.dtype:
-            left = left.astype(object)
-            right = right.astype(object)
-        arrays.append(np.concatenate([left, right]))
+    arrays = [_concat_arrays(left, right)
+              for left, right in zip(first.arrays, second.arrays)]
     return ColFrame(columns=list(first.columns), arrays=arrays,
                     length=first.length + second.length)
+
+
+def _concat_arrays(left: Any, right: Any) -> Any:
+    """Concatenate two column pieces across the mask representations.
+
+    Same-dtype typed pieces stay typed (validity concatenated, all-valid for
+    plain pieces); anything else decodes both sides to object arrays.
+    """
+    if isinstance(left, Nullable) or isinstance(right, Nullable):
+        left_values, left_valid = data_of(left)
+        right_values, right_valid = data_of(right)
+        if (isinstance(left_values, np.ndarray) and isinstance(right_values, np.ndarray)
+                and left_values.dtype == right_values.dtype
+                and left_values.dtype != object):
+            if left_valid is None:
+                left_valid = np.ones(len(left_values), dtype=bool)
+            if right_valid is None:
+                right_valid = np.ones(len(right_values), dtype=bool)
+            return Nullable(np.concatenate([left_values, right_values]),
+                            np.concatenate([left_valid, right_valid]))
+        left, right = as_objects(left), as_objects(right)
+    elif isinstance(left, Kleene) or isinstance(right, Kleene):
+        left, right = as_objects(left), as_objects(right)
+    if left.dtype != right.dtype:
+        left = left.astype(object)
+        right = right.astype(object)
+    return np.concatenate([left, right])
 
 
 def _empty_aggregate_value(expression: ast.Expression) -> Any:

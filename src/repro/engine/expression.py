@@ -74,6 +74,8 @@ def evaluate(expression: ast.Expression, env: RowEnv) -> Any:
     if isinstance(expression, ast.Like):
         value = evaluate(expression.operand, env)
         pattern = evaluate(expression.pattern, env)
+        if value is None or pattern is None:
+            return None  # LIKE over NULL is UNKNOWN, negated or not
         matched = _like(str(pattern))(value)
         return (not matched) if expression.negated else matched
     if isinstance(expression, ast.InList):
@@ -155,17 +157,29 @@ def _evaluate_binary(node: ast.BinaryOp, env: RowEnv) -> Any:
 
 
 def _evaluate_bool(node: ast.BoolOp, env: RowEnv) -> Any:
+    """Kleene AND/OR: UNKNOWN (None) only dominates the undecided case.
+
+    FALSE short-circuits AND and TRUE short-circuits OR even past UNKNOWN
+    operands; a conjunction/disjunction that stays undecided with an UNKNOWN
+    operand is UNKNOWN, not False.
+    """
     if node.operator == "and":
+        unknown = False
         for operand in node.operands:
             value = evaluate(operand, env)
-            if not value:
+            if value is None:
+                unknown = True
+            elif not value:
                 return False
-        return True
+        return None if unknown else True
+    unknown = False
     for operand in node.operands:
         value = evaluate(operand, env)
-        if value:
+        if value is None:
+            unknown = True
+        elif value:
             return True
-    return False
+    return None if unknown else False
 
 
 def _compare(operator: str, left: Any, right: Any) -> Any:
@@ -203,14 +217,47 @@ def _evaluate_comparison(node: ast.Comparison, env: RowEnv) -> Any:
     return _compare(node.operator, left, right)
 
 
+def _kleene_and_scalar(left: Any, right: Any) -> Any:
+    """Scalar Kleene AND (None = UNKNOWN): FALSE decides, UNKNOWN lingers."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
 def _evaluate_between(node: ast.Between, env: RowEnv) -> Any:
+    """BETWEEN decomposes into its Kleene conjunction.
+
+    ``x NOT BETWEEN NULL AND 5`` is TRUE for x = 6: the ``x <= 5`` conjunct
+    is already FALSE, so the NULL bound cannot change the answer -- a NULL
+    operand only yields UNKNOWN while the range test stays undecided.
+    """
     value = evaluate(node.operand, env)
     low = evaluate(node.low, env)
     high = evaluate(node.high, env)
-    if value is None or low is None or high is None:
-        return None
-    inside = bool(_compare("<=", low, value)) and bool(_compare("<=", value, high))
-    return (not inside) if node.negated else inside
+    inside = _kleene_and_scalar(_compare("<=", low, value),
+                                _compare("<=", value, high))
+    if not node.negated:
+        return inside
+    return None if inside is None else (not inside)
+
+
+def _in_members(value: Any, members: set, negated: bool) -> Any:
+    """Kleene membership: a NULL member makes a non-match UNKNOWN.
+
+    ``x IN (a, NULL)`` is TRUE when x matches a, otherwise UNKNOWN (the
+    comparison against the NULL member is UNKNOWN); negation is Kleene NOT.
+    """
+    if value in members:
+        result: Any = True
+    elif None in members:
+        result = None
+    else:
+        result = False
+    if not negated:
+        return result
+    return None if result is None else (not result)
 
 
 def _evaluate_in_list(node: ast.InList, env: RowEnv) -> Any:
@@ -218,8 +265,7 @@ def _evaluate_in_list(node: ast.InList, env: RowEnv) -> Any:
     if value is None:
         return None
     members = {evaluate(item, env) for item in node.items}
-    found = value in members
-    return (not found) if node.negated else found
+    return _in_members(value, members, node.negated)
 
 
 def _evaluate_in_subquery(node: ast.InSubquery, env: RowEnv) -> Any:
@@ -228,8 +274,7 @@ def _evaluate_in_subquery(node: ast.InSubquery, env: RowEnv) -> Any:
         return None
     rows = env.run_subquery(node.subquery)
     members = {row[0] for row in rows}
-    found = value in members
-    return (not found) if node.negated else found
+    return _in_members(value, members, node.negated)
 
 
 _SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
@@ -259,11 +304,13 @@ def _evaluate_function(node: ast.FunctionCall, env: RowEnv) -> Any:
     return handler(*arguments)
 
 
-# public aliases consumed by the kernel compiler (repro.engine.compile); the
-# compiled closures must share these exact semantics with the interpreter.
+# public aliases consumed by the kernel compiler (repro.engine.compile) and
+# the vectorised primitives (repro.engine.vector); the compiled closures must
+# share these exact semantics with the interpreter.
 compare_values = _compare
 scalar_functions = _SCALAR_FUNCTIONS
 like_predicate = _like
+in_members = _in_members
 
 
 def _evaluate_cast(node: ast.Cast, env: RowEnv) -> Any:
@@ -342,6 +389,8 @@ def evaluate_aggregate(expression: ast.Expression, envs: list[RowEnv]) -> Any:
         value = evaluate_aggregate(expression.operand, envs)
         if value is None:
             return None
+        if expression.operator == "not":
+            return not value
         return -value if expression.operator == "-" else value
     if isinstance(expression, ast.Comparison):
         left = evaluate_aggregate(expression.left, envs)
@@ -350,8 +399,12 @@ def evaluate_aggregate(expression: ast.Expression, envs: list[RowEnv]) -> Any:
     if isinstance(expression, ast.BoolOp):
         values = [evaluate_aggregate(operand, envs) for operand in expression.operands]
         if expression.operator == "and":
-            return all(bool(value) for value in values)
-        return any(bool(value) for value in values)
+            if any(value is not None and not value for value in values):
+                return False
+            return None if any(value is None for value in values) else True
+        if any(value is not None and value for value in values):
+            return True
+        return None if any(value is None for value in values) else False
     if isinstance(expression, ast.CaseWhen):
         for condition, result in expression.branches:
             if evaluate_aggregate(condition, envs):

@@ -121,6 +121,12 @@ class ColumnSegment:
 
     # -- decode ----------------------------------------------------------------
 
+    def validity(self) -> np.ndarray:
+        """Boolean mask of the *present* values (True = not NULL)."""
+        if self.null_mask is None:
+            return np.ones(self.row_count, dtype=bool)
+        return ~self.null_mask
+
     def typed_array(self) -> np.ndarray:
         """The encoded array decoded to the columnar dtype (NULL-free only).
 

@@ -37,6 +37,12 @@ _MISSING = object()
 
 _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
 
+#: comparison complement used to push NOT below the zone-map analysis.
+#: Kleene-sound: ``NOT (a < b)`` and ``a >= b`` are *exactly* equivalent
+#: under three-valued logic (both UNKNOWN on a NULL operand, and UNKNOWN
+#: rows never pass a filter), so rewriting cannot mis-refute a chunk.
+_NEGATED = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
 
 class ScanStats:
     """Process-wide chunk-skipping instrumentation (mirrors
@@ -189,6 +195,36 @@ class ZoneIndex:
             return self._keep_like(node, resolve)
         if isinstance(node, ast.IsNull):
             return self._keep_is_null(node, resolve)
+        if isinstance(node, ast.UnaryOp) and node.operator == "not":
+            return self._keep_not(node.operand, resolve)
+        return None
+
+    def _keep_not(self, node: ast.Expression, resolve) -> np.ndarray | None:
+        """Push NOT below the analysis with Kleene-sound rewrites only.
+
+        UNKNOWN rows never pass a filter, so ``NOT expr`` may refute a chunk
+        exactly when the *complemented* expression would: comparisons flip to
+        their complement (identical three-valued truth tables), AND/OR invert
+        by De Morgan, IS NULL flips its negation, double NOT unwraps.  Any
+        other shape -- including NOT over BETWEEN/IN/LIKE, whose UNKNOWN
+        handling is subtler -- conservatively keeps every chunk.
+        """
+        if isinstance(node, ast.UnaryOp) and node.operator == "not":
+            return self._keep(node.operand, resolve)
+        if isinstance(node, ast.Comparison) and node.quantifier is None:
+            negated = _NEGATED.get(node.operator)
+            if negated is None:
+                return None
+            return self._keep_comparison(
+                ast.Comparison(negated, node.left, node.right), resolve)
+        if isinstance(node, ast.IsNull):
+            return self._keep_is_null(
+                ast.IsNull(node.operand, negated=not node.negated), resolve)
+        if isinstance(node, ast.BoolOp):
+            inverted = ast.BoolOp(
+                "or" if node.operator == "and" else "and",
+                [ast.UnaryOp("not", operand) for operand in node.operands])
+            return self._keep(inverted, resolve)
         return None
 
     def _column(self, node: ast.Expression, resolve) -> str | None:
@@ -399,6 +435,10 @@ def _estimate(node: ast.Expression, statistics: "TableStatistics") -> float:
                 product *= part
             return product
         return min(1.0, sum(parts))
+    if isinstance(node, ast.UnaryOp) and node.operator == "not":
+        # Kleene NOT keeps the FALSE fraction; UNKNOWN rows pass neither
+        # the predicate nor its negation, so 1 - estimate is conservative.
+        return max(0.0, 1.0 - _estimate(node.operand, statistics))
     if isinstance(node, ast.Comparison):
         return _estimate_comparison(node, statistics)
     if isinstance(node, ast.Between):
@@ -408,18 +448,25 @@ def _estimate(node: ast.Expression, statistics: "TableStatistics") -> float:
         if column is None or low is None or high is None:
             return _DEFAULT_SELECTIVITY
         fraction = _range_fraction(column, low, high)
-        return (1.0 - fraction) if node.negated else fraction
+        if node.negated:
+            fraction = 1.0 - fraction
+        return fraction * _non_null_fraction(column, statistics)
     if isinstance(node, ast.InList):
         column = _stats_column(node.operand, statistics)
         if column is None or not column.distinct_estimate:
             return _DEFAULT_SELECTIVITY
         fraction = min(1.0, len(node.items) / column.distinct_estimate)
-        return (1.0 - fraction) if node.negated else fraction
+        if node.negated:
+            fraction = 1.0 - fraction
+        return fraction * _non_null_fraction(column, statistics)
     if isinstance(node, ast.Like):
         prefix = _like_prefix(node.pattern.value) \
             if isinstance(node.pattern, ast.Literal) else ""
         fraction = 0.15 if prefix else 0.5
-        return (1.0 - fraction) if node.negated else fraction
+        if node.negated:
+            fraction = 1.0 - fraction
+        column = _stats_column(node.operand, statistics)
+        return fraction * _non_null_fraction(column, statistics)
     if isinstance(node, ast.IsNull):
         column = _stats_column(node.operand, statistics)
         if column is None or not statistics.row_count:
@@ -441,24 +488,35 @@ def _estimate_comparison(node: ast.Comparison, statistics) -> float:
         constant_node = node.left
     if column is None:
         return _DEFAULT_SELECTIVITY
+    # a comparison is TRUE only on non-NULL operand rows: the null fraction
+    # scales every estimate below (it is a first-class statistic here).
+    non_null = _non_null_fraction(column, statistics)
     if operator == "=":
         if column.type_name == "str" or column.distinct_estimate:
-            return 1.0 / max(column.distinct_estimate, 1)
+            return non_null / max(column.distinct_estimate, 1)
         return _DEFAULT_SELECTIVITY
     if operator == "<>":
-        return 1.0 - 1.0 / max(column.distinct_estimate, 1)
+        return non_null * (1.0 - 1.0 / max(column.distinct_estimate, 1))
     constant = _numeric_constant(constant_node, column)
     if constant is None:
         return _DEFAULT_SELECTIVITY
     if operator in ("<", "<="):
-        return _range_fraction(column, None, constant)
-    return _range_fraction(column, constant, None)
+        return non_null * _range_fraction(column, None, constant)
+    return non_null * _range_fraction(column, constant, None)
 
 
 def _stats_column(node: ast.Expression, statistics):
     if isinstance(node, ast.ColumnRef) and statistics is not None:
         return statistics.column(node.name)
     return None
+
+
+def _non_null_fraction(column, statistics) -> float:
+    """Fraction of the column's rows that carry a value (1.0 when unknown)."""
+    if column is None or statistics is None or not statistics.row_count \
+            or not column.null_count:
+        return 1.0
+    return max(0.0, 1.0 - column.null_count / statistics.row_count)
 
 
 def _numeric_constant(node: ast.Expression, column) -> float | None:

@@ -114,15 +114,21 @@ class StorageTable:
 
     # -- column views --------------------------------------------------------------
 
-    def column_array(self, name: str) -> np.ndarray:
+    def column_array(self, name: str, typed_nulls: bool = True
+                     ) -> "np.ndarray | Nullable":
         """The whole-column array in the engines' columnar representation.
 
         NULL-free columns decode to their native dtypes (int64, float64,
-        bool, int64 day ordinals, object strings).  A column containing any
-        NULL decodes to an object array carrying ``None`` at NULL positions,
-        which is the representation the NULL-aware vectorised operators
-        understand.
+        bool, int64 day ordinals, object strings).  A nullable typed column
+        stays on its native dtype as a :class:`~repro.engine.mask.Nullable`
+        ``(values, validity)`` pair -- the segment arrays and null masks are
+        exposed directly, no per-value decode.  Nullable *string* columns
+        (and every nullable column when ``typed_nulls`` is off, the legacy
+        object-array path kept as the benchmark/ablation baseline) decode to
+        object arrays carrying ``None`` at NULL positions.
         """
+        from repro.engine.mask import Nullable
+
         self.flush()
         index = self.schema.column_index(name)
         segments = [chunk.segments[index] for chunk in self.chunks]
@@ -130,10 +136,17 @@ class StorageTable:
             type_name = self.schema.columns[index].type_name
             return np.empty(0, dtype=_EMPTY_DTYPES.get(type_name, object))
         if any(segment.has_nulls for segment in segments):
-            values: list = []
+            type_name = self.schema.columns[index].type_name
+            if typed_nulls and type_name in _EMPTY_DTYPES:
+                values = [segment.values for segment in segments]
+                valid = [segment.validity() for segment in segments]
+                return Nullable(
+                    values[0] if len(values) == 1 else np.concatenate(values),
+                    valid[0] if len(valid) == 1 else np.concatenate(valid))
+            decoded: list = []
             for segment in segments:
-                values.extend(segment.encoded_python_values())
-            return np.array(values, dtype=object)
+                decoded.extend(segment.encoded_python_values())
+            return np.array(decoded, dtype=object)
         arrays = [segment.typed_array() for segment in segments]
         return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
 

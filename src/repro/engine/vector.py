@@ -6,6 +6,16 @@ columns at once.  Date columns are represented as ``int64`` day ordinals
 representation, so comparisons and day-granularity arithmetic stay in the
 integer domain.
 
+NULL handling follows :mod:`repro.engine.mask`: nullable typed columns
+arrive from storage as :class:`~repro.engine.mask.Nullable` ``(values,
+validity)`` pairs and stay typed through the operators (bulk compute over
+the full array, validity combined separately); predicates evaluate to
+Kleene three-valued results (:class:`~repro.engine.mask.Kleene`), so
+``NOT`` / ``AND`` / ``OR`` over NULL operands match the row engine's
+three-valued semantics exactly.  Nullable *string* columns still use object
+arrays holding ``None`` -- string kernels iterate Python values anyway --
+and every primitive below accepts both representations.
+
 Expressions the vectorised evaluator cannot handle (nested subqueries,
 correlated references) raise :class:`VectorFallback`; the column executor
 catches it and evaluates that particular predicate row-by-row, which mirrors
@@ -19,7 +29,21 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.engine.expression import compare_values
+from repro.engine.expression import compare_values, in_members
+from repro.engine.mask import (
+    Kleene,
+    Nullable,
+    as_objects,
+    combine_valid,
+    data_of,
+    is_array,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    none_positions,
+    truth_mask,
+    wrap_valid,
+)
 from repro.engine.planner import ColumnInfo
 from repro.engine.types import (
     add_interval,
@@ -39,13 +63,12 @@ class VectorFallback(Exception):
 # ---------------------------------------------------------------------------
 # NULL-aware vectorised primitives
 #
-# Columns containing NULLs arrive from storage as object arrays holding
-# ``None``; the helpers below give the bulk operators the row engine's NULL
-# semantics (comparisons with NULL are false, arithmetic propagates NULL)
-# while keeping the numpy fast path for NULL-free arrays.
+# Shared by the vectorised interpreter below and the compiled column kernels
+# (repro.engine.compile): one implementation of each operator's three-valued
+# semantics.  Bulk operands arrive as plain typed arrays (no NULLs),
+# Nullable (values, validity) pairs, or object arrays holding None (strings
+# and fallback outputs); scalar NULL is Python None.
 # ---------------------------------------------------------------------------
-
-_IS_NONE = np.frompyfunc(lambda value: value is None, 1, 1)
 
 _NUMPY_CMP: dict[str, Callable] = {
     "=": _operator.eq,
@@ -65,92 +88,113 @@ _PY_ARITH: dict[str, Callable] = {
 }
 
 
-def none_positions(array: np.ndarray) -> np.ndarray:
-    """Boolean mask of the ``None`` entries of an object array."""
-    return _IS_NONE(array).astype(bool)
-
-
-def mask_object_nulls(result: Any, *operands: Any) -> Any:
-    """Force a predicate result to False wherever an operand is NULL.
-
-    A scalar ``None`` operand (a NULL literal) nullifies every row,
-    whatever shape the result has.
-    """
-    if any(operand is None for operand in operands):
-        if isinstance(result, np.ndarray):
-            return np.zeros(len(result), dtype=bool)
-        return False
-    if not isinstance(result, np.ndarray):
-        return result
-    for operand in operands:
-        if isinstance(operand, np.ndarray) and operand.dtype == object:
-            nulls = none_positions(operand)
-            if nulls.any():
-                result = result.astype(bool) & ~nulls
-    return result
-
-
 def compare_arrays(operator: str, left: Any, right: Any) -> Any:
-    """Comparison with row-engine NULL semantics over bulk operands.
+    """Three-valued comparison over bulk operands.
 
-    The numpy fast path runs first; ordering comparisons against ``None``
-    raise TypeError and fall back to an elementwise :func:`compare_values`
-    walk, while equality comparisons (where numpy happily treats None as an
-    ordinary value) get their NULL positions masked to False afterwards.
-    A scalar ``None`` comparand (a NULL literal) compares false everywhere.
+    NULL-free typed inputs come back as plain boolean arrays (the numpy
+    fast path); any nullability -- Nullable operands, object arrays with
+    None, a scalar NULL comparand -- yields a :class:`Kleene` mask whose
+    invalid rows are UNKNOWN.  Scalar-only input returns a scalar
+    (None = UNKNOWN), matching the row engine's ``compare_values``.
     """
+    if not is_array(left) and not is_array(right):
+        return compare_values(operator, left, right)
     if left is None or right is None:
-        return False
+        return Kleene.unknown(len(left) if is_array(left) else len(right))
     compare = _NUMPY_CMP[operator]
+    left_values, left_valid = data_of(left)
+    right_values, right_valid = data_of(right)
     try:
-        result = compare(left, right)
+        result = compare(left_values, right_values)
     except TypeError:
         return _compare_elementwise(operator, left, right)
-    if isinstance(result, np.ndarray):
-        for side in (left, right):
-            if isinstance(side, np.ndarray) and side.dtype == object:
-                nulls = none_positions(side)
-                if nulls.any():
-                    result = result.astype(bool) & ~nulls
-    return result
+    valid = combine_valid(left_valid, right_valid)
+    if valid is None:
+        return result
+    if not isinstance(result, np.ndarray):  # pragma: no cover - defensive
+        result = np.full(len(valid), bool(result), dtype=bool)
+    return Kleene(result.astype(bool), valid)
 
 
 def _compare_elementwise(operator: str, left: Any, right: Any) -> Any:
-    left_array = isinstance(left, np.ndarray)
-    right_array = isinstance(right, np.ndarray)
-    if not left_array and not right_array:
-        return compare_values(operator, left, right)
+    """Python-loop comparison (mixed types numpy refuses to compare bulk).
+
+    Iterating a Nullable or an object array yields ``None`` at NULL
+    positions; those rows become UNKNOWN.
+    """
+    left_array = is_array(left)
+    right_array = is_array(right)
     length = len(left) if left_array else len(right)
     left_values = left if left_array else [left] * length
     right_values = right if right_array else [right] * length
-    return np.fromiter(
-        (bool(compare_values(operator, a, b))
-         if a is not None and b is not None else False
-         for a, b in zip(left_values, right_values)),
-        dtype=bool, count=length)
+    truth = np.zeros(length, dtype=bool)
+    valid = np.ones(length, dtype=bool)
+    for index, (a, b) in enumerate(zip(left_values, right_values)):
+        if a is None or b is None:
+            valid[index] = False
+        else:
+            truth[index] = bool(compare_values(operator, a, b))
+    if valid.all():
+        return truth
+    return Kleene(truth, valid)
 
 
 def arith_arrays(operator: str, left: Any, right: Any) -> Any:
-    """NULL-propagating arithmetic: numpy fast path, object fallback.
+    """NULL-propagating arithmetic over any mix of operand representations.
 
-    A TypeError -- the signature of ``None`` inside an object array (or a
-    NULL-literal scalar) -- routes to an elementwise evaluation that
-    propagates NULL like the row engine.
+    Typed Nullable operands stay typed: the operation runs over the full
+    values array (divisors sanitised at invalid slots so sentinel zeroes
+    cannot fault) and the validity masks AND together.  Object arrays fall
+    back to an elementwise walk, as before.
     """
     operation = _PY_ARITH[operator]
+    if not is_array(left) and not is_array(right):
+        if left is None or right is None:
+            return None
+        try:
+            return operation(left, right)
+        except ZeroDivisionError:
+            raise ExecutionError("division by zero") from None
+    if left is None or right is None:
+        length = len(left) if is_array(left) else len(right)
+        return Nullable(np.zeros(length, dtype=np.float64),
+                        np.zeros(length, dtype=bool))
+    if isinstance(left, (Nullable, Kleene)) or isinstance(right, (Nullable, Kleene)):
+        left_values, left_valid = data_of(left)
+        right_values, right_valid = data_of(right)
+        if getattr(left_values, "dtype", None) == object \
+                or getattr(right_values, "dtype", None) == object:
+            return _arith_elementwise(operation, left, right)
+        valid = combine_valid(left_valid, right_valid)
+        if operator in ("/", "%"):
+            # a zero divisor must fault exactly where the row engine (and the
+            # object-array path) would: on rows where both operands are
+            # present.  Invalid-slot sentinels are sanitised to 1 instead.
+            if isinstance(right_values, np.ndarray):
+                zero = right_values == 0
+                if (zero & valid).any() if valid is not None else zero.any():
+                    raise ExecutionError("division by zero")
+                if right_valid is not None:
+                    right_values = np.where(right_valid, right_values, 1)
+            elif right_values == 0 and (valid is None or valid.any()):
+                raise ExecutionError("division by zero")
+        with np.errstate(all="ignore"):
+            result = operation(left_values, right_values)
+        return wrap_valid(result, valid)
     try:
         return operation(left, right)
     except TypeError:
         pass
-    left_array = isinstance(left, np.ndarray)
-    right_array = isinstance(right, np.ndarray)
-    if not left_array and not right_array:
-        if left is None or right is None:
-            return None
-        return operation(left, right)
-    length = len(left) if left_array else len(right)
-    left_values = left if left_array else [left] * length
-    right_values = right if right_array else [right] * length
+    except ZeroDivisionError:
+        # object arrays run Python operators elementwise inside numpy
+        raise ExecutionError("division by zero") from None
+    return _arith_elementwise(operation, left, right)
+
+
+def _arith_elementwise(operation: Callable, left: Any, right: Any) -> np.ndarray:
+    length = len(left) if is_array(left) else len(right)
+    left_values = left if is_array(left) else [left] * length
+    right_values = right if is_array(right) else [right] * length
     out = np.empty(length, dtype=object)
     try:
         for index, (a, b) in enumerate(zip(left_values, right_values)):
@@ -169,7 +213,9 @@ def map_object_values(values: np.ndarray, transform: Callable) -> np.ndarray:
 
 
 def negate_values(value: Any) -> Any:
-    """Unary minus with NULL propagation (scalars and object arrays)."""
+    """Unary minus with NULL propagation (scalars and bulk operands)."""
+    if isinstance(value, Nullable):
+        return -value
     try:
         return -value
     except TypeError:
@@ -181,22 +227,17 @@ def negate_values(value: Any) -> Any:
         return out
 
 
-def extract_object_date_field(values: np.ndarray, field_name: str) -> np.ndarray:
-    """NULL-propagating year/month/day extraction over object ordinal arrays."""
-    out = np.empty(len(values), dtype=object)
-    for index, value in enumerate(values):
-        out[index] = None if value is None else getattr(
-            ordinal_to_date(int(value)), field_name)
-    return out
+def cast_array(array: "np.ndarray | Nullable", convert: Callable) -> Any:
+    """Apply a dtype cast, keeping NULL positions NULL.
 
-
-def cast_array(array: np.ndarray, convert: Callable) -> np.ndarray:
-    """Apply a dtype cast, keeping ``None`` entries of object arrays NULL.
-
-    The NULL check must run *before* the bulk cast: numpy's object->float64
-    ``astype`` happily converts ``None`` to NaN without raising, which would
-    silently turn NULL into a value the row engine does not produce.
+    Nullable inputs cast their typed values in bulk and keep the validity
+    mask.  For object arrays the NULL check must run *before* the bulk
+    cast: numpy's object->float64 ``astype`` happily converts ``None`` to
+    NaN without raising, which would silently turn NULL into a value the
+    row engine does not produce.
     """
+    if isinstance(array, Nullable):
+        return Nullable(convert(array.values), array.valid)
     if array.dtype == object:
         nulls = none_positions(array)
         if nulls.any():
@@ -207,8 +248,191 @@ def cast_array(array: np.ndarray, convert: Callable) -> np.ndarray:
     return convert(array)
 
 
+# -- shared predicate kernels -------------------------------------------------
+
+
+def isnull_mask(value: Any, length: int, negated: bool) -> np.ndarray:
+    """IS [NOT] NULL over any operand representation (always two-valued)."""
+    if isinstance(value, Nullable):
+        mask = ~value.valid
+        if value.values.dtype == np.float64:
+            # NaN is the in-band NULL of plain float arrays; a concatenation
+            # of the two representations (outer-join padding) can carry both.
+            mask = mask | np.isnan(value.values)
+    elif isinstance(value, Kleene):
+        mask = ~value.valid
+    elif isinstance(value, np.ndarray):
+        if value.dtype == np.float64:
+            mask = np.isnan(value)
+        elif value.dtype == object:
+            mask = none_positions(value)
+        else:
+            mask = np.zeros(len(value), dtype=bool)
+    else:
+        mask = np.full(length, value is None, dtype=bool)
+    return ~mask if negated else mask
+
+
+def like_mask(matcher: Callable[[Any], bool], operand: Any, negated: bool,
+              length: int) -> Any:
+    """Three-valued LIKE: NULL operands are UNKNOWN, negated or not."""
+    if isinstance(operand, Nullable):
+        valid = operand.valid
+        matches = np.fromiter(
+            (bool(ok) and matcher(value)
+             for value, ok in zip(operand.values, valid)),
+            dtype=bool, count=len(valid))
+        result: Any = Kleene(matches, valid)
+    elif isinstance(operand, np.ndarray):
+        matches = np.fromiter((matcher(value) for value in operand), dtype=bool,
+                              count=len(operand))
+        if operand.dtype == object:
+            nulls = none_positions(operand)
+            result = Kleene(matches, ~nulls) if nulls.any() else matches
+        else:
+            result = matches
+    elif operand is None:
+        return None
+    else:
+        result = matcher(operand)
+    return kleene_not(result) if negated else result
+
+
+def in_list_mask(operand: Any, members: list, has_null_member: bool,
+                 negated: bool, length: int,
+                 member_cache: dict | None = None) -> Any:
+    """Three-valued IN over a constant member list.
+
+    ``members`` excludes NULL literals (``x = NULL`` can never be TRUE, and
+    ``np.isin`` would match a NULL operand by identity); ``has_null_member``
+    records that the original list contained one, which turns every
+    non-match into UNKNOWN.  ``member_cache`` memoises the dtype-converted
+    member array per operand dtype (compiled kernels reuse it per call).
+    """
+    if is_array(operand) and not isinstance(operand, Kleene):
+        values, valid = data_of(operand)
+        member_array = None if member_cache is None \
+            else member_cache.get(values.dtype)
+        if member_array is None:
+            member_array = np.array(members, dtype=values.dtype)
+            if member_cache is not None:
+                member_cache[values.dtype] = member_array
+        found = np.isin(values, member_array)
+        truth = found if valid is None else (found & valid)
+        if has_null_member:
+            result: Any = Kleene(truth, truth)  # non-match is UNKNOWN
+        elif valid is None:
+            result = found
+        else:
+            result = Kleene(truth, valid)
+        return kleene_not(result) if negated else result
+    if operand is None:
+        return None
+    return in_members(operand,
+                      members + [None] if has_null_member else members, negated)
+
+
+def extract_date_field(value: Any, field_name: str) -> Any:
+    """EXTRACT(year/month/day) over ordinals in any bulk representation."""
+    if isinstance(value, Nullable):
+        return Nullable(_extract_typed(value.values, field_name), value.valid)
+    if not isinstance(value, np.ndarray):
+        if value is None:
+            return None
+        date_value = ordinal_to_date(int(value))
+        return {"year": date_value.year, "month": date_value.month,
+                "day": date_value.day}[field_name]
+    if value.dtype == object:
+        return extract_object_date_field(value, field_name)
+    return _extract_typed(value, field_name)
+
+
+def _extract_typed(ordinals: np.ndarray, field_name: str) -> np.ndarray:
+    dates = ordinals.astype("datetime64[D]")
+    if field_name == "year":
+        return dates.astype("datetime64[Y]").astype(np.int64) + 1970
+    if field_name == "month":
+        years = dates.astype("datetime64[Y]")
+        return (dates.astype("datetime64[M]") - years.astype("datetime64[M]")).astype(
+            np.int64) + 1
+    if field_name == "day":
+        months = dates.astype("datetime64[M]")
+        return (dates - months.astype("datetime64[D]")).astype(np.int64) + 1
+    raise ExecutionError(f"unsupported EXTRACT field '{field_name}'")
+
+
+def extract_object_date_field(values: np.ndarray, field_name: str) -> np.ndarray:
+    """NULL-propagating year/month/day extraction over object ordinal arrays."""
+    out = np.empty(len(values), dtype=object)
+    for index, value in enumerate(values):
+        out[index] = None if value is None else getattr(
+            ordinal_to_date(int(value)), field_name)
+    return out
+
+
+# -- shared scalar-function kernels -------------------------------------------
+
+
+def abs_values(value: Any) -> Any:
+    if isinstance(value, Nullable):
+        return Nullable(np.abs(value.values), value.valid)
+    if isinstance(value, np.ndarray) and value.dtype == object:
+        return map_object_values(value, abs)
+    return np.abs(value)
+
+
+def round_values(value: Any, digits: int) -> Any:
+    if isinstance(value, Nullable):
+        return Nullable(np.round(value.values, digits), value.valid)
+    if isinstance(value, np.ndarray) and value.dtype == object:
+        return map_object_values(value, lambda item: round(item, digits))
+    return np.round(value, digits)
+
+
+def length_values(value: Any) -> Any:
+    if is_array(value):
+        lengths = [None if item is None else len(str(item))
+                   for item in as_objects(value)]
+        if any(item is None for item in lengths):
+            return np.array(lengths, dtype=object)
+        return np.array(lengths, dtype=np.int64)
+    return len(str(value))
+
+
+def map_string_values(value: Any, transform: Callable[[str], str]) -> Any:
+    if is_array(value):
+        return map_object_values(as_objects(value),
+                                 lambda item: transform(str(item)))
+    return transform(str(value))
+
+
+def case_branch_values(value: Any) -> Any:
+    """Normalise a CASE branch result for object-array scatter assignment."""
+    if isinstance(value, (Nullable, Kleene)):
+        return as_objects(value)
+    return value
+
+
+def collapse_case_result(result: np.ndarray) -> np.ndarray:
+    """Collapse a CASE object result to float64 when (and only when) safe.
+
+    The NULL check must run first: numpy's object->float64 ``astype``
+    silently turns ``None`` into NaN, which the row engine never produces.
+    """
+    if none_positions(result).any():
+        return result
+    try:
+        return result.astype(np.float64)
+    except (TypeError, ValueError):
+        return result
+
+
 class ColFrame:
-    """An intermediate relation in column-major (numpy) form."""
+    """An intermediate relation in column-major (numpy) form.
+
+    Arrays may be plain ndarrays, :class:`Nullable` pairs, or object arrays;
+    all three support the gather / mask / scalar indexing the frame uses.
+    """
 
     #: process-wide count of frame constructions.  The selection-vector
     #: executor is asserted (in tests) to allocate no intermediate frame per
@@ -282,6 +506,10 @@ def concat_values(left: Any, right: Any) -> Any:
     NULL propagates: a ``None`` on either side yields NULL, matching the row
     engine, instead of concatenating the string ``'None'``.
     """
+    if isinstance(left, (Nullable, Kleene)):
+        left = as_objects(left)
+    if isinstance(right, (Nullable, Kleene)):
+        right = as_objects(right)
     if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
         length = len(left) if isinstance(left, np.ndarray) else len(right)
         left_values = left if isinstance(left, np.ndarray) else [left] * length
@@ -330,7 +558,7 @@ class VectorEvaluator:
         return value
 
     def evaluate(self, expression: ast.Expression) -> Any:
-        """Evaluate ``expression``; returns an array or a scalar."""
+        """Evaluate ``expression``; returns an array, a mask, or a scalar."""
         if isinstance(expression, ast.Literal):
             return expression.value
         if isinstance(expression, ast.DateLiteral):
@@ -375,22 +603,20 @@ class VectorEvaluator:
         raise VectorFallback(f"unsupported expression node {type(expression).__name__}")
 
     def evaluate_predicate(self, expression: ast.Expression) -> np.ndarray:
-        """Evaluate a predicate to a boolean mask over the frame."""
-        result = self.evaluate(expression)
-        if np.isscalar(result) or not isinstance(result, np.ndarray):
-            return np.full(self.frame.length, bool(result), dtype=bool)
-        if result.dtype != bool:
-            return result.astype(bool)
-        return result
+        """Evaluate a predicate to its is-TRUE boolean mask over the frame.
+
+        UNKNOWN collapses to False here -- the SQL filter/HAVING semantics.
+        Interior boolean structure (NOT/AND/OR) keeps the full three-valued
+        result until this final collapse.
+        """
+        return truth_mask(self.evaluate(expression), self.frame.length)
 
     # -- operators ----------------------------------------------------------------
 
     def _unary(self, node: ast.UnaryOp) -> Any:
         operand = self.evaluate(node.operand)
         if node.operator == "not":
-            if isinstance(operand, np.ndarray):
-                return ~operand.astype(bool)
-            return not operand
+            return kleene_not(operand)
         if node.operator != "-":
             return operand
         return negate_values(operand)
@@ -404,10 +630,8 @@ class VectorEvaluator:
         if self.overflow_guard and operator in ("+", "-", "*"):
             # widen and materialise every intermediate, as an overflow-guarded
             # engine version would.
-            if isinstance(left, np.ndarray) and left.dtype != object:
-                left = np.ascontiguousarray(left.astype(np.longdouble))
-            if isinstance(right, np.ndarray) and right.dtype != object:
-                right = np.ascontiguousarray(right.astype(np.longdouble))
+            left = widen_guarded(left)
+            right = widen_guarded(right)
         if operator == "||":
             return self._concat(left, right)
         if operator not in _PY_ARITH:
@@ -423,7 +647,7 @@ class VectorEvaluator:
             base = to_date(_ordinal_to_iso(int(left)))
             amount = right.value if node.operator == "+" else -right.value
             return date_to_ordinal(add_interval(base, amount, right.unit))
-        if isinstance(right, ast.IntervalLiteral) and isinstance(left, np.ndarray):
+        if isinstance(right, ast.IntervalLiteral) and is_array(left):
             if right.unit in ("day", "week"):
                 days = right.value * (7 if right.unit == "week" else 1)
                 return left + (days if node.operator == "+" else -days)
@@ -431,10 +655,10 @@ class VectorEvaluator:
         raise VectorFallback("unsupported interval arithmetic form")
 
     def _bool(self, node: ast.BoolOp) -> Any:
-        masks = [self.evaluate_predicate(operand) for operand in node.operands]
-        combined = masks[0]
-        for mask in masks[1:]:
-            combined = (combined & mask) if node.operator == "and" else (combined | mask)
+        combine = kleene_and if node.operator == "and" else kleene_or
+        combined = self.evaluate(node.operands[0])
+        for operand in node.operands[1:]:
+            combined = combine(combined, self.evaluate(operand))
         return combined
 
     def _comparison(self, node: ast.Comparison) -> Any:
@@ -450,16 +674,7 @@ class VectorEvaluator:
 
     def _isnull(self, node: ast.IsNull) -> Any:
         operand = self.evaluate(node.operand)
-        if isinstance(operand, np.ndarray):
-            if operand.dtype == np.float64:
-                mask = np.isnan(operand)
-            elif operand.dtype == object:
-                mask = none_positions(operand)
-            else:
-                mask = np.zeros(len(operand), dtype=bool)
-        else:
-            mask = np.full(self.frame.length, operand is None, dtype=bool)
-        return ~mask if node.negated else mask
+        return isnull_mask(operand, self.frame.length, node.negated)
 
     def _between(self, node: ast.Between) -> Any:
         operand = self.evaluate(node.operand)
@@ -467,99 +682,64 @@ class VectorEvaluator:
         high = self.evaluate(node.high)
         operand, low = _align_date_operands(node.operand, node.low, operand, low, self.frame)
         operand, high = _align_date_operands(node.operand, node.high, operand, high, self.frame)
-        inside = compare_arrays(">=", operand, low) & compare_arrays("<=", operand, high)
-        if not node.negated:
-            return inside
-        # NOT BETWEEN over a NULL operand *or* NULL bound is NULL (false).
-        outside = ~inside if isinstance(inside, np.ndarray) else (not inside)
-        return mask_object_nulls(outside, operand, low, high)
+        inside = kleene_and(compare_arrays(">=", operand, low),
+                            compare_arrays("<=", operand, high))
+        # NOT BETWEEN over a NULL operand or bound stays UNKNOWN (Kleene NOT).
+        return kleene_not(inside) if node.negated else inside
 
     def _like(self, node: ast.Like) -> Any:
         operand = self.evaluate(node.operand)
         pattern = self.evaluate(node.pattern)
+        if pattern is None:
+            return None  # NULL pattern: UNKNOWN everywhere
         predicate = like_to_predicate(str(pattern))
-        if isinstance(operand, np.ndarray):
-            matches = np.fromiter((predicate(value) for value in operand), dtype=bool,
-                                  count=len(operand))
-        else:
-            matches = np.full(self.frame.length, predicate(operand), dtype=bool)
-        return ~matches if node.negated else matches
+        return like_mask(predicate, operand, node.negated, self.frame.length)
 
     def _in_list(self, node: ast.InList) -> Any:
         operand = self.evaluate(node.operand)
         values = [self.evaluate(item) for item in node.items]
-        if any(isinstance(value, np.ndarray) for value in values):
+        if any(is_array(value) for value in values):
             raise VectorFallback("IN list with non-constant members")
-        # NULL list members can never match under row semantics (x = NULL is
-        # NULL), and np.isin would match a NULL operand by identity -- so
-        # drop them from the member set instead of masking afterwards.
         members = [value for value in values if value is not None]
-        if isinstance(operand, np.ndarray):
-            mask = np.isin(operand, np.array(members, dtype=operand.dtype))
-            if node.negated:
-                # NOT IN over a NULL operand is NULL (false), not true.
-                return mask_object_nulls(~mask, operand)
-            return mask
-        if operand is None:
-            # NULL IN (...) / NULL NOT IN (...) are both NULL -> false.
-            return np.zeros(self.frame.length, dtype=bool)
-        mask = np.full(self.frame.length, operand in members, dtype=bool)
-        return ~mask if node.negated else mask
+        has_null_member = len(members) != len(values)
+        return in_list_mask(operand, members, has_null_member, node.negated,
+                            self.frame.length)
 
     def _case(self, node: ast.CaseWhen) -> Any:
-        result: Any = None
         default = self.evaluate(node.default) if node.default is not None else None
+        default = case_branch_values(default)
         result = np.full(self.frame.length, default, dtype=object) \
             if not isinstance(default, np.ndarray) else default.astype(object)
         decided = np.zeros(self.frame.length, dtype=bool)
         for condition, branch in node.branches:
             mask = self.evaluate_predicate(condition) & ~decided
-            value = self.evaluate(branch)
+            value = case_branch_values(self.evaluate(branch))
             if isinstance(value, np.ndarray):
                 result[mask] = value[mask]
             else:
                 result[mask] = value
             decided |= mask
-        # try to collapse back to a numeric dtype when possible
-        try:
-            return result.astype(np.float64)
-        except (TypeError, ValueError):
-            return result
+        return collapse_case_result(result)
 
     def _cast(self, node: ast.Cast) -> Any:
         operand = self.evaluate(node.operand)
         target = node.type_name.lower()
-        if isinstance(operand, np.ndarray):
+        if isinstance(operand, (np.ndarray, Nullable)):
             if target.startswith(("int", "bigint", "smallint")):
                 return cast_array(operand, lambda array: array.astype(np.int64))
             if target.startswith(("float", "double", "real", "decimal", "numeric")):
                 return cast_array(operand, lambda array: array.astype(np.float64))
-            if target.startswith(("char", "varchar", "text", "string")):
-                return operand.astype(object)
-            raise VectorFallback(f"unsupported vectorised CAST to '{node.type_name}'")
+            # string targets need the row value domain (a date column is
+            # int64 ordinals here; str() of those would not match the row
+            # engine's '2020-01-01'), so they take the row-at-a-time path.
+            raise VectorFallback(f"CAST to '{node.type_name}' requires row semantics")
         return operand
 
     def _extract(self, node: ast.Extract) -> Any:
         operand = self.evaluate(node.operand)
-        if not isinstance(operand, np.ndarray):
-            value = to_date(_ordinal_to_iso(int(operand)))
-            return {"year": value.year, "month": value.month, "day": value.day}[node.field_name]
-        if operand.dtype == object:
-            # nullable date column: NULL-propagating elementwise extraction.
-            if node.field_name not in ("year", "month", "day"):
-                raise ExecutionError(f"unsupported EXTRACT field '{node.field_name}'")
-            return extract_object_date_field(operand, node.field_name)
-        dates = operand.astype("datetime64[D]")
-        if node.field_name == "year":
-            return dates.astype("datetime64[Y]").astype(np.int64) + 1970
-        if node.field_name == "month":
-            years = dates.astype("datetime64[Y]")
-            return (dates.astype("datetime64[M]") - years.astype("datetime64[M]")).astype(
-                np.int64) + 1
-        if node.field_name == "day":
-            months = dates.astype("datetime64[M]")
-            return (dates - months.astype("datetime64[D]")).astype(np.int64) + 1
-        raise ExecutionError(f"unsupported EXTRACT field '{node.field_name}'")
+        if node.field_name not in ("year", "month", "day"):
+            raise ExecutionError(f"unsupported EXTRACT field '{node.field_name}'")
+        return extract_date_field(operand, node.field_name)
 
     def _substring(self, node: ast.Substring) -> Any:
         operand = self.evaluate(node.operand)
@@ -574,8 +754,9 @@ class VectorEvaluator:
             text = str(value)
             return text[begin:end] if end is not None else text[begin:]
 
-        if isinstance(operand, np.ndarray):
-            return np.array([slice_one(value) for value in operand], dtype=object)
+        if is_array(operand):
+            return np.array([slice_one(value) for value in as_objects(operand)],
+                            dtype=object)
         return slice_one(operand)
 
     def _function(self, node: ast.FunctionCall) -> Any:
@@ -588,33 +769,26 @@ class VectorEvaluator:
         if any(argument is None for argument in arguments):
             return None  # row semantics: any NULL argument yields NULL
         if name == "abs":
-            value = arguments[0]
-            if isinstance(value, np.ndarray) and value.dtype == object:
-                return map_object_values(value, abs)
-            return np.abs(value)
+            return abs_values(arguments[0])
         if name == "round":
             digits = int(arguments[1]) if len(arguments) > 1 else 0
-            value = arguments[0]
-            if isinstance(value, np.ndarray) and value.dtype == object:
-                return map_object_values(value, lambda item: round(item, digits))
-            return np.round(value, digits)
+            return round_values(arguments[0], digits)
         if name == "length":
-            values = arguments[0]
-            if isinstance(values, np.ndarray):
-                lengths = [None if value is None else len(str(value))
-                           for value in values]
-                if any(value is None for value in lengths):
-                    return np.array(lengths, dtype=object)
-                return np.array(lengths, dtype=np.int64)
-            return len(str(values))
+            return length_values(arguments[0])
         if name in ("lower", "upper"):
-            values = arguments[0]
             transform = str.lower if name == "lower" else str.upper
-            if isinstance(values, np.ndarray):
-                return map_object_values(values,
-                                         lambda item: transform(str(item)))
-            return transform(str(values))
+            return map_string_values(arguments[0], transform)
         raise VectorFallback(f"function '{name}' has no vectorised implementation")
+
+
+def widen_guarded(value: Any) -> Any:
+    """Overflow-guard widening of one arithmetic operand (shared with the
+    kernel compiler)."""
+    if isinstance(value, Nullable):
+        return value.astype(np.longdouble)
+    if isinstance(value, np.ndarray) and value.dtype != object:
+        return np.ascontiguousarray(value.astype(np.longdouble))
+    return value
 
 
 def _ordinal_to_iso(ordinal: int) -> str:

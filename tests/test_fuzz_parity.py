@@ -1,0 +1,348 @@
+"""Differential query fuzzer: row-vs-column parity under random queries.
+
+A seeded generator produces ~200 random queries -- filters with nested
+NOT/AND/OR over NULL-heavy literals, IN/BETWEEN/LIKE (negations included),
+IS NULL, arithmetic and CASE projections, aggregates with GROUP BY/HAVING,
+and equi-joins over nullable keys -- against a small database whose every
+column carries NULLs.  Each query is executed by the row and the column
+engine under the full EngineOptions toggle matrix (deduplicated by the
+options each engine actually consumes) and the result multisets must match
+the interpreted row engine exactly.
+
+Determinism: the corpus derives from a fixed seed, so a failure always
+reproduces under the same iteration index (printed in the assertion
+message).  ``FUZZ_ITERATIONS`` overrides the corpus size -- CI's smoke step
+runs 50, the tier-1 suite the full 200.
+"""
+
+from __future__ import annotations
+
+import datetime
+import itertools
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine import ColumnEngine, Database, EngineOptions, RowEngine
+
+FUZZ_SEED = 20260730
+FUZZ_ITERATIONS = int(os.environ.get("FUZZ_ITERATIONS", "200"))
+
+#: the full toggle matrix (compile_expressions, selection_vectors,
+#: zone_maps, dictionary_encoding, null_masks) -- including the legacy
+#: object-array decode baseline, which must stay semantically identical.
+ALL_TOGGLES = list(itertools.product([False, True], repeat=5))
+
+
+def _options(compile_expressions, selection_vectors, zone_maps,
+             dictionary_encoding, null_masks=True) -> EngineOptions:
+    return EngineOptions(compile_expressions=compile_expressions,
+                         selection_vectors=selection_vectors,
+                         zone_maps=zone_maps,
+                         dictionary_encoding=dictionary_encoding,
+                         null_masks=null_masks)
+
+
+# ---------------------------------------------------------------------------
+# data
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fuzz_db() -> Database:
+    """Two small NULL-heavy tables; odd chunk size forces chunk boundaries.
+
+    The first chunk of ``a.x`` is entirely NULL, so zone-map refutation runs
+    against an all-NULL chunk in almost every generated filter.
+    """
+    rng = random.Random(FUZZ_SEED ^ 0x5EED)
+    database = Database("fuzz", chunk_rows=17)
+    database.create_table("a", [("id", "int"), ("x", "int"), ("y", "float"),
+                                ("s", "str"), ("d", "date")])
+    words = ["alpha", "beta", "gamma", "delta", "abba", "axle", "box", "ibex"]
+    start = datetime.date(2020, 1, 1)
+    rows = []
+    for index in range(90):
+        x = None if index < 17 or rng.random() < 0.3 else rng.randrange(0, 40)
+        y = None if rng.random() < 0.3 else rng.randrange(0, 160) / 4.0
+        s = None if rng.random() < 0.3 else rng.choice(words)
+        d = None if rng.random() < 0.3 else \
+            (start + datetime.timedelta(days=rng.randrange(0, 300))).isoformat()
+        rows.append((index + 1, x, y, s, d))
+    database.insert_rows("a", rows)
+
+    database.create_table("b", [("id", "int"), ("a_id", "int"), ("v", "int"),
+                                ("t", "str")])
+    rows = []
+    for index in range(45):
+        a_id = None if rng.random() < 0.25 else rng.randrange(1, 91)
+        v = None if rng.random() < 0.3 else rng.randrange(0, 25)
+        t = None if rng.random() < 0.3 else rng.choice(words)
+        rows.append((index + 1, a_id, v, t))
+    database.insert_rows("b", rows)
+    return database
+
+
+# ---------------------------------------------------------------------------
+# query generator
+# ---------------------------------------------------------------------------
+
+
+class QueryGenerator:
+    """Deterministic random SQL over the fuzz schema.
+
+    Stays inside the dialect both engines share bit-for-bit: no division or
+    modulo (numpy and Python disagree on division-by-zero faulting), date
+    columns only in comparison position, numeric values small enough that
+    ``int64`` cannot overflow.
+    """
+
+    NUM_COLS = ["a.id", "a.x"]
+    FLOAT_COLS = ["a.y"]
+    STR_COL = "a.s"
+    DATE_COL = "a.d"
+    PATTERNS = ["a%", "%a", "_e%", "ab_a", "%x%", "ibex"]
+    WORDS = ["alpha", "beta", "gamma", "delta", "abba", "axle", "box", "ibex"]
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    # -- literals ------------------------------------------------------------
+
+    def _int_literal(self) -> str:
+        if self.rng.random() < 0.2:
+            return "null"  # NULL-heavy literals are the point of the corpus
+        return str(self.rng.randrange(-5, 45))
+
+    def _float_literal(self) -> str:
+        if self.rng.random() < 0.2:
+            return "null"
+        return f"{self.rng.randrange(0, 160) / 4.0}"
+
+    def _str_literal(self) -> str:
+        if self.rng.random() < 0.2:
+            return "null"
+        return f"'{self.rng.choice(self.WORDS)}'"
+
+    def _date_literal(self) -> str:
+        day = datetime.date(2020, 1, 1) + datetime.timedelta(
+            days=self.rng.randrange(0, 300))
+        return f"date '{day.isoformat()}'"
+
+    # -- predicates ----------------------------------------------------------
+
+    def predicate(self, depth: int = 2, joined: bool = False) -> str:
+        roll = self.rng.random()
+        if depth <= 0 or roll < 0.35:
+            return self._leaf(joined)
+        if roll < 0.55:
+            return f"not ({self.predicate(depth - 1, joined)})"
+        connective = self.rng.choice(["and", "or"])
+        return (f"({self.predicate(depth - 1, joined)}) {connective} "
+                f"({self.predicate(depth - 1, joined)})")
+
+    def _leaf(self, joined: bool) -> str:
+        choices = [self._num_cmp, self._num_cmp, self._between, self._in_list,
+                   self._is_null, self._like, self._str_cmp, self._date_cmp,
+                   self._col_cmp]
+        if joined:
+            choices.append(self._b_cmp)
+        return self.rng.choice(choices)()
+
+    def _num_col(self) -> str:
+        if self.rng.random() < 0.3:
+            return self.FLOAT_COLS[0]
+        return self.rng.choice(self.NUM_COLS)
+
+    def _cmp_op(self) -> str:
+        return self.rng.choice(["=", "<>", "<", "<=", ">", ">="])
+
+    def _num_cmp(self) -> str:
+        column = self._num_col()
+        literal = self._float_literal() if column == "a.y" else self._int_literal()
+        return f"{column} {self._cmp_op()} {literal}"
+
+    def _col_cmp(self) -> str:
+        return f"a.x {self._cmp_op()} a.id"
+
+    def _b_cmp(self) -> str:
+        return f"b.v {self._cmp_op()} {self._int_literal()}"
+
+    def _between(self, ) -> str:
+        negated = "not " if self.rng.random() < 0.4 else ""
+        low, high = sorted([self.rng.randrange(-5, 45) for _ in range(2)])
+        bounds = [str(low), str(high)]
+        if self.rng.random() < 0.25:
+            bounds[self.rng.randrange(2)] = "null"
+        return f"a.x {negated}between {bounds[0]} and {bounds[1]}"
+
+    def _in_list(self) -> str:
+        negated = "not " if self.rng.random() < 0.4 else ""
+        if self.rng.random() < 0.4:
+            items = [self._str_literal() for _ in range(self.rng.randrange(1, 4))]
+            return f"{self.STR_COL} {negated}in ({', '.join(items)})"
+        items = [self._int_literal() for _ in range(self.rng.randrange(1, 5))]
+        return f"a.x {negated}in ({', '.join(items)})"
+
+    def _is_null(self) -> str:
+        column = self.rng.choice(self.NUM_COLS + self.FLOAT_COLS
+                                 + [self.STR_COL, self.DATE_COL])
+        negated = "not " if self.rng.random() < 0.4 else ""
+        return f"{column} is {negated}null"
+
+    def _like(self) -> str:
+        negated = "not " if self.rng.random() < 0.4 else ""
+        return f"{self.STR_COL} {negated}like '{self.rng.choice(self.PATTERNS)}'"
+
+    def _str_cmp(self) -> str:
+        operator = self.rng.choice(["=", "<>"])
+        return f"{self.STR_COL} {operator} {self._str_literal()}"
+
+    def _date_cmp(self) -> str:
+        return f"{self.DATE_COL} {self._cmp_op()} {self._date_literal()}"
+
+    # -- projections ---------------------------------------------------------
+
+    def projection(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.25:
+            return self.rng.choice(["a.id", "a.x", "a.y", "a.s"])
+        if roll < 0.45:
+            left = self._num_col()
+            operator = self.rng.choice(["+", "-", "*"])
+            return f"{left} {operator} {self._small_term()}"
+        if roll < 0.6:
+            return self.rng.choice([
+                "abs(a.x - 7)", "length(a.s)", "upper(a.s)", "lower(a.s)",
+                "coalesce(a.x, -1)", "- a.x", "a.s || '!'",
+            ])
+        if roll < 0.8:
+            return (f"case when {self.predicate(1)} then {self._small_term()} "
+                    f"else {self._small_term()} end")
+        return f"({self.predicate(1)})"
+
+    def _small_term(self) -> str:
+        if self.rng.random() < 0.5:
+            return str(self.rng.randrange(0, 9))
+        return self.rng.choice(["a.x", "a.id"])
+
+    # -- full queries --------------------------------------------------------
+
+    def query(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.45:
+            return self._filter_query()
+        if roll < 0.75:
+            return self._aggregate_query()
+        return self._join_query()
+
+    def _filter_query(self) -> str:
+        items = ", ".join(["a.id"] + [self.projection()
+                                      for _ in range(self.rng.randrange(0, 3))])
+        distinct = "distinct " if self.rng.random() < 0.15 else ""
+        return f"select {distinct}{items} from a where {self.predicate(3)}"
+
+    def _aggregate_query(self) -> str:
+        aggregates = ["count(*)", "count(a.x)", "sum(a.x)", "sum(a.y)",
+                      "min(a.x)", "max(a.y)", "avg(a.y)", "min(a.s)",
+                      "count(distinct a.s)"]
+        items = [self.rng.choice(aggregates)
+                 for _ in range(self.rng.randrange(1, 4))]
+        where = f" where {self.predicate(2)}" if self.rng.random() < 0.7 else ""
+        if self.rng.random() < 0.55:
+            key = self.rng.choice(["a.s", "a.x"])
+            having = ""
+            if self.rng.random() < 0.5:
+                having = f" having {self._having_predicate()}"
+            return (f"select {key}, {', '.join(items)} from a{where} "
+                    f"group by {key}{having}")
+        return f"select {', '.join(items)} from a{where}"
+
+    def _having_predicate(self) -> str:
+        leaves = [
+            f"count(*) {self._cmp_op()} {self.rng.randrange(0, 6)}",
+            f"sum(a.x) {self._cmp_op()} {self._int_literal()}",
+            f"min(a.y) {self._cmp_op()} {self._float_literal()}",
+        ]
+        first = self.rng.choice(leaves)
+        roll = self.rng.random()
+        if roll < 0.4:
+            return f"not ({first})"
+        if roll < 0.7:
+            second = self.rng.choice(leaves)
+            connective = self.rng.choice(["and", "or"])
+            return f"({first}) {connective} ({second})"
+        return first
+
+    def _join_query(self) -> str:
+        items = ", ".join(["a.id", "b.id"] + self.rng.sample(
+            ["a.x", "a.s", "b.v", "b.t"], self.rng.randrange(1, 3)))
+        return (f"select {items} from a, b "
+                f"where a.id = b.a_id and ({self.predicate(2, joined=True)})")
+
+
+# ---------------------------------------------------------------------------
+# differential harness
+# ---------------------------------------------------------------------------
+
+
+def _canonical(rows) -> list[tuple]:
+    """Engine-independent result multiset: python scalars, rounded, sorted."""
+    out = []
+    for row in rows:
+        values = []
+        for value in row:
+            if isinstance(value, np.generic):
+                value = value.item()
+            if isinstance(value, bool):
+                pass
+            elif isinstance(value, float):
+                value = round(value, 6)
+                if value == int(value):
+                    value = int(value)  # 10.0 (bincount) == 10 (python sum)
+            values.append(value)
+        out.append(tuple(values))
+    out.sort(key=repr)
+    return out
+
+
+def _assert_parity(database: Database, sql: str, label: str) -> None:
+    reference = RowEngine(
+        database, options=_options(False, False, True, True)).execute(sql)
+    expected = _canonical(reference.rows)
+    seen: set[tuple] = set()
+    for toggles in ALL_TOGGLES:
+        options = _options(*toggles)
+        for engine in (RowEngine(database, options=options),
+                       ColumnEngine(database, options=options)):
+            effective = (engine.strategy(), toggles[0]) \
+                if engine.strategy() == "row" else (engine.strategy(), *toggles)
+            if effective in seen:
+                continue
+            seen.add(effective)
+            result = engine.execute(sql)
+            config = (f"{engine.strategy()} compile={toggles[0]} "
+                      f"sel={toggles[1]} zones={toggles[2]} dict={toggles[3]} "
+                      f"masks={toggles[4]}")
+            assert result.columns == reference.columns, \
+                f"{label} [{config}] columns differ on: {sql}"
+            assert _canonical(result.rows) == expected, \
+                f"{label} [{config}] rows differ on: {sql}"
+
+
+def test_differential_fuzz_parity(fuzz_db):
+    rng = random.Random(FUZZ_SEED)
+    generator = QueryGenerator(rng)
+    for iteration in range(FUZZ_ITERATIONS):
+        sql = generator.query()
+        _assert_parity(fuzz_db, sql, f"iteration {iteration}")
+
+
+def test_corpus_is_deterministic():
+    first = QueryGenerator(random.Random(FUZZ_SEED))
+    second = QueryGenerator(random.Random(FUZZ_SEED))
+    corpus_a = [first.query() for _ in range(25)]
+    corpus_b = [second.query() for _ in range(25)]
+    assert corpus_a == corpus_b

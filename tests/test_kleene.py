@@ -1,0 +1,178 @@
+"""Exhaustive Kleene three-valued-logic truth tables, both engines.
+
+Every unary/binary boolean combination over {TRUE, FALSE, NULL} is driven
+through the four positions a predicate can appear in -- WHERE filter,
+projection, HAVING, and CASE condition -- and checked against a Python
+reference implementation of the Kleene tables, for the row *and* the column
+engine under the full toggle matrix.  This pins the PR's headline fix: a
+bare ``NOT (expr)`` over a NULL operand used to differ between the engines
+(ROADMAP "Three-valued NOT").
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.engine import ColumnEngine, Database, EngineOptions, RowEngine
+
+#: the full storage/kernel toggle matrix (compile_expressions,
+#: selection_vectors, zone_maps, dictionary_encoding).
+ALL_TOGGLES = list(itertools.product([False, True], repeat=4))
+
+#: the kernel toggles alone (the storage toggles cannot affect projection /
+#: HAVING / CASE positions, which run after the scan).
+KERNEL_TOGGLES = list(itertools.product([False, True], repeat=2))
+
+#: the nine (a, b) value combinations; 1 encodes TRUE, 0 FALSE, None NULL
+#: (through the predicate ``a = 1`` / ``b = 1``).
+COMBOS = list(itertools.product([1, 0, None], repeat=2))
+
+
+def _truth(value):
+    """Three-valued truth of the encoded column value under ``col = 1``."""
+    return None if value is None else (value == 1)
+
+
+def k_not(a):
+    return None if a is None else (not a)
+
+
+def k_and(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def k_or(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+#: every boolean shape exercised, as (sql-template, reference-fn) pairs.
+#: ``{A}`` / ``{B}`` expand to the base predicates per position.
+EXPRESSIONS = [
+    ("not {A}", lambda a, b: k_not(a)),
+    ("not (not {A})", lambda a, b: k_not(k_not(a))),
+    ("{A} and {B}", k_and),
+    ("{A} or {B}", k_or),
+    ("not ({A} and {B})", lambda a, b: k_not(k_and(a, b))),
+    ("not ({A} or {B})", lambda a, b: k_not(k_or(a, b))),
+    ("(not {A}) or {B}", lambda a, b: k_or(k_not(a), b)),
+    ("{A} and (not {B})", lambda a, b: k_and(a, k_not(b))),
+]
+
+
+def _options(compile_expressions, selection_vectors, zone_maps=True,
+             dictionary_encoding=True):
+    return EngineOptions(compile_expressions=compile_expressions,
+                         selection_vectors=selection_vectors,
+                         zone_maps=zone_maps,
+                         dictionary_encoding=dictionary_encoding)
+
+
+@pytest.fixture(scope="module")
+def truth_db() -> Database:
+    """One row per (a, b) combination; small chunks to exercise zone maps."""
+    database = Database("kleene", chunk_rows=4)
+    database.create_table("tv", [("id", "int"), ("a", "int"), ("b", "int")])
+    database.insert_rows("tv", [
+        (index + 1, a, b) for index, (a, b) in enumerate(COMBOS)
+    ])
+    return database
+
+
+def _engines(database, toggles):
+    for combo in toggles:
+        options = _options(*combo)
+        yield RowEngine(database, options=options), combo
+        yield ColumnEngine(database, options=options), combo
+
+
+class TestFilterPosition:
+    @pytest.mark.parametrize("template,reference", EXPRESSIONS,
+                             ids=[sql for sql, _ in EXPRESSIONS])
+    def test_truth_table_in_where(self, template, reference, truth_db):
+        predicate = template.format(A="(a = 1)", B="(b = 1)")
+        expected = [
+            (index + 1,) for index, (a, b) in enumerate(COMBOS)
+            if reference(_truth(a), _truth(b)) is True  # UNKNOWN drops the row
+        ]
+        sql = f"select id from tv where {predicate} order by id"
+        for engine, combo in _engines(truth_db, ALL_TOGGLES):
+            result = engine.execute(sql)
+            assert result.rows == expected, \
+                f"{engine.strategy()} {combo}: {predicate}"
+
+
+class TestProjectionPosition:
+    @pytest.mark.parametrize("template,reference", EXPRESSIONS,
+                             ids=[sql for sql, _ in EXPRESSIONS])
+    def test_truth_table_projected(self, template, reference, truth_db):
+        expression = template.format(A="(a = 1)", B="(b = 1)")
+        expected = [
+            (index + 1, reference(_truth(a), _truth(b)))
+            for index, (a, b) in enumerate(COMBOS)
+        ]
+        sql = f"select id, {expression} as verdict from tv order by id"
+        for engine, combo in _engines(truth_db, KERNEL_TOGGLES):
+            result = engine.execute(sql)
+            assert result.rows == expected, \
+                f"{engine.strategy()} {combo}: {expression}"
+
+
+class TestHavingPosition:
+    """Per-id groups: min(col) over the single row keeps the NULL, so the
+    aggregate-position predicates hit the same nine combinations."""
+
+    @pytest.mark.parametrize("template,reference", EXPRESSIONS,
+                             ids=[sql for sql, _ in EXPRESSIONS])
+    def test_truth_table_in_having(self, template, reference, truth_db):
+        predicate = template.format(A="(min(a) = 1)", B="(min(b) = 1)")
+        expected = [
+            (index + 1,) for index, (a, b) in enumerate(COMBOS)
+            if reference(_truth(a), _truth(b)) is True
+        ]
+        sql = f"select id from tv group by id having {predicate} order by id"
+        for engine, combo in _engines(truth_db, KERNEL_TOGGLES):
+            result = engine.execute(sql)
+            assert result.rows == expected, \
+                f"{engine.strategy()} {combo}: {predicate}"
+
+
+class TestCasePosition:
+    @pytest.mark.parametrize("template,reference", EXPRESSIONS,
+                             ids=[sql for sql, _ in EXPRESSIONS])
+    def test_truth_table_in_case(self, template, reference, truth_db):
+        predicate = template.format(A="(a = 1)", B="(b = 1)")
+        expected = [
+            (index + 1, 1 if reference(_truth(a), _truth(b)) is True else 0)
+            for index, (a, b) in enumerate(COMBOS)  # UNKNOWN takes the ELSE
+        ]
+        sql = (f"select id, case when {predicate} then 1 else 0 end as branch "
+               f"from tv order by id")
+        for engine, combo in _engines(truth_db, KERNEL_TOGGLES):
+            result = engine.execute(sql)
+            assert result.rows == expected, \
+                f"{engine.strategy()} {combo}: {predicate}"
+
+
+class TestScalarKleeneOperands:
+    """NULL literals inside the connectives (no column involved at all)."""
+
+    @pytest.mark.parametrize("sql,expected", [
+        ("select count(*) from tv where null and 1 = 2", 0),   # U AND F = F
+        ("select count(*) from tv where null or 1 = 1", 9),    # U OR T = T
+        ("select count(*) from tv where not null", 0),         # NOT U = U
+        ("select count(*) from tv where null or 1 = 2", 0),    # U OR F = U
+    ])
+    def test_null_literal_connectives(self, sql, expected, truth_db):
+        for engine, combo in _engines(truth_db, KERNEL_TOGGLES):
+            assert engine.execute(sql).scalar() == expected, \
+                f"{engine.strategy()} {combo}: {sql}"

@@ -121,8 +121,21 @@ class TestChunking:
         assert view.columns["s"].dtype == object
         assert view.columns["d"].dtype == np.int64  # day ordinals
 
-    def test_columnar_views_nullable_columns_carry_none(self, nullable_db):
+    def test_columnar_views_nullable_columns_stay_typed(self, nullable_db):
+        from repro.engine.mask import Nullable
+
         view = nullable_db.columnar("t")
+        price = view.columns["price"]
+        assert isinstance(price, Nullable)  # typed values + validity mask
+        assert price.values.dtype == np.float64
+        assert price[1] is None and price[0] == 10.0
+        assert view.columns["id"][2] is None
+        # nullable strings stay object arrays (string kernels iterate anyway)
+        assert view.columns["name"].dtype == object
+        assert view.columns["name"][1] is None
+
+    def test_columnar_views_legacy_object_decode(self, nullable_db):
+        view = nullable_db.columnar("t", typed_nulls=False)
         assert view.columns["price"].dtype == object
         assert view.columns["price"][1] is None
         assert view.columns["id"][2] is None
@@ -244,16 +257,71 @@ class TestNullSemantics:
                        "select id from t where id not in (1, null) order by id")
 
     def test_null_literal_comparisons_match_rows(self, nullable_db):
-        # a scalar NULL literal compares false everywhere, negations included
+        # a scalar NULL literal compares UNKNOWN everywhere (negations
+        # included); NOT BETWEEN decomposes, so a FALSE conjunct still
+        # decides past a NULL bound (id = 6 is provably above the range)
         expected = {
             "select id from t where id <> null order by id": [],
             "select id from t where id = null order by id": [],
-            "select id from t where id not between null and 5 order by id": [],
+            "select id from t where id not between null and 5 order by id": [(6,)],
             "select id from t where null in (1, null) order by id": [],
             "select id from t where null not in (1, null) order by id": [],
         }
         for sql, rows in expected.items():
             assert _assert_parity(nullable_db, sql) == rows, sql
+
+    def test_division_by_zero_faults_in_every_representation(self):
+        # the typed null-mask path must fault on a zero divisor at a *valid*
+        # slot exactly like the row engine and the object-array baseline --
+        # not silently produce inf under the sentinel-sanitising errstate
+        from repro.errors import ExecutionError
+
+        database = Database("divzero", chunk_rows=3)
+        database.create_table("t", [("f", "float"), ("x", "int")])
+        database.insert_rows("t", [(1.5, 0), (None, 2), (3.0, 3)])
+        sql = "select count(*) from t where f / x > 0.1"
+        for engine in (RowEngine(database), ColumnEngine(database),
+                       ColumnEngine(database,
+                                    options=EngineOptions(null_masks=False))):
+            with pytest.raises(ExecutionError, match="division by zero"):
+                engine.execute(sql)
+
+    def test_division_by_null_slot_zero_sentinel_is_null(self, nullable_db):
+        # a NULL divisor (stored as a 0 sentinel in the typed layout) must
+        # yield NULL, not fault
+        rows = _assert_parity(nullable_db,
+                              "select id, 10.0 / price from t order by id")
+        assert (2, None) in rows
+
+    def test_cast_to_string_matches_row_domain(self, nullable_db):
+        # string CASTs take the row-at-a-time path: date columns stringify
+        # as ISO dates, not as their int64 day ordinals
+        rows = _assert_parity(
+            nullable_db,
+            "select id, cast(id as varchar), cast(day as varchar) from t "
+            "order by id")
+        assert (1, "1", "2020-01-01") in rows
+        assert (2, "2", None) in rows
+
+    def test_not_over_left_join_padding_is_unknown(self):
+        # the padded side of an outer join is NULL: NOT over a comparison
+        # against it must stay UNKNOWN (the float padding carries an
+        # explicit validity mask, not just an in-band NaN)
+        database = Database("padding", chunk_rows=3)
+        database.create_table("l", [("id", "int")])
+        database.insert_rows("l", [(1,), (2,), (3,), (4,)])
+        database.create_table("r", [("lid", "int"), ("v", "float")])
+        database.insert_rows("r", [(1, 2.5), (2, 7.0)])
+        rows = _assert_parity(
+            database,
+            "select l.id from l left join r on l.id = r.lid "
+            "where not (r.v = 2.5) order by l.id")
+        assert rows == [(2,)]
+        rows = _assert_parity(
+            database,
+            "select l.id from l left join r on l.id = r.lid "
+            "where not (r.lid = 1) order by l.id")
+        assert rows == [(2,)]
 
     def test_not_between_with_null_bound_column(self):
         database = Database("bounds", chunk_rows=3)
@@ -269,6 +337,17 @@ class TestNullSemantics:
 
 
 class TestScanSkipping:
+    @pytest.fixture()
+    def null_chunk_db(self) -> Database:
+        """Three chunks: values 1..4, an all-NULL chunk, values 9..12."""
+        database = Database("null-chunks", chunk_rows=4)
+        database.create_table("n", [("x", "int")])
+        database.insert_rows(
+            "n", [(value,) for value in (1, 2, 3, 4)]
+                 + [(None,)] * 4
+                 + [(value,) for value in (9, 10, 11, 12)])
+        return database
+
     @pytest.fixture()
     def clustered_db(self) -> Database:
         database = Database("clustered", chunk_rows=100)
@@ -305,6 +384,50 @@ class TestScanSkipping:
             "select count(*) from events where day >= date '2001-01-01'")
         assert result.scalar() == 0
         assert ScanStats.chunks_skipped == len(clustered_db.storage("events").chunks)
+
+    def test_all_null_chunk_never_skipped_for_is_null(self, null_chunk_db):
+        engine = ColumnEngine(null_chunk_db)
+        result = engine.execute("select count(*) from n where x is null")
+        assert result.scalar() == 4
+        # the value chunks are refuted (no NULLs), the all-NULL chunk is not
+        assert ScanStats.chunks_skipped == 2
+        assert ScanStats.chunks_scanned == 3
+
+    def test_all_null_chunk_skipped_for_equality(self, null_chunk_db):
+        engine = ColumnEngine(null_chunk_db)
+        result = engine.execute("select x from n where x = 10")
+        assert result.rows == [(10,)]
+        # both the all-NULL chunk (UNKNOWN everywhere) and the 1..4 chunk
+        # are refuted; only the 9..12 chunk is read
+        assert ScanStats.chunks_skipped == 2
+
+    def test_not_predicate_skips_all_null_chunk(self, null_chunk_db):
+        # NOT (x = 10) is UNKNOWN on every row of the all-NULL chunk, so the
+        # complement rewrite may skip it -- and only it
+        engine = ColumnEngine(null_chunk_db)
+        sql = "select count(*) from n where not (x = 10)"
+        result = engine.execute(sql)
+        assert result.scalar() == 7
+        assert ScanStats.chunks_skipped == 1
+        off = ColumnEngine(null_chunk_db, options=_options(zone_maps=False))
+        assert off.execute(sql).rows == result.rows
+
+    def test_is_not_null_skips_only_all_null_chunk(self, null_chunk_db):
+        engine = ColumnEngine(null_chunk_db)
+        result = engine.execute("select count(*) from n where x is not null")
+        assert result.scalar() == 8
+        assert ScanStats.chunks_skipped == 1
+
+    def test_not_range_never_mis_refutes_mixed_null_chunk(self):
+        # regression: a chunk holding [None, 3, 7, None] satisfies
+        # NOT (x < 5) at x = 7; the rewrite (x >= 5) must keep the chunk
+        database = Database("mixed-nulls", chunk_rows=4)
+        database.create_table("m", [("x", "int")])
+        database.insert_rows("m", [(None,), (3,), (7,), (None,)])
+        engine = ColumnEngine(database)
+        result = engine.execute("select x from m where not (x < 5)")
+        assert result.rows == [(7,)]
+        assert ScanStats.chunks_skipped == 0
 
     def test_planner_orders_pushdown_by_selectivity(self, clustered_db):
         # textual order: wide range first, tight equality last -- the planner
