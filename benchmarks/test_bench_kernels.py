@@ -25,7 +25,6 @@ from pathlib import Path
 import pytest
 
 from repro.engine import ColumnEngine, EngineOptions, RowEngine
-from repro.engine.vector import ColFrame
 from repro.tpch import QUERIES
 from repro.workflow import build_tpch_database
 
@@ -70,9 +69,8 @@ def _warm_seconds(engine, sql: str, repetitions: int, rounds: int = 3) -> float:
 def _frames_per_execution(engine, sql: str) -> int:
     plan = engine.prepare(sql)
     engine.execute(plan)
-    before = ColFrame.materialisations
-    engine.execute(plan)
-    return ColFrame.materialisations - before
+    result = engine.execute(plan)
+    return int(result.metrics.get("frame.materialisations"))
 
 
 def test_compiled_kernels_beat_interpretation(tpch_db, benchmark, run_once):

@@ -4,13 +4,13 @@ Makes the ``src`` layout importable even when the package has not been
 installed (e.g. in offline environments where ``pip install -e .`` cannot
 resolve build requirements); an installed package takes precedence.
 
-Also resets the engine's process-wide instrumentation counters and the
-validity-kernel memo caches before every test (both the ``tests/`` and
-``benchmarks/`` suites), so materialisation and chunk-skip assertions can
-never bleed between tests and the differential fuzzer's shrinking stays
-deterministic: identity-keyed decode memos could otherwise survive an id
-reuse across test boundaries and make a replayed query take a different
-(cached) path than its first run.
+Also drops the validity-kernel memo caches before every test (both the
+``tests/`` and ``benchmarks/`` suites) so the differential fuzzer's
+shrinking stays deterministic: identity-keyed decode memos could otherwise
+survive an id reuse across test boundaries and make a replayed query take a
+different (cached) path than its first run.  Instrumentation counters need
+no reset any more -- they live on the per-query metrics context attached to
+each ``QueryResult`` (see :mod:`repro.obs`), not on process-global state.
 """
 
 import sys
@@ -24,13 +24,9 @@ if str(_SRC) not in sys.path:
 
 
 @pytest.fixture(autouse=True)
-def _reset_instrumentation_counters():
-    """Zero counters and drop the validity-kernel memo caches per test."""
+def _reset_memo_caches():
+    """Drop the validity-kernel memo caches per test."""
     from repro.engine.mask import reset_mask_caches
-    from repro.engine.storage import ScanStats
-    from repro.engine.vector import ColFrame
 
-    ColFrame.materialisations = 0
-    ScanStats.reset()
     reset_mask_caches()
     yield

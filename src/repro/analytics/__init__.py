@@ -14,7 +14,9 @@ the figures as tables/CSV:
 * :mod:`repro.analytics.history` -- the experiment history: execution time
   per pool query, node sizes, morph edges and error nodes (Figure 7),
 * :mod:`repro.analytics.views` -- the grammar page and query-pool page
-  summaries (Figures 5 and 6).
+  summaries (Figures 5 and 6),
+* :mod:`repro.analytics.profiles` -- scan-efficiency / plan-quality report
+  aggregated from the execution profiles the driver submits with results.
 """
 
 from repro.analytics.speedup import SpeedupPoint, SpeedupReport, speedup_report
@@ -22,6 +24,7 @@ from repro.analytics.components import ComponentReport, component_report
 from repro.analytics.differential import Differential, differential
 from repro.analytics.history import HistoryNode, HistoryEdge, ExperimentHistory, experiment_history
 from repro.analytics.views import grammar_view, pool_view
+from repro.analytics.profiles import EngineProfileSummary, ProfileReport, profile_report
 
 __all__ = [
     "SpeedupPoint",
@@ -37,4 +40,7 @@ __all__ = [
     "experiment_history",
     "grammar_view",
     "pool_view",
+    "EngineProfileSummary",
+    "ProfileReport",
+    "profile_report",
 ]

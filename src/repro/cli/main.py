@@ -7,7 +7,9 @@ Sub-commands:
 * ``table1``                  -- print the Table 1 reproduction,
 * ``table2 [--limit N] [--queries 1,6,14]`` -- print the Table 2 reproduction,
 * ``demo``                    -- run the end-to-end demo scenario on a tiny
-  TPC-H instance (grammar -> pool -> queue -> driver -> analytics).
+  TPC-H instance (grammar -> pool -> queue -> driver -> analytics),
+* ``explain [sql-file] [--tpch N] [--analyze]`` -- print the plan tree (or,
+  with ``--analyze``, the traced execution) of a query on a built-in engine.
 """
 
 from __future__ import annotations
@@ -42,6 +44,18 @@ def main(argv: list[str] | None = None) -> int:
     demo_parser.add_argument("--scale-factor", type=float, default=0.001)
     demo_parser.add_argument("--pool-size", type=int, default=12)
 
+    explain_parser = commands.add_parser(
+        "explain", help="print the plan (or traced execution) of a query")
+    explain_parser.add_argument("sql_file", nargs="?",
+                                help="file containing the SQL query")
+    explain_parser.add_argument("--tpch", type=int, default=None, metavar="N",
+                                help="use built-in TPC-H query N instead of a file")
+    explain_parser.add_argument("--engine", choices=("row", "column"),
+                                default="column")
+    explain_parser.add_argument("--analyze", action="store_true",
+                                help="execute the query and print the span tree")
+    explain_parser.add_argument("--scale-factor", type=float, default=0.001)
+
     arguments = parser.parse_args(argv)
     handler = {
         "grammar": _cmd_grammar,
@@ -49,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "table2": _cmd_table2,
         "demo": _cmd_demo,
+        "explain": _cmd_explain,
     }[arguments.command]
     return handler(arguments)
 
@@ -91,6 +106,37 @@ def _cmd_table2(arguments) -> int:
     if arguments.queries:
         query_ids = [int(chunk) for chunk in arguments.queries.split(",") if chunk]
     print(table2_text(limit=arguments.limit, query_ids=query_ids))
+    return 0
+
+
+def _cmd_explain(arguments) -> int:
+    from repro.tpch import QUERIES
+    from repro.workflow import build_engines, build_tpch_database
+
+    if arguments.tpch is not None:
+        if arguments.tpch not in QUERIES:
+            print(f"unknown TPC-H query {arguments.tpch} "
+                  f"(available: {', '.join(str(i) for i in sorted(QUERIES))})",
+                  file=sys.stderr)
+            return 2
+        sql = QUERIES[arguments.tpch]
+    elif arguments.sql_file:
+        sql = _read_sql(arguments.sql_file)
+    else:
+        print("explain needs a sql-file or --tpch N", file=sys.stderr)
+        return 2
+
+    database = build_tpch_database(scale_factor=arguments.scale_factor)
+    row_engine, column_engine = build_engines(database)
+    engine = row_engine if arguments.engine == "row" else column_engine
+
+    prefix = "explain analyze " if arguments.analyze else "explain "
+    result = engine.execute(prefix + sql)
+    for (line,) in result.rows:
+        print(line)
+    stats = engine.cache_stats()
+    print(f"plan cache: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['size']}/{stats['maxsize']} plans cached")
     return 0
 
 

@@ -93,6 +93,7 @@ def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
     except Exception as exc:
         outcome.error = f"{type(exc).__name__}: {exc}"
 
+    profile: dict | None = None
     if plan is not None:
         for _ in range(repeats):
             try:
@@ -102,6 +103,7 @@ def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
                 break
             outcome.times.append(result.elapsed)
             outcome.rows = len(result.rows)
+            profile = result.profile()
             if timeout is not None and result.elapsed > timeout:
                 outcome.timed_out = True
                 break
@@ -113,6 +115,11 @@ def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
         "rows": outcome.rows,
         "options": engine.options.describe(),
     }
+    if profile is not None:
+        # compact per-query profile of the last repetition: phase timings,
+        # scan efficiency and cache behaviour ride along with the submitted
+        # result, so the platform's analytics can aggregate them.
+        outcome.extras["profile"] = profile
     if outcome.timed_out:
         outcome.extras["timed_out"] = True
     return outcome

@@ -46,7 +46,6 @@ from repro.engine.compile import (
 from repro.engine.database import ColumnarTable, Database
 from repro.engine.storage import (
     DEFAULT_CHUNK_ROWS,
-    ScanStats,
     StorageTable,
     TableStatistics,
     ZoneMap,
@@ -83,7 +82,6 @@ __all__ = [
     "ColumnarTable",
     "Database",
     "DEFAULT_CHUNK_ROWS",
-    "ScanStats",
     "StorageTable",
     "TableStatistics",
     "ZoneMap",

@@ -16,6 +16,7 @@ front-end cost once per distinct query, not once per execution.
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field, replace
 
@@ -25,12 +26,17 @@ from repro.engine.executor_row import RowExecutor
 from repro.engine.plan import PlanCache, Planner, QueryPlan, normalize_sql
 from repro.engine.result import QueryResult
 from repro.errors import EngineError
+from repro.obs import NULL_SPAN, MetricsContext, QueryTrace, format_plan, format_trace
+from repro.obs.metrics import count as count_metric
 from repro.sqlparser import ast
 from repro.sqlparser.parser import parse_select
 from repro.sqlparser.printer import to_sql
 
 #: default number of plans an engine keeps in its LRU plan cache.
 DEFAULT_PLAN_CACHE_SIZE = 128
+
+#: ``EXPLAIN [ANALYZE] <select>`` prefix accepted by :meth:`Engine.execute`.
+_EXPLAIN_RE = re.compile(r"^\s*explain(\s+analyze)?\b\s*", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -139,31 +145,136 @@ class Engine:
         Passing an already-prepared plan returns it unchanged, so callers can
         uniformly write ``engine.execute(engine.prepare(sql))`` loops.
         """
+        return self._prepare_profiled(query, {}, None)
+
+    def _prepare_profiled(self, query: str | ast.Select | QueryPlan,
+                          phases: dict, trace: QueryTrace | None) -> QueryPlan:
+        """Plan ``query``, recording phase timings and plan-cache counters.
+
+        Fills ``phases['planning']`` / ``phases['compile']`` (seconds) and
+        attributes ``plan_cache.hits`` / ``plan_cache.misses`` (or
+        ``plan.prepared`` for an already-prepared plan) to the active
+        metrics context, so plan-cache hits are visibly cheaper in profiles.
+        """
         if isinstance(query, QueryPlan):
+            phases["planning"] = 0.0
+            phases["compile"] = 0.0
+            count_metric("plan.prepared")
             return query
         if isinstance(query, ast.Select):
-            plan = self.planner.plan(query, sql_text=to_sql(query))
-            self._precompile(plan)
+            started = time.perf_counter()
+            with self._span(trace, "plan"):
+                plan = self.planner.plan(query, sql_text=to_sql(query))
+            phases["planning"] = time.perf_counter() - started
+            started = time.perf_counter()
+            with self._span(trace, "compile"):
+                self._precompile(plan)
+            phases["compile"] = time.perf_counter() - started
             return plan
+        started = time.perf_counter()
         key = normalize_sql(query)
         plan = self.plan_cache.get(key)
-        if plan is None:
-            plan = self.planner.plan(parse_select(query), sql_text=query)
+        if plan is not None:
+            phases["planning"] = time.perf_counter() - started
+            phases["compile"] = 0.0
+            count_metric("plan_cache.hits")
+            if trace is not None:
+                with trace.span("plan", plan_cache="hit"):
+                    pass
+            return plan
+        count_metric("plan_cache.misses")
+        with self._span(trace, "parse"):
+            select = parse_select(query)
+        with self._span(trace, "plan", plan_cache="miss"):
+            plan = self.planner.plan(select, sql_text=query)
+        phases["planning"] = time.perf_counter() - started
+        started = time.perf_counter()
+        with self._span(trace, "compile"):
             self._precompile(plan)
-            self.plan_cache.put(key, plan)
+        phases["compile"] = time.perf_counter() - started
+        self.plan_cache.put(key, plan)
         return plan
 
-    def execute(self, query: str | ast.Select | QueryPlan) -> QueryResult:
+    @staticmethod
+    def _span(trace: QueryTrace | None, name: str, **attributes):
+        if trace is None:
+            return NULL_SPAN
+        return trace.span(name, **attributes)
+
+    def execute(self, query: str | ast.Select | QueryPlan,
+                trace: bool = False) -> QueryResult:
         """Execute ``query`` and return a :class:`QueryResult`.
 
         ``elapsed`` covers physical execution only; planning (and parsing)
-        happens in :meth:`prepare` and is amortised by the plan cache.
+        happens in :meth:`prepare` and is amortised by the plan cache --
+        the per-phase split is on ``result.phases``.  Every result carries a
+        per-query :class:`MetricsContext` on ``result.metrics``; pass
+        ``trace=True`` (or prefix the SQL with ``EXPLAIN ANALYZE``) to also
+        attach a :class:`QueryTrace` span tree on ``result.trace``.
+
+        SQL text may be prefixed with ``EXPLAIN`` (render the logical plan
+        without executing) or ``EXPLAIN ANALYZE`` (execute with tracing and
+        render the annotated span tree); either returns the rendering as a
+        single-column ``plan`` result.
         """
-        plan = self.prepare(query)
-        started = time.perf_counter()
-        columns, rows = self._execute_plan(plan)
-        elapsed = time.perf_counter() - started
-        return QueryResult(columns=columns, rows=rows, elapsed=elapsed, engine=self.label)
+        if isinstance(query, str):
+            match = _EXPLAIN_RE.match(query)
+            if match:
+                body = query[match.end():]
+                if match.group(1):
+                    return self._explain_analyze(body)
+                return self._explain_plan(body)
+        return self._run(query, trace=trace)
+
+    def _run(self, query: str | ast.Select | QueryPlan, trace: bool) -> QueryResult:
+        metrics = MetricsContext()
+        sql = query if isinstance(query, str) else getattr(query, "sql", "")
+        query_trace = QueryTrace(sql=sql, engine=self.label) if trace else None
+        phases: dict[str, float] = {}
+        with metrics.activate():
+            plan = self._prepare_profiled(query, phases, query_trace)
+            started = time.perf_counter()
+            if query_trace is None:  # keep the traced-off hot path lean
+                columns, rows = self._execute_plan(plan)
+            else:
+                with query_trace.span("execute") as span:
+                    columns, rows = self._execute_plan(plan, trace=query_trace)
+                    span.set(rows_out=len(rows))
+            elapsed = time.perf_counter() - started
+        phases["execute"] = elapsed
+        if query_trace is not None:
+            query_trace.root.rows_out = len(rows)
+            query_trace.finish()
+        return QueryResult(columns=columns, rows=rows, elapsed=elapsed,
+                           engine=self.label, phases=phases, metrics=metrics,
+                           trace=query_trace)
+
+    def _explain_plan(self, sql: str) -> QueryResult:
+        """``EXPLAIN <select>``: render the logical plan without executing."""
+        plan = self.prepare(sql)
+        lines = format_plan(plan, engine=self.label)
+        return QueryResult(columns=["plan"], rows=[(line,) for line in lines],
+                           engine=self.label)
+
+    def _explain_analyze(self, sql: str) -> QueryResult:
+        """``EXPLAIN ANALYZE <select>``: execute with tracing, render the tree."""
+        result = self._run(sql, trace=True)
+        lines = format_trace(result.trace)
+        phases = result.phases
+        cache = "hit" if result.metrics.get("plan_cache.hits") else "miss"
+        lines.append(f"planning: {phases.get('planning', 0.0) * 1000:.3f} ms "
+                     f"(plan cache {cache}), "
+                     f"compile: {phases.get('compile', 0.0) * 1000:.3f} ms, "
+                     f"execute: {phases.get('execute', 0.0) * 1000:.3f} ms")
+        counters = result.metrics.snapshot()
+        if counters:
+            rendered = ", ".join(f"{name}={value}"
+                                 for name, value in sorted(counters.items()))
+            lines.append(f"metrics: {rendered}")
+        return QueryResult(columns=["plan"], rows=[(line,) for line in lines],
+                           elapsed=result.elapsed, engine=self.label,
+                           phases=dict(phases), metrics=result.metrics,
+                           trace=result.trace)
 
     def explain(self, query: str | ast.Select | QueryPlan) -> dict:
         """Return a light-weight description of how the engine would run ``query``."""
@@ -178,6 +289,7 @@ class Engine:
             "options": self.options.describe(),
             "plan": plan.root.describe(),
             "plan_cache": self.plan_cache.describe(),
+            "plan_tree": format_plan(plan, engine=self.label),
         }
 
     def cache_stats(self) -> dict:
@@ -204,7 +316,8 @@ class Engine:
         """Execution-model label ('row' or 'column')."""
         raise NotImplementedError
 
-    def _execute_plan(self, plan: QueryPlan) -> tuple[list[str], list[tuple]]:
+    def _execute_plan(self, plan: QueryPlan,
+                      trace: QueryTrace | None = None) -> tuple[list[str], list[tuple]]:
         """Run a prepared plan on this engine's physical backend."""
         raise NotImplementedError
 
@@ -247,7 +360,8 @@ class RowEngine(Engine):
     def strategy(self) -> str:
         return "row"
 
-    def _execute_plan(self, plan: QueryPlan) -> tuple[list[str], list[tuple]]:
+    def _execute_plan(self, plan: QueryPlan,
+                      trace: QueryTrace | None = None) -> tuple[list[str], list[tuple]]:
         # executors are cheap, per-call shells (thread-safe under the batched
         # driver); the expensive analysis lives in the shared plan.
         executor = RowExecutor(
@@ -256,6 +370,7 @@ class RowEngine(Engine):
             hash_joins=self.options.hash_joins,
             compile_expressions=self.options.compile_expressions,
             plan=plan,
+            trace=trace,
         )
         return executor.execute(plan)
 
@@ -273,7 +388,8 @@ class ColumnEngine(Engine):
     def strategy(self) -> str:
         return "column"
 
-    def _execute_plan(self, plan: QueryPlan) -> tuple[list[str], list[tuple]]:
+    def _execute_plan(self, plan: QueryPlan,
+                      trace: QueryTrace | None = None) -> tuple[list[str], list[tuple]]:
         executor = ColumnExecutor(
             self.database,
             predicate_pushdown=self.options.predicate_pushdown,
@@ -285,6 +401,7 @@ class ColumnEngine(Engine):
             dictionary_encoding=self.options.dictionary_encoding,
             null_masks=self.options.null_masks,
             plan=plan,
+            trace=trace,
         )
         return executor.execute(plan)
 

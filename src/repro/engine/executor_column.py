@@ -36,7 +36,7 @@ from repro.engine.compile import (
     compile_row_kernel,
 )
 from repro.engine.database import ColumnarTable, Database
-from repro.engine.executor_row import RowExecutor
+from repro.engine.executor_row import RowExecutor, scan_source
 from repro.engine.expression import evaluate as row_evaluate
 from repro.engine.mask import (
     Kleene,
@@ -51,8 +51,9 @@ from repro.engine.mask import (
 )
 from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
 from repro.engine.planner import ColumnInfo, Scope
-from repro.engine.storage import ScanStats
 from repro.engine.types import infer_type
+from repro.obs import NULL_SPAN, QueryTrace
+from repro.obs.metrics import count as count_metric
 from repro.engine.vector import (
     ColFrame,
     VectorEvaluator,
@@ -94,7 +95,8 @@ class ColumnExecutor:
                  hash_joins: bool = True, overflow_guard: bool = False,
                  compile_expressions: bool = True, selection_vectors: bool = True,
                  zone_maps: bool = True, dictionary_encoding: bool = True,
-                 null_masks: bool = True, plan: QueryPlan | None = None):
+                 null_masks: bool = True, plan: QueryPlan | None = None,
+                 trace: QueryTrace | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
@@ -105,14 +107,31 @@ class ColumnExecutor:
         self.dictionary_encoding = dictionary_encoding
         self.null_masks = null_masks
         self._plan = plan
+        self._trace = trace
         self._planner: Planner | None = None
         self._extra_blocks: dict[int, BlockPlan] = {}
         self._row_executor = RowExecutor(database, predicate_pushdown=predicate_pushdown,
                                          hash_joins=hash_joins,
                                          compile_expressions=compile_expressions,
-                                         plan=plan)
+                                         plan=plan, trace=trace)
         self._uncorrelated_cache: dict[int, list[tuple]] = {}
         self._vector_subquery_failed: set[int] = set()
+
+    def _span(self, name: str, **attributes):
+        """An operator span when tracing, the shared no-op span otherwise."""
+        trace = self._trace
+        if trace is None:
+            return NULL_SPAN
+        return trace.span(name, **attributes)
+
+    def _chunk_total(self, item: ast.TableExpression) -> int | None:
+        """Total storage chunks behind a base-table scan (None otherwise)."""
+        if isinstance(item, ast.TableRef):
+            try:
+                return len(self.database.storage(item.name).chunks)
+            except Exception:
+                return None
+        return None
 
     def _evaluator(self, frame: ColFrame) -> VectorEvaluator:
         return VectorEvaluator(frame, overflow_guard=self.overflow_guard)
@@ -131,7 +150,12 @@ class ColumnExecutor:
         self._vector_subquery_failed = set()
         frame, names = self._execute_block(select)
         rows = frame.rows()
-        rows = self._order(select, names, rows)
+        if select.order_by and self._trace is not None:
+            with self._trace.span("order") as span:
+                rows = self._order(select, names, rows)
+                span.set(rows_out=len(rows))
+        else:
+            rows = self._order(select, names, rows)
         rows = self._limit(select, rows)
         return names, rows
 
@@ -205,18 +229,46 @@ class ColumnExecutor:
         block = self._block(select)
         if self.selection_vectors:
             return self._execute_block_sel(select, block)
-        frames = [self._materialise(item) for item in select.from_items]
+        trace = self._trace
 
-        if block.pushdown:
-            frames = [self._apply_pushdown(frame, block.pushdown) for frame in frames]
+        frames = []
+        for item in select.from_items:
+            span_cm = (trace.span("scan", source=scan_source(item))
+                       if trace is not None else NULL_SPAN)
+            with span_cm as span:
+                frame = self._materialise(item)
+                rows_in = frame.length
+                if block.pushdown:
+                    frame = self._apply_pushdown(frame, block.pushdown)
+                if trace is not None:
+                    total = self._chunk_total(item)
+                    attrs = {} if total is None else \
+                        {"chunks_scanned": total, "chunks_skipped": 0}
+                    span.set(rows_in=rows_in, rows_out=frame.length, **attrs)
+            frames.append(frame)
 
-        frame = self._join_frames(frames, block.join_order)
-        frame = self._filter(frame, block.residual)
-
-        if block.needs_aggregation:
-            frame, names = self._aggregate(select, frame, block.output_names)
+        if len(frames) > 1 and trace is not None:
+            with trace.span("join") as span:
+                frame = self._join_frames(frames, block.join_order)
+                span.set(rows_out=frame.length)
         else:
-            frame, names = self._project(select, frame, block.output_names)
+            frame = self._join_frames(frames, block.join_order)
+
+        span_cm = self._span("filter") if block.residual else NULL_SPAN
+        with span_cm as span:
+            rows_in = frame.length
+            frame = self._filter(frame, block.residual)
+            if trace is not None and block.residual:
+                span.set(rows_in=rows_in, rows_out=frame.length)
+
+        with self._span("aggregate" if block.needs_aggregation else "project") as span:
+            rows_in = frame.length
+            if block.needs_aggregation:
+                frame, names = self._aggregate(select, frame, block.output_names)
+            else:
+                frame, names = self._project(select, frame, block.output_names)
+            if trace is not None:
+                span.set(rows_in=rows_in, rows_out=frame.length)
 
         if select.distinct:
             frame = self._distinct(frame)
@@ -234,39 +286,83 @@ class ColumnExecutor:
         new :class:`ColFrame`.
         """
         kernels = self._block_kernels(block)
-        frames = [self._materialise(item) for item in select.from_items]
+        trace = self._trace
+
+        # each scan span covers materialisation, the zone-map chunk gate and
+        # the push-down refinement of that scan's selection vector.
+        frames: list[ColFrame] = []
+        selections: list[np.ndarray | None] = []
+        for index, item in enumerate(select.from_items):
+            span_cm = (trace.span("scan", source=scan_source(item))
+                       if trace is not None else NULL_SPAN)
+            with span_cm as span:
+                frame = self._materialise(item)
+                selection: np.ndarray | None = None
+                scanned = skipped = None
+                if block.pushdown:
+                    pairs = kernels.pushdown[index] if kernels is not None \
+                        else self._interpreted_pushdown(block, frame)
+                    if pairs:
+                        base = None
+                        if isinstance(item, ast.TableRef):
+                            if self.dictionary_encoding:
+                                pairs = self._dictionary_pairs(item, frame, pairs)
+                            if self.zone_maps:
+                                base, scanned, skipped = self._zone_map_selection(
+                                    item, frame,
+                                    [predicate for _, predicate in pairs])
+                        selection = self._refine_selection(frame, base, pairs)
+                if trace is not None:
+                    attrs = {}
+                    if scanned is None:
+                        total = self._chunk_total(item)
+                        if total is not None:
+                            scanned, skipped = total, 0
+                    if scanned is not None:
+                        attrs["chunks_scanned"] = scanned
+                        attrs["chunks_skipped"] = skipped
+                    if selection is not None:
+                        attrs["selection_size"] = len(selection)
+                    span.set(rows_in=frame.length,
+                             rows_out=frame.length if selection is None
+                             else len(selection),
+                             **attrs)
+            frames.append(frame)
+            selections.append(selection)
         if not frames:
             raise PlanError("a query block needs at least one FROM item")
 
-        selections: list[np.ndarray | None] = [None] * len(frames)
-        if block.pushdown:
-            for index, frame in enumerate(frames):
-                pairs = kernels.pushdown[index] if kernels is not None \
-                    else self._interpreted_pushdown(block, frame)
-                if not pairs:
-                    continue
-                base = None
-                item = select.from_items[index]
-                if isinstance(item, ast.TableRef):
-                    if self.dictionary_encoding:
-                        pairs = self._dictionary_pairs(item, frame, pairs)
-                    if self.zone_maps:
-                        base = self._zone_map_selection(
-                            item, frame, [predicate for _, predicate in pairs])
-                selections[index] = self._refine_selection(frame, base, pairs)
-
-        frame, selection = self._join_frames_sel(frames, selections, block.join_order)
-        if block.residual:
-            pairs = kernels.residual if kernels is not None \
-                else [(None, predicate) for predicate in block.residual]
-            selection = self._refine_selection(frame, selection, pairs)
-
-        if block.needs_aggregation:
-            frame, names = self._aggregate_sel(select, frame, selection, kernels,
-                                               block.output_names)
+        if len(frames) > 1 and trace is not None:
+            with trace.span("join") as span:
+                frame, selection = self._join_frames_sel(frames, selections,
+                                                         block.join_order)
+                span.set(rows_out=frame.length if selection is None
+                         else len(selection))
         else:
-            frame, names = self._project_sel(select, frame, selection, kernels,
-                                             block.output_names)
+            frame, selection = self._join_frames_sel(frames, selections,
+                                                     block.join_order)
+
+        if block.residual:
+            with self._span("filter") as span:
+                rows_in = frame.length if selection is None else len(selection)
+                pairs = kernels.residual if kernels is not None \
+                    else [(None, predicate) for predicate in block.residual]
+                selection = self._refine_selection(frame, selection, pairs)
+                if trace is not None:
+                    span.set(rows_in=rows_in, rows_out=len(selection),
+                             selection_size=len(selection))
+
+        with self._span("aggregate" if block.needs_aggregation else "project") as span:
+            rows_in = frame.length if selection is None else len(selection)
+            if block.needs_aggregation:
+                frame, names = self._aggregate_sel(select, frame, selection, kernels,
+                                                   block.output_names)
+            else:
+                frame, names = self._project_sel(select, frame, selection, kernels,
+                                                 block.output_names)
+            if trace is not None:
+                span.set(rows_in=rows_in, rows_out=frame.length)
+
         if select.distinct:
             frame = self._distinct(frame)
         return frame, names
@@ -282,12 +378,15 @@ class ColumnExecutor:
     # -- statistics-driven scan skipping ----------------------------------------
 
     def _zone_map_selection(self, item: ast.TableRef, frame: ColFrame,
-                            predicates: list[ast.Expression]) -> np.ndarray | None:
+                            predicates: list[ast.Expression]
+                            ) -> tuple[np.ndarray | None, int, int]:
         """Initial scan selection skipping chunks the zone maps refute.
 
-        Returns None when no chunk can be skipped, preserving the
-        no-selection fast path; otherwise an int64 index covering exactly
-        the rows of the surviving chunks.
+        Returns ``(selection, scanned, skipped)``: the selection is None when
+        no chunk can be skipped (preserving the no-selection fast path),
+        otherwise an int64 index covering exactly the rows of the surviving
+        chunks; ``scanned``/``skipped`` are the chunk counts attributed to
+        the active metrics context (their sum is the table's chunk total).
         """
         zone_index = self.database.storage(item.name).zone_index()
 
@@ -299,8 +398,9 @@ class ColumnExecutor:
             return column.name, column.type_name
 
         selection, scanned, skipped = zone_index.selection(predicates, resolve)
-        ScanStats.record(scanned, skipped)
-        return selection
+        count_metric("scan.chunks_scanned", scanned)
+        count_metric("scan.chunks_skipped", skipped)
+        return selection, scanned, skipped
 
     def _dictionary_pairs(self, item: ast.TableRef, frame: ColFrame, pairs):
         """Swap scan predicates over dictionary-encoded columns to code kernels.
@@ -316,12 +416,20 @@ class ColumnExecutor:
             return pairs
         cache = self.database.storage(item.name).scan_kernel_cache
         swapped = []
+        hits = misses = 0
         for kernel, predicate in pairs:
             hit, dictionary_kernel = cache.get((predicate,))
-            if not hit:
+            if hit:
+                hits += 1
+            else:
+                misses += 1
                 dictionary_kernel = self._dictionary_kernel(view, frame, predicate)
                 cache.put((predicate,), dictionary_kernel)
             swapped.append((dictionary_kernel or kernel, predicate))
+        if hits:
+            count_metric("scan.dictionary_kernel.hits", hits)
+        if misses:
+            count_metric("scan.dictionary_kernel.misses", misses)
         return swapped
 
     def _dictionary_kernel(self, view: ColumnarTable, frame: ColFrame,

@@ -36,8 +36,22 @@ from repro.engine.expression import evaluate, evaluate_aggregate
 from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
 from repro.engine.planner import ColumnInfo, Scope, output_columns
 from repro.errors import ExecutionError, PlanError
+from repro.obs import NULL_SPAN, QueryTrace
 from repro.sqlparser import ast
 from repro.sqlparser.printer import to_sql
+
+
+def scan_source(item: ast.TableExpression) -> str:
+    """Human-readable label of a FROM item for scan spans."""
+    if isinstance(item, ast.TableRef):
+        if item.binding and item.binding.lower() != item.name.lower():
+            return f"{item.name} as {item.binding}"
+        return item.name
+    if isinstance(item, ast.SubqueryRef):
+        return f"derived {item.alias}"
+    if isinstance(item, ast.Join):
+        return f"{item.kind} join"
+    return type(item).__name__
 
 
 @dataclass
@@ -104,16 +118,34 @@ class RowExecutor:
 
     def __init__(self, database: Database, predicate_pushdown: bool = True,
                  hash_joins: bool = True, compile_expressions: bool = True,
-                 plan: QueryPlan | None = None):
+                 plan: QueryPlan | None = None, trace: QueryTrace | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
         self.hash_joins = hash_joins
         self.compile_expressions = compile_expressions
         self._plan = plan
+        self._trace = trace
         self._planner: Planner | None = None
         self._extra_blocks: dict[int, BlockPlan] = {}
         self._uncorrelated_cache: dict[int, list[tuple]] = {}
         self._correlated: dict[int, bool] = {}
+
+    def _span(self, name: str, **attributes):
+        """An operator span when tracing, the shared no-op span otherwise."""
+        trace = self._trace
+        if trace is None:
+            return NULL_SPAN
+        return trace.span(name, **attributes)
+
+    def _chunk_attrs(self, item: ast.TableExpression) -> dict:
+        """Chunk accounting for a scan span: the row engine reads every chunk."""
+        if isinstance(item, ast.TableRef):
+            try:
+                chunks = len(self.database.storage(item.name).chunks)
+            except Exception:
+                return {}
+            return {"chunks_scanned": chunks, "chunks_skipped": 0}
+        return {}
 
     # -- public API -----------------------------------------------------------
 
@@ -180,46 +212,75 @@ class RowExecutor:
                        ) -> tuple[list[str], list[tuple]]:
         block = self._block(select)
         kernels = self._block_kernels(block)
-        frames = [self._materialise(item, outer) for item in select.from_items]
+        trace = self._trace
 
-        if block.pushdown:
-            # single-relation predicates are applied while scanning each input.
-            if kernels is not None:
-                frames = [
-                    frame if compiled is None
-                    else self._filter_kernels(frame, compiled, outer)
-                    for frame, compiled in zip(frames, kernels.pushdown)
-                ]
-            else:
-                frames = [self._apply_pushdown(frame, block.pushdown, outer)
-                          for frame in frames]
+        # single-relation predicates are applied while scanning each input, so
+        # each scan span covers materialisation plus push-down filtering.
+        frames: list[RowFrame] = []
+        for index, item in enumerate(select.from_items):
+            span_cm = (trace.span("scan", source=scan_source(item))
+                       if trace is not None else NULL_SPAN)
+            with span_cm as span:
+                frame = self._materialise(item, outer)
+                rows_in = len(frame.rows)
+                if block.pushdown:
+                    if kernels is not None:
+                        compiled = kernels.pushdown[index]
+                        if compiled is not None:
+                            frame = self._filter_kernels(frame, compiled, outer)
+                    else:
+                        frame = self._apply_pushdown(frame, block.pushdown, outer)
+                if trace is not None:
+                    span.set(rows_in=rows_in, rows_out=len(frame.rows),
+                             **self._chunk_attrs(item))
+            frames.append(frame)
 
-        frame = self._join_frames(frames, block.join_order, outer)
-        if kernels is not None and kernels.residual is not None:
-            frame = self._filter_kernels(frame, kernels.residual, outer)
+        if len(frames) > 1 and trace is not None:
+            with trace.span("join") as span:
+                frame = self._join_frames(frames, block.join_order, outer)
+                span.set(rows_out=len(frame.rows))
         else:
-            frame = self._filter(frame, block.residual, outer)
+            frame = self._join_frames(frames, block.join_order, outer)
 
-        if block.needs_aggregation:
-            aggregation = kernels.aggregation if kernels is not None else None
-            if aggregation is not None and (frame.rows or select.group_by):
-                columns, rows = self._aggregate_kernels(select, frame, aggregation,
-                                                        block.output_names)
+        has_residual = bool(block.residual)
+        span_cm = self._span("filter") if has_residual else NULL_SPAN
+        with span_cm as span:
+            rows_in = len(frame.rows)
+            if kernels is not None and kernels.residual is not None:
+                frame = self._filter_kernels(frame, kernels.residual, outer)
             else:
-                # the empty global group keeps the interpreter's semantics
-                # (non-aggregate subexpressions evaluate to NULL).
-                columns, rows = self._aggregate(select, frame, outer,
-                                                block.output_names)
-        elif kernels is not None and kernels.projection is not None:
-            columns, rows = self._project_kernels(select, frame, outer,
-                                                  block.output_names,
-                                                  kernels.projection)
-        else:
-            columns, rows = self._project(select, frame, outer, block.output_names)
+                frame = self._filter(frame, block.residual, outer)
+            if trace is not None and has_residual:
+                span.set(rows_in=rows_in, rows_out=len(frame.rows))
+
+        with self._span("aggregate" if block.needs_aggregation else "project") as span:
+            if block.needs_aggregation:
+                aggregation = kernels.aggregation if kernels is not None else None
+                if aggregation is not None and (frame.rows or select.group_by):
+                    columns, rows = self._aggregate_kernels(select, frame, aggregation,
+                                                            block.output_names)
+                else:
+                    # the empty global group keeps the interpreter's semantics
+                    # (non-aggregate subexpressions evaluate to NULL).
+                    columns, rows = self._aggregate(select, frame, outer,
+                                                    block.output_names)
+            elif kernels is not None and kernels.projection is not None:
+                columns, rows = self._project_kernels(select, frame, outer,
+                                                      block.output_names,
+                                                      kernels.projection)
+            else:
+                columns, rows = self._project(select, frame, outer, block.output_names)
+            if trace is not None:
+                span.set(rows_in=len(frame.rows), rows_out=len(rows))
 
         if select.distinct:
             rows = list(dict.fromkeys(rows))
-        rows = self._order(select, columns, rows, frame)
+        if select.order_by and trace is not None:
+            with trace.span("order") as span:
+                rows = self._order(select, columns, rows, frame)
+                span.set(rows_out=len(rows))
+        else:
+            rows = self._order(select, columns, rows, frame)
         rows = self._limit(select, rows)
         return columns, rows
 

@@ -12,11 +12,7 @@ the planner.
 
 from repro.engine.storage.chunk import Chunk
 from repro.engine.storage.segment import ColumnSegment, Dictionary, build_segment
-from repro.engine.storage.skipping import (
-    ScanStats,
-    ZoneIndex,
-    estimate_selectivity,
-)
+from repro.engine.storage.skipping import ZoneIndex, estimate_selectivity
 from repro.engine.storage.stats import ColumnStatistics, TableStatistics, ZoneMap
 from repro.engine.storage.table import DEFAULT_CHUNK_ROWS, StorageTable
 
@@ -26,7 +22,6 @@ __all__ = [
     "ColumnStatistics",
     "DEFAULT_CHUNK_ROWS",
     "Dictionary",
-    "ScanStats",
     "StorageTable",
     "TableStatistics",
     "ZoneIndex",

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.engine.storage.memo import IdentityMemo
 from repro.engine.types import add_interval, date_to_ordinal, ordinal_to_date
+from repro.obs.metrics import count as count_metric
 from repro.sqlparser import ast
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,26 +43,6 @@ _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
 #: under three-valued logic (both UNKNOWN on a NULL operand, and UNKNOWN
 #: rows never pass a filter), so rewriting cannot mis-refute a chunk.
 _NEGATED = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
-
-
-class ScanStats:
-    """Process-wide chunk-skipping instrumentation (mirrors
-    :class:`~repro.engine.vector.ColFrame.materialisations`): plain class
-    counters, reset by the test fixtures, reported by the storage benchmark.
-    """
-
-    chunks_scanned: int = 0
-    chunks_skipped: int = 0
-
-    @classmethod
-    def record(cls, scanned: int, skipped: int) -> None:
-        cls.chunks_scanned += scanned
-        cls.chunks_skipped += skipped
-
-    @classmethod
-    def reset(cls) -> None:
-        cls.chunks_scanned = 0
-        cls.chunks_skipped = 0
 
 
 # ---------------------------------------------------------------------------
@@ -134,11 +115,17 @@ class ZoneIndex:
         Returns ``(selection, scanned, skipped)``: ``selection`` is None when
         no chunk could be refuted (scan everything, no gather overhead),
         otherwise an int64 index covering exactly the surviving chunks.
+        ``scanned`` counts the chunks actually read and ``skipped`` the
+        refuted ones, so ``scanned + skipped`` is always the table's chunk
+        total.
         """
         if not self.chunk_count:
             return None, 0, 0
         hit, survivors = self._selection_cache.get(tuple(predicates))
-        if not hit:
+        if hit:
+            count_metric("scan.zone_memo.hits")
+        else:
+            count_metric("scan.zone_memo.misses")
             keep = np.ones(self.chunk_count, dtype=bool)
             for predicate in predicates:
                 mask = self._keep_mask(predicate, resolve)
@@ -149,14 +136,15 @@ class ZoneIndex:
         if survivors is None:
             return None, self.chunk_count, 0
         skipped = self.chunk_count - len(survivors)
+        scanned = self.chunk_count - skipped
         if len(survivors) == 0:
-            return np.empty(0, dtype=np.int64), self.chunk_count, skipped
+            return np.empty(0, dtype=np.int64), scanned, skipped
         selection = np.concatenate([
             np.arange(self.starts[index], self.starts[index] + self.counts[index],
                       dtype=np.int64)
             for index in survivors
         ])
-        return selection, self.chunk_count, skipped
+        return selection, scanned, skipped
 
     # -- refutation -------------------------------------------------------------
 

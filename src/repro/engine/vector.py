@@ -53,6 +53,7 @@ from repro.engine.types import (
     to_date,
 )
 from repro.errors import ExecutionError
+from repro.obs.metrics import count as count_metric
 from repro.sqlparser import ast
 
 
@@ -434,14 +435,13 @@ class ColFrame:
     all three support the gather / mask / scalar indexing the frame uses.
     """
 
-    #: process-wide count of frame constructions.  The selection-vector
-    #: executor is asserted (in tests) to allocate no intermediate frame per
-    #: residual predicate; this counter is that assertion's probe.  It is a
-    #: plain int -- instrumentation, not a thread-safe statistic.
-    materialisations: int = 0
-
     def __init__(self, columns: list[ColumnInfo], arrays: list[np.ndarray], length: int):
-        ColFrame.materialisations += 1
+        # frame constructions are counted on the active query's metrics
+        # context ("frame.materialisations"): the selection-vector executor
+        # is asserted (in tests) to allocate no intermediate frame per
+        # residual predicate, and per-query attribution keeps the probe
+        # thread-safe under the batched driver.
+        count_metric("frame.materialisations")
         self.columns = columns
         self.arrays = arrays
         self.length = length

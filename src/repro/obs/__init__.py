@@ -1,0 +1,43 @@
+"""Query-scoped observability: tracing, per-query metrics, process registry.
+
+The paper's platform exists to *measure* query execution; this package is
+the reproduction's measuring layer.  It is deliberately free of engine
+imports so every subsystem (engines, storage, driver, platform) can depend
+on it without cycles:
+
+* :mod:`repro.obs.trace` -- :class:`QueryTrace` span trees emitted by both
+  executors and rendered by ``EXPLAIN ANALYZE``,
+* :mod:`repro.obs.metrics` -- the per-query :class:`MetricsContext`
+  (replacing the old process-global instrumentation counters) and the
+  :class:`MetricsRegistry` behind the platform's ``/api/metrics``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsContext,
+    MetricsRegistry,
+    count,
+    current_metrics,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    QueryTrace,
+    Span,
+    format_plan,
+    format_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsContext",
+    "MetricsRegistry",
+    "count",
+    "current_metrics",
+    "NULL_SPAN",
+    "QueryTrace",
+    "Span",
+    "format_plan",
+    "format_trace",
+]

@@ -1,0 +1,279 @@
+"""Query-scoped execution tracing: span trees and their text rendering.
+
+A :class:`QueryTrace` records one execution as a tree of :class:`Span`
+objects -- parse, plan, compile, then one span per physical operator
+(scan / join / filter / aggregate / project / order).  Every span carries
+wall time, rows in/out and free-form attributes (chunks scanned/skipped,
+selection-vector sizes, cache hits).  The engine opens the trace, both
+executors emit operator spans into it, and ``EXPLAIN ANALYZE`` renders the
+annotated tree.
+
+Tracing is strictly opt-in: with no trace attached the executors touch a
+shared :data:`NULL_SPAN` singleton whose operations are all no-ops, keeping
+the overhead on the hot path to a predictable few attribute checks (gated
+below 5% by ``benchmarks/test_bench_observability.py``).
+
+Spans currently assume single-threaded execution of one query (a plain
+stack); per-worker span lanes are a prerequisite for the morsel-parallelism
+roadmap item.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed node of the trace tree."""
+
+    __slots__ = ("name", "started", "ended", "rows_in", "rows_out",
+                 "attributes", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.started = time.perf_counter()
+        self.ended: float | None = None
+        self.rows_in: int | None = None
+        self.rows_out: int | None = None
+        self.attributes: dict[str, Any] = {}
+        self.children: list["Span"] = []
+
+    @property
+    def elapsed(self) -> float:
+        """Span wall time in seconds (up to now while still open)."""
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    def set(self, rows_in: int | None = None, rows_out: int | None = None,
+            **attributes) -> "Span":
+        """Record row counts and/or attributes on this span."""
+        if rows_in is not None:
+            self.rows_in = rows_in
+        if rows_out is not None:
+            self.rows_out = rows_out
+        if attributes:
+            self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the driver ships these to the platform)."""
+        return {
+            "name": self.name,
+            "elapsed": self.elapsed,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span/context: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def set(self, rows_in=None, rows_out=None, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+#: singleton handed out wherever tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "QueryTrace", span: Span):
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *_exc) -> bool:
+        self._span.ended = time.perf_counter()
+        stack = self._trace._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        return False
+
+
+class QueryTrace:
+    """The span tree of one query execution."""
+
+    def __init__(self, sql: str = "", engine: str = ""):
+        self.sql = sql
+        self.engine = engine
+        self.root = Span("query")
+        if sql:
+            self.root.attributes["sql"] = sql
+        self._stack: list[Span] = [self.root]
+
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Open a child span of the innermost open span (a context manager)."""
+        span = Span(name)
+        if attributes:
+            span.attributes.update(attributes)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def finish(self) -> "QueryTrace":
+        """Close the root span (idempotent)."""
+        if self.root.ended is None:
+            self.root.ended = time.perf_counter()
+        del self._stack[1:]
+        return self
+
+    def spans(self) -> Iterator[Span]:
+        """Every span of the tree, pre-order."""
+        return self.root.walk()
+
+    def find(self, name: str) -> Span | None:
+        """First span named ``name`` in pre-order, or None."""
+        for span in self.spans():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list[Span]:
+        return [span for span in self.spans() if span.name == name]
+
+    def to_dict(self) -> dict:
+        return {"sql": self.sql, "engine": self.engine, "root": self.root.to_dict()}
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _draw_tree(label_of, children_of, node, prefix: str = "") -> list[str]:
+    lines = [label_of(node)] if not prefix else []
+    children = children_of(node)
+    for index, child in enumerate(children):
+        last = index == len(children) - 1
+        connector = "└─ " if last else "├─ "
+        lines.append(prefix + connector + label_of(child))
+        extension = "   " if last else "│  "
+        lines.extend(_draw_tree(label_of, children_of, child, prefix + extension)[0:])
+    return lines
+
+
+def _span_label(span: Span) -> str:
+    parts = [f"{span.name} ({span.elapsed * 1000:.3f} ms"]
+    if span.rows_in is not None and span.rows_out is not None:
+        parts.append(f", rows {span.rows_in} -> {span.rows_out}")
+    elif span.rows_out is not None:
+        parts.append(f", rows={span.rows_out}")
+    parts.append(")")
+    attributes = {key: value for key, value in span.attributes.items() if key != "sql"}
+    if attributes:
+        rendered = ", ".join(f"{key}={value}" for key, value in attributes.items())
+        parts.append(f" [{rendered}]")
+    return "".join(parts)
+
+
+def _header(engine: str, sql: str) -> str:
+    flattened = " ".join(sql.split())
+    if engine and flattened:
+        return f"{engine}: {flattened}"
+    return engine or flattened
+
+
+def format_trace(trace: QueryTrace) -> list[str]:
+    """Render a finished trace as an indented span tree (one line per span)."""
+    header = _header(trace.engine, trace.sql)
+    lines = [header] if header else []
+    lines.extend(_draw_tree(_span_label, lambda span: span.children, trace.root))
+    return lines
+
+
+def format_plan(plan, engine: str = "") -> list[str]:
+    """Render a prepared :class:`QueryPlan` as a logical operator tree.
+
+    Works off the plan's own structures (duck-typed, so :mod:`repro.obs`
+    stays free of engine imports): the nesting is Limit / OrderBy /
+    Distinct / Aggregate-or-Project over Filter over Join over Scans, with
+    derived tables recursing into their sub-blocks.
+    """
+    tree = _plan_node(plan, plan.select)
+    header = _header(engine, plan.sql or "")
+    lines = [header] if header else []
+    lines.extend(_draw_tree(lambda node: node["label"],
+                            lambda node: node["children"], tree))
+    return lines
+
+
+def _plan_node(plan, select) -> dict:
+    block = plan.block(select)
+    described = block.describe() if block is not None else {}
+    pushdown = described.get("pushdown", {})
+
+    scans: list[dict] = []
+    for item in select.from_items:
+        scans.append(_from_item_node(plan, item, pushdown))
+
+    if len(scans) > 1:
+        order = described.get("join_order", [])
+        join_label = (f"Join (order: {' -> '.join(str(i) for i in order)}, "
+                      f"equi={described.get('equi_joins', 0)})")
+        body: list[dict] = [{"label": join_label, "children": scans}]
+    else:
+        body = scans
+
+    residual = described.get("residual", 0)
+    if residual:
+        body = [{"label": f"Filter ({residual} residual predicate"
+                          f"{'s' if residual != 1 else ''})",
+                 "children": body}]
+
+    output = ", ".join(described.get("output", []))
+    top_label = f"Aggregate (output: {output})" if described.get("aggregated") \
+        else f"Project (output: {output})"
+    node = {"label": top_label, "children": body}
+
+    if getattr(select, "distinct", False):
+        node = {"label": "Distinct", "children": [node]}
+    if getattr(select, "order_by", None):
+        node = {"label": f"OrderBy ({len(select.order_by)} keys)", "children": [node]}
+    if getattr(select, "limit", None) is not None:
+        node = {"label": f"Limit {select.limit}", "children": [node]}
+    return node
+
+
+def _from_item_node(plan, item, pushdown: dict) -> dict:
+    name = getattr(item, "name", None)
+    if name is not None:  # TableRef
+        binding = getattr(item, "binding", name)
+        label = f"Scan {name}"
+        if binding and binding.lower() != name.lower():
+            label += f" as {binding}"
+        predicates = pushdown.get(binding.lower() if binding else name.lower(), 0)
+        if predicates:
+            label += f" (pushdown: {predicates} predicate{'s' if predicates != 1 else ''})"
+        return {"label": label, "children": []}
+    subquery = getattr(item, "subquery", None)
+    if subquery is not None:  # SubqueryRef
+        alias = getattr(item, "alias", "?")
+        return {"label": f"Derived {alias}",
+                "children": [_plan_node(plan, subquery)]}
+    left = getattr(item, "left", None)
+    if left is not None:  # explicit Join item
+        kind = getattr(item, "kind", "inner")
+        return {"label": f"{kind.title()}Join",
+                "children": [_from_item_node(plan, item.left, pushdown),
+                             _from_item_node(plan, item.right, pushdown)]}
+    return {"label": type(item).__name__, "children": []}

@@ -36,6 +36,7 @@ from repro.platform.models import (
     User,
     Visibility,
 )
+from repro.obs import MetricsRegistry
 from repro.platform.store import Store
 from repro.pool.guidance import Guidance
 from repro.pool.morph import Morpher, Strategy
@@ -47,8 +48,13 @@ from repro.sqlparser.extract import ExtractionOptions
 class PlatformService:
     """Facade over the store implementing the platform's use cases."""
 
-    def __init__(self, store: Store | None = None):
+    def __init__(self, store: Store | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.store = store or Store()
+        #: service-level counters/histograms (tasks dispatched, results
+        #: accepted, queue timeouts); the webapp serves its snapshot at
+        #: ``/api/metrics``.
+        self.metrics = metrics or MetricsRegistry()
 
     # ------------------------------------------------------------------ users
 
@@ -248,6 +254,7 @@ class PlatformService:
             )
             self.store.insert("tasks", task)
             created.append(task)
+        self.metrics.counter("tasks.enqueued").inc(len(created))
         return created
 
     def next_task(self, contributor: User, experiment: Experiment,
@@ -282,6 +289,7 @@ class PlatformService:
             task.assigned_at = now
             claimed.append(task)
         self.store.update_many("tasks", claimed)
+        self.metrics.counter("tasks.dispatched").inc(len(claimed))
         return claimed
 
     def kill_task(self, acting: User, task: Task) -> Task:
@@ -291,6 +299,7 @@ class PlatformService:
         self._require_owner(acting, project)
         task.status = TaskStatus.KILLED.value
         self.store.update("tasks", task)
+        self.metrics.counter("tasks.killed").inc()
         return task
 
     def expire_stuck_tasks(self, experiment: Experiment) -> list[Task]:
@@ -304,6 +313,7 @@ class PlatformService:
                 task.status = TaskStatus.EXPIRED.value
                 self.store.update("tasks", task)
                 expired.append(task)
+        self.metrics.counter("queue.timeouts").inc(len(expired))
         return expired
 
     def queue_status(self, experiment: Experiment) -> dict[str, int]:
@@ -372,6 +382,13 @@ class PlatformService:
             inserts=[("results", record) for record in records],
             updates=[("tasks", task) for task in tasks],
         )
+        self.metrics.counter("results.accepted").inc(len(records))
+        timings = self.metrics.histogram("results.best_seconds")
+        for record in records:
+            if record.error is not None:
+                self.metrics.counter("results.failed").inc()
+            elif record.times:
+                timings.observe(min(record.times))
         return records
 
     def set_result_hidden(self, acting: User, result: ResultRecord, hidden: bool) -> ResultRecord:

@@ -21,6 +21,7 @@ path                     method  purpose
 ``/api/results/batch``   POST    submit measurements for a batch of tasks
 ``/api/results``         GET     results of an experiment (``?experiment=<id>``)
 ``/api/queue``           GET     queue status of an experiment
+``/api/metrics``         GET     service-level metrics snapshot
 =======================  ======  ===========================================
 
 The batch endpoints back the driver's :class:`repro.driver.runner.BatchRunner`
@@ -96,6 +97,11 @@ def _dispatch(service: PlatformService, method: str, path: str, query: dict,
 
     if path == "/api/ping" and method == "GET":
         return "200 OK", {"status": "ok", "version": __version__}
+
+    if path == "/api/metrics" and method == "GET":
+        # service-level totals (tasks dispatched, results accepted, queue
+        # timeouts); no auth needed -- the snapshot carries no query data.
+        return "200 OK", service.metrics.snapshot()
 
     if path == "/api/projects" and method == "GET":
         projects = service.list_projects(viewer)

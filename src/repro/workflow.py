@@ -74,6 +74,13 @@ class DemoSummary:
             f"executed tasks   : {self.executed_tasks}",
             f"systems          : {', '.join(engine.label for engine in self.engines)}",
         ]
+        for engine in self.engines:
+            stats = engine.cache_stats()
+            lines.append(
+                f"plan cache       : {engine.label}: {stats['hits']} hits, "
+                f"{stats['misses']} misses, "
+                f"{stats['size']}/{stats['maxsize']} plans cached"
+            )
         if self.engines:
             summary = self.engines[0].database.size_summary()
             rows = sum(entry["rows"] for entry in summary.values())

@@ -190,6 +190,10 @@ class _StubResult:
         self.elapsed = elapsed
         self.rows = [()] * rows
 
+    def profile(self) -> dict:
+        return {"engine": "stub-1.0", "rows": len(self.rows), "phases": {},
+                "counters": {}, "plan_cache_hit": True}
+
 
 class _StubEngine:
     """Engine double with scripted per-repetition behaviour."""

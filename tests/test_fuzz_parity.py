@@ -308,6 +308,36 @@ def _canonical(rows) -> list[tuple]:
     return out
 
 
+def _assert_trace_invariants(database: Database, result, context: str) -> None:
+    """Structural invariants every execution trace must satisfy.
+
+    * the root span reports exactly the rows the query returned,
+    * every span is closed and nests strictly within its parent's window,
+    * scan spans over base tables account for every storage chunk:
+      ``chunks_scanned + chunks_skipped == total chunks``.
+    """
+    trace = result.trace
+    assert trace is not None, f"{context}: tracing requested but absent"
+    assert trace.root.rows_out == len(result.rows), \
+        f"{context}: root span rows_out != result rows"
+    for span in trace.spans():
+        assert span.ended is not None, f"{context}: span {span.name} never closed"
+        for child in span.children:
+            assert child.started >= span.started, \
+                f"{context}: span {child.name} starts before parent {span.name}"
+            assert child.ended is not None and child.ended <= span.ended, \
+                f"{context}: span {child.name} outlives parent {span.name}"
+    for span in trace.find_all("scan"):
+        scanned = span.attributes.get("chunks_scanned")
+        skipped = span.attributes.get("chunks_skipped")
+        table = str(span.attributes.get("source", "")).split(" ")[0]
+        if scanned is None or skipped is None or table not in database:
+            continue
+        total = len(database.storage(table).chunks)
+        assert scanned + skipped == total, \
+            f"{context}: scan of {table} covers {scanned}+{skipped} != {total} chunks"
+
+
 def _assert_parity(database: Database, sql: str, label: str) -> None:
     reference = RowEngine(
         database, options=_options(False, False, True, True)).execute(sql)
@@ -322,7 +352,7 @@ def _assert_parity(database: Database, sql: str, label: str) -> None:
             if effective in seen:
                 continue
             seen.add(effective)
-            result = engine.execute(sql)
+            result = engine.execute(sql, trace=True)
             config = (f"{engine.strategy()} compile={toggles[0]} "
                       f"sel={toggles[1]} zones={toggles[2]} dict={toggles[3]} "
                       f"masks={toggles[4]}")
@@ -330,6 +360,8 @@ def _assert_parity(database: Database, sql: str, label: str) -> None:
                 f"{label} [{config}] columns differ on: {sql}"
             assert _canonical(result.rows) == expected, \
                 f"{label} [{config}] rows differ on: {sql}"
+            _assert_trace_invariants(database, result,
+                                     f"{label} [{config}] on: {sql}")
 
 
 def test_differential_fuzz_parity(fuzz_db):

@@ -153,9 +153,8 @@ class TestSelectionVectors:
     def _frames_per_execution(self, engine, sql) -> int:
         plan = engine.prepare(sql)
         engine.execute(plan)  # warm kernels and columnar views
-        before = ColFrame.materialisations
-        engine.execute(plan)
-        return ColFrame.materialisations - before
+        result = engine.execute(plan)
+        return int(result.metrics.get("frame.materialisations"))
 
     def test_no_intermediate_frame_per_residual_predicate(self, parity_db):
         """With selection vectors, a query with four predicates allocates

@@ -20,7 +20,6 @@ from repro.engine import (
     Database,
     EngineOptions,
     RowEngine,
-    ScanStats,
 )
 from repro.engine.storage import DEFAULT_CHUNK_ROWS
 
@@ -366,8 +365,9 @@ class TestScanSkipping:
         sql = ("select sum(val) from events where day >= date '1994-03-01' "
                "and day < date '1994-04-01'")
         result = engine.execute(sql)
-        assert ScanStats.chunks_skipped > 0
-        assert (ScanStats.chunks_scanned
+        assert result.metrics.get("scan.chunks_skipped") > 0
+        assert (result.metrics.get("scan.chunks_scanned")
+                + result.metrics.get("scan.chunks_skipped")
                 == len(clustered_db.storage("events").chunks))
         # and skipping never changes the answer
         off = ColumnEngine(clustered_db, options=_options(zone_maps=False))
@@ -375,23 +375,26 @@ class TestScanSkipping:
 
     def test_zone_maps_disabled_skip_nothing(self, clustered_db):
         engine = ColumnEngine(clustered_db, options=_options(zone_maps=False))
-        engine.execute("select sum(val) from events where day < date '1994-02-01'")
-        assert ScanStats.chunks_skipped == 0
+        result = engine.execute(
+            "select sum(val) from events where day < date '1994-02-01'")
+        assert result.metrics.get("scan.chunks_skipped") == 0
 
     def test_all_chunks_refuted_yields_empty_scan(self, clustered_db):
         engine = ColumnEngine(clustered_db)
         result = engine.execute(
             "select count(*) from events where day >= date '2001-01-01'")
         assert result.scalar() == 0
-        assert ScanStats.chunks_skipped == len(clustered_db.storage("events").chunks)
+        assert (result.metrics.get("scan.chunks_skipped")
+                == len(clustered_db.storage("events").chunks))
+        assert result.metrics.get("scan.chunks_scanned") == 0
 
     def test_all_null_chunk_never_skipped_for_is_null(self, null_chunk_db):
         engine = ColumnEngine(null_chunk_db)
         result = engine.execute("select count(*) from n where x is null")
         assert result.scalar() == 4
         # the value chunks are refuted (no NULLs), the all-NULL chunk is not
-        assert ScanStats.chunks_skipped == 2
-        assert ScanStats.chunks_scanned == 3
+        assert result.metrics.get("scan.chunks_skipped") == 2
+        assert result.metrics.get("scan.chunks_scanned") == 1
 
     def test_all_null_chunk_skipped_for_equality(self, null_chunk_db):
         engine = ColumnEngine(null_chunk_db)
@@ -399,7 +402,7 @@ class TestScanSkipping:
         assert result.rows == [(10,)]
         # both the all-NULL chunk (UNKNOWN everywhere) and the 1..4 chunk
         # are refuted; only the 9..12 chunk is read
-        assert ScanStats.chunks_skipped == 2
+        assert result.metrics.get("scan.chunks_skipped") == 2
 
     def test_not_predicate_skips_all_null_chunk(self, null_chunk_db):
         # NOT (x = 10) is UNKNOWN on every row of the all-NULL chunk, so the
@@ -408,7 +411,7 @@ class TestScanSkipping:
         sql = "select count(*) from n where not (x = 10)"
         result = engine.execute(sql)
         assert result.scalar() == 7
-        assert ScanStats.chunks_skipped == 1
+        assert result.metrics.get("scan.chunks_skipped") == 1
         off = ColumnEngine(null_chunk_db, options=_options(zone_maps=False))
         assert off.execute(sql).rows == result.rows
 
@@ -416,7 +419,7 @@ class TestScanSkipping:
         engine = ColumnEngine(null_chunk_db)
         result = engine.execute("select count(*) from n where x is not null")
         assert result.scalar() == 8
-        assert ScanStats.chunks_skipped == 1
+        assert result.metrics.get("scan.chunks_skipped") == 1
 
     def test_not_range_never_mis_refutes_mixed_null_chunk(self):
         # regression: a chunk holding [None, 3, 7, None] satisfies
@@ -427,7 +430,7 @@ class TestScanSkipping:
         engine = ColumnEngine(database)
         result = engine.execute("select x from m where not (x < 5)")
         assert result.rows == [(7,)]
-        assert ScanStats.chunks_skipped == 0
+        assert result.metrics.get("scan.chunks_skipped") == 0
 
     def test_planner_orders_pushdown_by_selectivity(self, clustered_db):
         # textual order: wide range first, tight equality last -- the planner
