@@ -39,8 +39,12 @@ MATRIX = [
     (6, "column", 60, True),
 ]
 
-INTERPRETED = EngineOptions(compile_expressions=False, selection_vectors=False)
-COMPILED = EngineOptions(compile_expressions=True, selection_vectors=True)
+# workers pinned to 1: this gate measures single-threaded kernel speedups;
+# morsel parallelism has its own gate (test_bench_parallel.py).
+INTERPRETED = EngineOptions(compile_expressions=False, selection_vectors=False,
+                            workers=1)
+COMPILED = EngineOptions(compile_expressions=True, selection_vectors=True,
+                         workers=1)
 
 
 @pytest.fixture(scope="module")

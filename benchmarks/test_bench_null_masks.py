@@ -91,8 +91,10 @@ def _warm_seconds(engine, sql: str, repetitions: int = 30, rounds: int = 3) -> f
 
 def test_null_mask_scan_beats_object_arrays(nullable_db, benchmark, run_once):
     """Typed null-mask scans must keep their warm speedup on nullable Q6."""
-    masked = ColumnEngine(nullable_db, options=EngineOptions())
-    legacy = ColumnEngine(nullable_db, options=EngineOptions(null_masks=False))
+    # workers pinned to 1: this gate measures the single-threaded scan paths.
+    masked = ColumnEngine(nullable_db, options=EngineOptions(workers=1))
+    legacy = ColumnEngine(nullable_db,
+                          options=EngineOptions(null_masks=False, workers=1))
     row_reference = RowEngine(nullable_db)
 
     # representation must never change semantics: typed pairs, object

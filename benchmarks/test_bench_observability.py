@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.engine import ColumnEngine, RowEngine
+from repro.engine import ColumnEngine, EngineOptions, RowEngine
 from repro.engine.result import QueryResult
 from repro.tpch import QUERIES
 from repro.workflow import build_tpch_database
@@ -71,7 +71,8 @@ def test_disabled_tracing_overhead_is_bounded(tpch_db, benchmark, run_once):
     failures = []
     for query_id, kind, samples in MATRIX:
         factory = RowEngine if kind == "row" else ColumnEngine
-        engine = factory(tpch_db)
+        # workers pinned to 1: the overhead gate times the serial hot path.
+        engine = factory(tpch_db, options=EngineOptions(workers=1))
         plan = engine.prepare(QUERIES[query_id])
         engine.execute(plan)  # warm: kernels, columnar views, caches
 

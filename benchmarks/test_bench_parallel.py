@@ -1,0 +1,149 @@
+"""Morsel-parallel execution benchmark and CI perf-regression gate.
+
+Times TPC-H Q1 (aggregation-heavy: per-worker partial states merged on the
+coordinator) and Q6 (scan-dominated: zone-map refutation plus predicate
+kernels per morsel) on the column engine, serial versus
+``PARALLEL_BENCH_WORKERS`` morsel workers, over a warm prepared plan.
+
+The gate is two-sided and adapts to the machine:
+
+* the *best* gated speedup must reach ``PARALLEL_BENCH_MIN_SPEEDUP``
+  (default 1.5x on boxes with at least four CPUs; 0.5x on smaller machines,
+  where the workers share a core or two and a genuine speedup is physically
+  unavailable -- CI exports ``PARALLEL_BENCH_MIN_SPEEDUP=1.5`` explicitly
+  on its 4-vCPU runners),
+* *every* gated query must stay above the catastrophic-regression floor
+  ``PARALLEL_BENCH_FLOOR`` (default 0.25x): short scan-bound queries pay
+  thread-dispatch overhead that one core cannot recoup, but parallel
+  execution must never be arbitrarily slower than serial.
+
+``PARALLEL_BENCH_SCALE`` sizes the dataset.
+
+Every run also cross-checks serial and parallel results for equality --
+the speedup is worthless if the answers drift -- and writes
+``BENCH_parallel.json`` (into ``BENCH_ARTIFACT_DIR`` or the current
+directory) so CI can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ColumnEngine, EngineOptions
+from repro.tpch import QUERIES
+from repro.workflow import build_tpch_database
+
+SCALE = float(os.environ.get("PARALLEL_BENCH_SCALE", "0.02"))
+WORKERS = int(os.environ.get("PARALLEL_BENCH_WORKERS", "4"))
+
+
+def _default_min_speedup() -> float:
+    return 1.5 if (os.cpu_count() or 1) >= 4 else 0.5
+
+
+MIN_SPEEDUP = float(os.environ.get("PARALLEL_BENCH_MIN_SPEEDUP",
+                                   str(_default_min_speedup())))
+FLOOR = float(os.environ.get("PARALLEL_BENCH_FLOOR", "0.25"))
+
+#: (query id, repetitions per timing loop, gated?)
+MATRIX = [
+    (1, 8, True),
+    (6, 20, True),
+]
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    return build_tpch_database(scale_factor=SCALE)
+
+
+def _engine(database, workers: int) -> ColumnEngine:
+    return ColumnEngine(database, options=EngineOptions(workers=workers))
+
+
+def _warm_seconds(engine, sql: str, repetitions: int, rounds: int = 3) -> float:
+    plan = engine.prepare(sql)
+    engine.execute(plan)  # warm: kernels, columnar views, pool threads
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            engine.execute(plan)
+        best = min(best, time.perf_counter() - started)
+    return best / repetitions
+
+
+def _rows_match(serial_rows, parallel_rows) -> bool:
+    if len(serial_rows) != len(parallel_rows):
+        return False
+    for expected, got in zip(serial_rows, parallel_rows):
+        for want, have in zip(expected, got):
+            if isinstance(want, float) and isinstance(have, float):
+                if have != pytest.approx(want, rel=1e-9, abs=1e-12):
+                    return False
+            elif have != want:
+                return False
+    return True
+
+
+def test_morsel_parallel_speedup(tpch_db, benchmark, run_once):
+    """Parallel execution must clear the machine-appropriate speedup gate
+    without changing a single answer."""
+    entries = []
+    failures = []
+    for query_id, repetitions, gated in MATRIX:
+        sql = QUERIES[query_id]
+        serial_engine = _engine(tpch_db, workers=1)
+        parallel_engine = _engine(tpch_db, workers=WORKERS)
+
+        serial_result = serial_engine.execute(sql)
+        parallel_result = parallel_engine.execute(sql)
+        assert parallel_result.columns == serial_result.columns
+        assert _rows_match(serial_result.rows, parallel_result.rows), \
+            f"Q{query_id}: parallel execution changed the result"
+
+        serial = _warm_seconds(serial_engine, sql, repetitions)
+        if query_id == 6:
+            plan = parallel_engine.prepare(sql)
+            run_once(benchmark, lambda: [parallel_engine.execute(plan)
+                                         for _ in range(repetitions)])
+        parallel = _warm_seconds(parallel_engine, sql, repetitions)
+        speedup = serial / parallel if parallel else float("inf")
+        entries.append({
+            "query": f"tpch-q{query_id}",
+            "workers": WORKERS,
+            "repetitions": repetitions,
+            "serial_seconds": serial,
+            "parallel_seconds": parallel,
+            "speedup": speedup,
+            "gated": gated,
+        })
+        print(f"Q{query_id}: serial={serial * 1000:.3f}ms "
+              f"parallel[{WORKERS}]={parallel * 1000:.3f}ms "
+              f"speedup={speedup:.2f}x")
+        if gated and speedup < FLOOR:
+            failures.append(f"Q{query_id}: {speedup:.2f}x is below the "
+                            f"catastrophic-regression floor of {FLOOR}x")
+
+    best = max((entry["speedup"] for entry in entries if entry["gated"]),
+               default=0.0)
+    if best < MIN_SPEEDUP:
+        failures.append(f"best gated speedup {best:.2f}x < {MIN_SPEEDUP}x")
+
+    artifact = {
+        "scale_factor": SCALE,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "min_speedup": MIN_SPEEDUP,
+        "floor": FLOOR,
+        "entries": entries,
+    }
+    target = Path(os.environ.get("BENCH_ARTIFACT_DIR", ".")) / "BENCH_parallel.json"
+    target.write_text(json.dumps(artifact, indent=2))
+
+    assert not failures, "; ".join(failures)

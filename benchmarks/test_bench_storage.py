@@ -86,11 +86,14 @@ def _chunk_counts(engine, sql: str) -> dict[str, int]:
 
 def test_zone_maps_skip_clustered_scan(clustered_db, benchmark, run_once):
     """Zone-map chunk skipping must keep its warm speedup on the gated scan."""
-    zone_on = ColumnEngine(clustered_db, options=EngineOptions())
-    zone_off = ColumnEngine(clustered_db, options=EngineOptions(zone_maps=False))
-    dict_on = ColumnEngine(clustered_db, options=EngineOptions())
+    # workers pinned to 1: the zone-map gate measures single-threaded skipping.
+    zone_on = ColumnEngine(clustered_db, options=EngineOptions(workers=1))
+    zone_off = ColumnEngine(clustered_db,
+                            options=EngineOptions(zone_maps=False, workers=1))
+    dict_on = ColumnEngine(clustered_db, options=EngineOptions(workers=1))
     dict_off = ColumnEngine(clustered_db,
-                            options=EngineOptions(dictionary_encoding=False))
+                            options=EngineOptions(dictionary_encoding=False,
+                                                  workers=1))
 
     # identical results first: skipping must never change semantics.
     assert zone_on.execute(Q6_NARROW).rows == zone_off.execute(Q6_NARROW).rows

@@ -20,11 +20,17 @@ The configuration file uses INI syntax (``configparser``), e.g.::
     timeout = 60
     batch_size = 8
     workers = 1
+    engine_workers = 1
 
 ``batch_size`` and ``workers`` drive the batched pipeline
 (:class:`repro.driver.runner.BatchRunner`).  ``workers`` above 1 measures
 tasks concurrently and therefore inflates the recorded wall-clock times
-(GIL contention); keep it at 1 when the timings matter.
+(GIL contention); keep it at 1 when the timings matter.  Batches measured
+with ``workers`` above 1 carry ``extras["concurrent_workers"]`` so the
+analytics side can flag them.  ``engine_workers`` is a different knob
+entirely: it sets :attr:`repro.engine.engine.EngineOptions.workers`
+(morsel-parallel execution inside the column engine) for locally-built
+targets and does not compromise timing fidelity.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ class DriverConfig:
     timeout: float = 60.0
     batch_size: int = 8
     workers: int = 1
+    engine_workers: int = 1
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -67,6 +74,8 @@ class DriverConfig:
             raise ConfigError("batch_size must be a positive integer")
         if self.workers <= 0:
             raise ConfigError("workers must be a positive integer")
+        if self.engine_workers <= 0:
+            raise ConfigError("engine_workers must be a positive integer")
 
 
 def load_config(path: str | Path) -> DriverConfig:
@@ -91,6 +100,7 @@ def load_config(path: str | Path) -> DriverConfig:
         timeout = float(target.get("timeout", "60"))
         batch_size = int(target.get("batch_size", "8"))
         workers = int(target.get("workers", "1"))
+        engine_workers = int(target.get("engine_workers", "1"))
     except ValueError:
         raise ConfigError("repeats, batch_size and workers must be integers and "
                           "timeout a number") from None
@@ -110,5 +120,6 @@ def load_config(path: str | Path) -> DriverConfig:
         timeout=timeout,
         batch_size=batch_size,
         workers=workers,
+        engine_workers=engine_workers,
         extras=extras,
     )

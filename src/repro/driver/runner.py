@@ -214,6 +214,11 @@ class BatchRunner:
         if self.config.workers > 1:
             with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
                 outcomes = list(pool.map(run, tasks))
+            for outcome in outcomes:
+                # concurrent measurements contend for the GIL; stamp every
+                # outcome so the analytics side can flag the submission and
+                # keep its timings out of fidelity-sensitive aggregates.
+                outcome.extras["concurrent_workers"] = self.config.workers
         else:
             outcomes = [run(task) for task in tasks]
 

@@ -12,6 +12,7 @@ for discriminative benchmarking where only the execution model may differ.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -55,6 +56,9 @@ class Database:
         self.catalog = Catalog()
         self._storage: dict[str, StorageTable] = {}
         self._columnar: dict[tuple[str, bool], ColumnarTable] = {}
+        # concurrent executors (batched driver threads, morsel workers) may
+        # request the same columnar view; builds serialise on this lock.
+        self._columnar_lock = threading.Lock()
 
     # -- DDL / DML -----------------------------------------------------------
 
@@ -126,21 +130,26 @@ class Database:
         cached = self._columnar.get((schema.name, typed_nulls))
         if cached is not None:
             return cached
-        table = self._storage[schema.name]
-        columns: dict[str, np.ndarray] = {}
-        codes: dict[str, np.ndarray] = {}
-        dictionaries: dict[str, Dictionary] = {}
-        for column in schema.columns:
-            columns[column.name] = table.column_array(column.name,
-                                                      typed_nulls=typed_nulls)
-            column_codes = table.column_codes(column.name)
-            if column_codes is not None:
-                codes[column.name] = column_codes
-                dictionaries[column.name] = table.dictionary(column.name)
-        view = ColumnarTable(schema=schema, columns=columns, length=table.row_count,
-                             codes=codes, dictionaries=dictionaries)
-        self._columnar[(schema.name, typed_nulls)] = view
-        return view
+        with self._columnar_lock:
+            cached = self._columnar.get((schema.name, typed_nulls))
+            if cached is not None:
+                return cached
+            table = self._storage[schema.name]
+            columns: dict[str, np.ndarray] = {}
+            codes: dict[str, np.ndarray] = {}
+            dictionaries: dict[str, Dictionary] = {}
+            for column in schema.columns:
+                columns[column.name] = table.column_array(column.name,
+                                                          typed_nulls=typed_nulls)
+                column_codes = table.column_codes(column.name)
+                if column_codes is not None:
+                    codes[column.name] = column_codes
+                    dictionaries[column.name] = table.dictionary(column.name)
+            view = ColumnarTable(schema=schema, columns=columns,
+                                 length=table.row_count, codes=codes,
+                                 dictionaries=dictionaries)
+            self._columnar[(schema.name, typed_nulls)] = view
+            return view
 
     def table_names(self) -> list[str]:
         """Names of all tables in the database."""

@@ -79,6 +79,18 @@ class EngineOptions:
         arrays holding ``None`` (correct but slow -- kept as the ablation
         baseline the null-mask benchmark measures against).  Semantics are
         identical either way; only the representation changes.
+    workers:
+        Column engine only (with ``selection_vectors``): morsel-driven
+        parallelism degree.  Above 1, eligible scans (single base table, no
+        subqueries, more than one storage chunk) partition their chunk list
+        across the shared worker pool (:mod:`repro.engine.parallel`, created
+        lazily and reused across queries): each worker runs zone-map
+        refutation, predicate kernels and selection-vector construction
+        over its own chunk range, and aggregation runs as per-worker
+        partial states merged deterministically.  Results are identical to
+        the serial path (the default, 1, which is left byte-for-byte
+        untouched for the ablation matrix); floating-point SUM/AVG may
+        differ in the last ulp because partial sums re-associate.
     """
 
     predicate_pushdown: bool = True
@@ -89,8 +101,9 @@ class EngineOptions:
     zone_maps: bool = True
     dictionary_encoding: bool = True
     null_masks: bool = True
+    workers: int = 1
 
-    def describe(self) -> dict[str, bool]:
+    def describe(self) -> dict[str, "bool | int"]:
         """Return the options as a plain dict (for platform catalog entries)."""
         return {
             "predicate_pushdown": self.predicate_pushdown,
@@ -101,6 +114,7 @@ class EngineOptions:
             "zone_maps": self.zone_maps,
             "dictionary_encoding": self.dictionary_encoding,
             "null_masks": self.null_masks,
+            "workers": self.workers,
         }
 
 
@@ -400,6 +414,7 @@ class ColumnEngine(Engine):
             zone_maps=self.options.zone_maps,
             dictionary_encoding=self.options.dictionary_encoding,
             null_masks=self.options.null_masks,
+            workers=self.options.workers,
             plan=plan,
             trace=trace,
         )

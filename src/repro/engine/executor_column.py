@@ -49,10 +49,11 @@ from repro.engine.mask import (
     none_positions,
     truth_mask,
 )
+from repro.engine.parallel import chunk_ranges, run_tasks, survivor_rows
 from repro.engine.plan import BlockPlan, JoinStep, Planner, QueryPlan
 from repro.engine.planner import ColumnInfo, Scope
 from repro.engine.types import infer_type
-from repro.obs import NULL_SPAN, QueryTrace
+from repro.obs import NULL_SPAN, QueryTrace, Span
 from repro.obs.metrics import count as count_metric
 from repro.engine.vector import (
     ColFrame,
@@ -95,7 +96,8 @@ class ColumnExecutor:
                  hash_joins: bool = True, overflow_guard: bool = False,
                  compile_expressions: bool = True, selection_vectors: bool = True,
                  zone_maps: bool = True, dictionary_encoding: bool = True,
-                 null_masks: bool = True, plan: QueryPlan | None = None,
+                 null_masks: bool = True, workers: int = 1,
+                 plan: QueryPlan | None = None,
                  trace: QueryTrace | None = None):
         self.database = database
         self.predicate_pushdown = predicate_pushdown
@@ -106,6 +108,7 @@ class ColumnExecutor:
         self.zone_maps = zone_maps
         self.dictionary_encoding = dictionary_encoding
         self.null_masks = null_masks
+        self.workers = max(1, int(workers))
         self._plan = plan
         self._trace = trace
         self._planner: Planner | None = None
@@ -288,6 +291,11 @@ class ColumnExecutor:
         kernels = self._block_kernels(block)
         trace = self._trace
 
+        if self.workers > 1:
+            info = self._parallel_info(select, block)
+            if info is not None:
+                return self._execute_block_parallel(select, block, kernels, info)
+
         # each scan span covers materialisation, the zone-map chunk gate and
         # the push-down refinement of that scan's selection vector.
         frames: list[ColFrame] = []
@@ -401,6 +409,31 @@ class ColumnExecutor:
         count_metric("scan.chunks_scanned", scanned)
         count_metric("scan.chunks_skipped", skipped)
         return selection, scanned, skipped
+
+    def _zone_survivors(self, item: ast.TableRef, frame: ColFrame,
+                        predicates: list[ast.Expression]
+                        ) -> tuple[np.ndarray | None, int, int]:
+        """Chunk-level zone-map gate for the morsel path.
+
+        Same refutation (and metrics attribution) as
+        :meth:`_zone_map_selection`, but returns the surviving *chunk
+        indexes* rather than a row selection, so the coordinator can split
+        them into contiguous per-worker morsel ranges before any row index
+        is built.
+        """
+        zone_index = self.database.storage(item.name).zone_index()
+
+        def resolve(ref: ast.ColumnRef) -> tuple[str, str] | None:
+            position = frame.position(ref)
+            if position is None:
+                return None
+            column = frame.columns[position]
+            return column.name, column.type_name
+
+        survivors, scanned, skipped = zone_index.survivors(predicates, resolve)
+        count_metric("scan.chunks_scanned", scanned)
+        count_metric("scan.chunks_skipped", skipped)
+        return survivors, scanned, skipped
 
     def _dictionary_pairs(self, item: ast.TableRef, frame: ColFrame, pairs):
         """Swap scan predicates over dictionary-encoded columns to code kernels.
@@ -649,6 +682,286 @@ class ColumnExecutor:
             return self._evaluator(frame).evaluate(expression)
         except VectorFallback:
             return self._fallback_column(frame, expression)
+
+    # -- morsel-parallel execution ------------------------------------------------
+
+    def _parallel_info(self, select: ast.Select, block: BlockPlan
+                       ) -> "_ParallelScan | None":
+        """Decide whether this block runs morsel-parallel (None -> serial).
+
+        Eligible blocks scan exactly one base table with at least two sealed
+        chunks, contain no subqueries anywhere (workers never recurse into
+        the executor, which keeps the shared pool deadlock-free) and have
+        parallelisable work: push-down predicates, residual predicates, or
+        an aggregation whose expressions decompose into mergeable per-worker
+        partials.
+        """
+        if len(select.from_items) != 1 \
+                or not isinstance(select.from_items[0], ast.TableRef):
+            return None
+        if select.subqueries():
+            return None
+        item = select.from_items[0]
+        try:
+            storage = self.database.storage(item.name)
+        except Exception:
+            return None
+        storage.flush()
+        if len(storage.chunks) < 2:
+            return None
+        if not (block.pushdown or block.residual or block.needs_aggregation):
+            return None
+        sites = None
+        if block.needs_aggregation:
+            sites = _aggregate_sites(select)
+            if sites is None:
+                return None
+        return _ParallelScan(item, storage, sites)
+
+    def _execute_block_parallel(self, select: ast.Select, block: BlockPlan,
+                                kernels: ColumnBlockKernels | None,
+                                info: "_ParallelScan"
+                                ) -> tuple[ColFrame, list[str]]:
+        """Morsel-driven variant of :meth:`_execute_block_sel`.
+
+        The scan's chunk list is split into contiguous worker ranges (after
+        the zone-map gate drops refuted chunks); each worker refines its own
+        selection slice through the push-down and residual kernels and,
+        under aggregation, folds its rows into partial group states that
+        merge deterministically on the coordinating thread.  Workers record
+        detached trace lanes the coordinator files under the operator spans;
+        per-query metrics stay attributed on the coordinating thread.
+        """
+        trace = self._trace
+        item = info.item
+        chunks = info.storage.chunks
+        starts = np.array([chunk.start for chunk in chunks], dtype=np.int64)
+        counts = np.array([chunk.row_count for chunk in chunks], dtype=np.int64)
+        count_metric("parallel.blocks", 1)
+
+        span_cm = (trace.span("scan", source=scan_source(item))
+                   if trace is not None else NULL_SPAN)
+        with span_cm as span:
+            frame = self._materialise(item)
+            pairs = []
+            if block.pushdown:
+                pairs = kernels.pushdown[0] if kernels is not None \
+                    else self._interpreted_pushdown(block, frame)
+                if pairs and self.dictionary_encoding:
+                    pairs = self._dictionary_pairs(item, frame, pairs)
+            survivors = None
+            scanned = skipped = None
+            if pairs and self.zone_maps:
+                survivors, scanned, skipped = self._zone_survivors(
+                    item, frame, [predicate for _, predicate in pairs])
+            ranges = chunk_ranges(len(chunks), survivors, self.workers)
+            if pairs:
+                tasks = [self._scan_task(frame, pairs, chunk_range, starts,
+                                         counts, trace is not None)
+                         for chunk_range in ranges]
+                count_metric("parallel.scan_tasks", len(tasks))
+                results = run_tasks(self.workers, tasks)
+                selections = [selection for selection, _ in results]
+                if trace is not None:
+                    span.children.extend(lane for _, lane in results
+                                         if lane is not None)
+            else:
+                # no scan predicates: the per-worker selections are the
+                # contiguous row ranges themselves, built inline.
+                selections = [
+                    np.arange(int(starts[start]),
+                              int(starts[start]) + int(counts[start:stop].sum()),
+                              dtype=np.int64)
+                    for start, stop, _ in ranges]
+            total_rows = int(sum(len(selection) for selection in selections))
+            if trace is not None:
+                if scanned is None:
+                    scanned, skipped = len(chunks), 0
+                span.set(rows_in=frame.length, rows_out=total_rows,
+                         chunks_scanned=scanned, chunks_skipped=skipped,
+                         selection_size=total_rows, workers=len(selections))
+
+        if block.residual:
+            with self._span("filter") as span:
+                rows_in = total_rows
+                residual_pairs = kernels.residual if kernels is not None \
+                    else [(None, predicate) for predicate in block.residual]
+                tasks = [self._refine_task(frame, selection, residual_pairs,
+                                           trace is not None)
+                         for selection in selections]
+                count_metric("parallel.filter_tasks", len(tasks))
+                results = run_tasks(self.workers, tasks)
+                selections = [selection for selection, _ in results]
+                total_rows = int(sum(len(selection) for selection in selections))
+                if trace is not None:
+                    span.children.extend(lane for _, lane in results
+                                         if lane is not None)
+                    span.set(rows_in=rows_in, rows_out=total_rows,
+                             selection_size=total_rows)
+
+        with self._span("aggregate" if block.needs_aggregation else "project") as span:
+            rows_in = total_rows
+            if block.needs_aggregation:
+                frame, names = self._aggregate_parallel(select, frame, selections,
+                                                        kernels, info,
+                                                        block.output_names, span)
+            else:
+                selection = np.concatenate(selections)
+                frame, names = self._project_sel(select, frame, selection, kernels,
+                                                 block.output_names)
+            if trace is not None:
+                span.set(rows_in=rows_in, rows_out=frame.length)
+
+        if select.distinct:
+            frame = self._distinct(frame)
+        return frame, names
+
+    def _scan_task(self, frame: ColFrame, pairs, chunk_range, starts: np.ndarray,
+                   counts: np.ndarray, traced: bool):
+        """One worker's scan morsel: selection build + push-down refinement."""
+        start, stop, piece = chunk_range
+
+        def task():
+            lane = Span("worker") if traced else None
+            total = int(counts[start:stop].sum())
+            if len(piece) == (stop - start):
+                base = np.arange(int(starts[start]), int(starts[start]) + total,
+                                 dtype=np.int64)
+            else:
+                base = survivor_rows(piece, starts, counts)
+            selection = self._refine_selection(frame, base, pairs)
+            if lane is not None:
+                survived = len(piece)
+                lane.set(rows_in=len(base), rows_out=len(selection),
+                         chunks_scanned=survived,
+                         chunks_skipped=(stop - start) - survived)
+                lane.close()
+            return selection, lane
+
+        return task
+
+    def _refine_task(self, frame: ColFrame, selection: np.ndarray, pairs,
+                     traced: bool):
+        """One worker's residual-filter morsel over its scan selection."""
+
+        def task():
+            lane = Span("worker") if traced else None
+            refined = self._refine_selection(frame, selection, pairs)
+            if lane is not None:
+                lane.set(rows_in=len(selection), rows_out=len(refined))
+                lane.close()
+            return refined, lane
+
+        return task
+
+    def _aggregate_parallel(self, select: ast.Select, frame: ColFrame,
+                            selections: list[np.ndarray],
+                            kernels: ColumnBlockKernels | None,
+                            info: "_ParallelScan", names: list[str], span
+                            ) -> tuple[ColFrame, list[str]]:
+        """Aggregate via per-worker partial group states merged on the
+        coordinator (AVG decomposes into sum/count; HAVING runs post-merge).
+        """
+        total = int(sum(len(selection) for selection in selections))
+        if total == 0 and not select.group_by and select.having is None:
+            return self._empty_aggregate_result(select, frame, names)
+        key_plans = self._group_key_plans(select, info.item, frame)
+        aggregates, firsts = info.sites
+        traced = self._trace is not None
+        tasks = [self._partial_task(frame, selection, kernels, key_plans,
+                                    aggregates, firsts, traced)
+                 for selection in selections]
+        count_metric("parallel.aggregate_tasks", len(tasks))
+        results = run_tasks(self.workers, tasks)
+        if traced:
+            span.children.extend(lane for _, lane in results if lane is not None)
+        partials = [partial for partial, _ in results]
+        aggregator = _merge_partials(select, partials, aggregates, firsts)
+        return self._aggregate_finish(select, frame, aggregator, names)
+
+    def _group_key_plans(self, select: ast.Select, item: ast.TableRef,
+                         frame: ColFrame) -> list[tuple[str, Any]]:
+        """Per-key evaluation plans for the worker grouping phase.
+
+        A key that is a plain dictionary-encoded column groups on the
+        whole-table int32 code vector (codes biject to values, with -1 for
+        NULL, so the partition -- and the first-seen order -- is identical
+        to grouping on the decoded strings); everything else evaluates the
+        expression per worker.
+        """
+        plans: list[tuple[str, Any]] = []
+        view = None
+        for expression in select.group_by:
+            if self.dictionary_encoding and isinstance(expression, ast.ColumnRef):
+                if view is None:
+                    view = self.database.columnar(item.name,
+                                                  typed_nulls=self.null_masks)
+                try:
+                    position = frame.position(expression)
+                except ExecutionError:
+                    position = None
+                codes = None if position is None \
+                    else view.codes.get(frame.columns[position].name)
+                if codes is not None:
+                    plans.append(("codes", codes))
+                    continue
+            plans.append(("eval", expression))
+        return plans
+
+    def _partial_task(self, frame: ColFrame, selection: np.ndarray,
+                      kernels: ColumnBlockKernels | None,
+                      key_plans: list[tuple[str, Any]],
+                      aggregates: dict[int, ast.FunctionCall],
+                      firsts: dict[int, ast.Expression], traced: bool):
+        """One worker's aggregation morsel: group its rows, fold partials."""
+        vectors = kernels.vectors if kernels is not None else {}
+
+        def task():
+            lane = Span("worker") if traced else None
+            length = len(selection)
+            context = ColumnContext(frame.arrays, length, selection)
+            materialised = _LazySelection(frame, selection)
+
+            def vector_of(expression: ast.Expression) -> np.ndarray:
+                kernel = vectors.get(id(expression))
+                if kernel is not None:
+                    return self._as_array(kernel(context), length)
+                value = self._evaluate_materialised(materialised, expression)
+                return self._as_array(value, length)
+
+            if key_plans:
+                factors = [plan[selection] if kind == "codes" else vector_of(plan)
+                           for kind, plan in key_plans]
+                group_ids, first_index, keys = _worker_groups(factors, length)
+            else:
+                count = 1 if length else 0
+                group_ids = np.zeros(length, dtype=np.int64)
+                first_index = np.zeros(count, dtype=np.int64)
+                keys = [()] * count
+
+            first_values: dict[int, np.ndarray] = {}
+            for key, expression in firsts.items():
+                values = vector_of(expression)
+                if len(first_index) == 0:
+                    first_values[key] = np.array(
+                        [], dtype=object if isinstance(values, (Nullable, Kleene))
+                        else values.dtype)
+                    continue
+                gathered = values[first_index]
+                if isinstance(gathered, (Nullable, Kleene)):
+                    gathered = gathered.to_objects()
+                first_values[key] = gathered
+
+            group_count = len(keys)
+            partial_aggregates = {
+                key: _partial_aggregate(call, vector_of, group_ids, group_count)
+                for key, call in aggregates.items()}
+            if lane is not None:
+                lane.set(rows_in=length, rows_out=group_count)
+                lane.close()
+            return _WorkerPartial(keys, first_values, partial_aggregates), lane
+
+        return task
 
     # -- FROM materialisation ----------------------------------------------------
 
@@ -917,7 +1230,13 @@ class ColumnExecutor:
             group_count = 1
 
         aggregator = _GroupAggregator(vector_of, group_ids, first_index, group_count)
+        return self._aggregate_finish(select, frame, aggregator, names)
 
+    def _aggregate_finish(self, select: ast.Select, frame: ColFrame,
+                          aggregator: "_GroupAggregator", names: list[str]
+                          ) -> tuple[ColFrame, list[str]]:
+        """HAVING + projection over per-group states (serial or merged)."""
+        group_count = aggregator.group_count
         if select.having is not None:
             # HAVING keeps only groups where the predicate is TRUE; UNKNOWN
             # (a Kleene mask's invalid rows, or None in an object array)
@@ -1339,3 +1658,408 @@ def _empty_aggregate_value(expression: ast.Expression) -> Any:
     if isinstance(expression, ast.FunctionCall) and expression.name.lower() == "count":
         return 0
     return None
+
+
+# ---------------------------------------------------------------------------
+# morsel-parallel aggregation
+# ---------------------------------------------------------------------------
+
+
+class _ParallelScan:
+    """Eligibility record of one morsel-parallel single-table block."""
+
+    __slots__ = ("item", "storage", "sites")
+
+    def __init__(self, item: ast.TableRef, storage, sites):
+        self.item = item
+        self.storage = storage
+        self.sites = sites
+
+
+class _WorkerPartial:
+    """One worker's group keys, first-row gathers and aggregate partials."""
+
+    __slots__ = ("keys", "firsts", "aggregates")
+
+    def __init__(self, keys: list[tuple], firsts: dict[int, np.ndarray],
+                 aggregates: dict[int, tuple]):
+        self.keys = keys
+        self.firsts = firsts
+        self.aggregates = aggregates
+
+
+class _MergedAggregator(_GroupAggregator):
+    """Per-group evaluation over merged worker partials.
+
+    Inherits the full expression dispatch (combinators, CASE, HAVING
+    semantics) from :class:`_GroupAggregator`; only the two leaf lookups
+    change -- first-row values and aggregate-call results come from the
+    merged per-group states instead of row vectors.
+    """
+
+    def __init__(self, group_count: int, firsts: dict[int, np.ndarray],
+                 aggregates: dict[int, np.ndarray]):
+        empty = np.empty(0, dtype=np.int64)
+        super().__init__(None, empty, empty, group_count)
+        self._merged_firsts = firsts
+        self._merged_aggregates = aggregates
+
+    def _first_row_values(self, expression: ast.Expression) -> np.ndarray:
+        try:
+            return self._merged_firsts[id(expression)]
+        except KeyError:
+            raise ExecutionError(
+                f"cannot aggregate expression node {type(expression).__name__} "
+                f"column-wise") from None
+
+    def _aggregate_call(self, call: ast.FunctionCall) -> np.ndarray:
+        return self._merged_aggregates[id(call)]
+
+
+def _aggregate_sites(select: ast.Select
+                     ) -> tuple[dict[int, ast.FunctionCall],
+                                dict[int, ast.Expression]] | None:
+    """Collect the leaf sites an aggregated block evaluates per group.
+
+    Walks every select item (and HAVING) exactly the way
+    :meth:`_GroupAggregator.evaluate` will: aggregate function calls and
+    aggregate-free subtrees are the leaves whose per-group values workers
+    compute independently and the coordinator merges.  Returns None when
+    any node falls outside that dispatch -- the block then runs serial and
+    behaves (or raises) identically.
+    """
+    aggregates: dict[int, ast.FunctionCall] = {}
+    firsts: dict[int, ast.Expression] = {}
+
+    def visit(node: ast.Expression) -> bool:
+        if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+            aggregates[id(node)] = node
+            return True
+        if not ast.has_local_aggregate(node):
+            firsts[id(node)] = node
+            return True
+        if isinstance(node, ast.BinaryOp):
+            return visit(node.left) and visit(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return visit(node.operand)
+        if isinstance(node, ast.Comparison):
+            return visit(node.left) and visit(node.right)
+        if isinstance(node, ast.BoolOp):
+            return all(visit(operand) for operand in node.operands)
+        if isinstance(node, ast.CaseWhen):
+            for condition, branch in node.branches:
+                if not (visit(condition) and visit(branch)):
+                    return False
+            return node.default is None or visit(node.default)
+        if isinstance(node, ast.Cast):
+            return visit(node.operand)
+        return False
+
+    for item in select.items:
+        if isinstance(item.expression, ast.Star):
+            return None
+        if not visit(item.expression):
+            return None
+    if select.having is not None and not visit(select.having):
+        return None
+    return aggregates, firsts
+
+
+def _worker_groups(factors: list, length: int
+                   ) -> tuple[np.ndarray, np.ndarray, list[tuple]]:
+    """Group one worker's rows: ids, first-row positions, first-seen keys."""
+    fast = _factorized_groups(factors, length)
+    if fast is not None:
+        return fast
+    ids = np.empty(length, dtype=np.int64)
+    first: list[int] = []
+    mapping: dict[tuple, int] = {}
+    for index in range(length):
+        key = tuple(factor[index] for factor in factors)
+        group = mapping.get(key)
+        if group is None:
+            group = len(mapping)
+            mapping[key] = group
+            first.append(index)
+        ids[index] = group
+    return ids, np.array(first, dtype=np.int64), list(mapping)
+
+
+def _factorized_groups(factors: list, length: int
+                       ) -> tuple[np.ndarray, np.ndarray, list[tuple]] | None:
+    """Vectorised grouping via ``np.unique`` factorisation (None = bail out).
+
+    Bails to the exact dict loop on anything ``np.unique`` cannot order the
+    way python equality hashes: object arrays (None / mixed types raise),
+    masked representations, NaN floats (each NaN is its own group on the
+    hash path) and combined code spaces that would overflow int64.
+    """
+    inverses: list[np.ndarray] = []
+    sizes: list[int] = []
+    for factor in factors:
+        codes = _factor_codes(factor)
+        if codes is None:
+            return None
+        inverse, size = codes
+        inverses.append(inverse)
+        sizes.append(size)
+    combined = inverses[0].astype(np.int64)
+    space = sizes[0]
+    for inverse, size in zip(inverses[1:], sizes[1:]):
+        space = space * size
+        if space > 2 ** 62:
+            return None
+        combined = combined * size + inverse
+    unique, inverse = np.unique(combined, return_inverse=True)
+    group_total = len(unique)
+    first = np.full(group_total, length, dtype=np.int64)
+    np.minimum.at(first, inverse, np.arange(length, dtype=np.int64))
+    # remap the sorted-unique ids onto first-seen order (the hash path's
+    # and the serial executor's group order).
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(group_total, dtype=np.int64)
+    rank[order] = np.arange(group_total, dtype=np.int64)
+    ids = rank[inverse]
+    first_index = first[order]
+    keys = [tuple(factor[index] for factor in factors) for index in first_index]
+    return ids, first_index, keys
+
+
+def _factor_codes(factor) -> tuple[np.ndarray, int] | None:
+    """Dense codes of one grouping factor, or None when unsafe to sort."""
+    if not isinstance(factor, np.ndarray):
+        return None  # Nullable/Kleene: NULL identity stays on the hash path
+    if factor.dtype.kind not in "biufSUM":
+        return None
+    if factor.dtype.kind == "f" and np.isnan(factor).any():
+        return None  # python hashing keeps each NaN a distinct group
+    try:
+        unique, inverse = np.unique(factor, return_inverse=True)
+    except TypeError:
+        return None
+    return inverse.astype(np.int64), len(unique)
+
+
+def _partial_aggregate(call: ast.FunctionCall, vector_of, group_ids: np.ndarray,
+                       group_count: int) -> tuple:
+    """One worker's mergeable partial state for a single aggregate call.
+
+    The per-group shapes mirror :meth:`_GroupAggregator._aggregate_call`
+    exactly: COUNT decomposes to counts, SUM/AVG to (sum, count) pairs,
+    MIN/MAX to running extremes, and DISTINCT aggregates keep per-group
+    insertion-ordered value sets that finalise after the merge.
+    """
+    name = call.name.lower()
+    if name == "count" and (not call.arguments
+                            or isinstance(call.arguments[0], ast.Star)):
+        return ("counts",
+                np.bincount(group_ids, minlength=group_count).astype(np.int64))
+    values = vector_of(call.arguments[0])
+    if call.distinct:
+        underlying = values.values if isinstance(values, Nullable) else values
+        numeric = isinstance(underlying, np.ndarray) \
+            and underlying.dtype.kind in ("i", "f")
+        buckets: list[dict] = [{} for _ in range(group_count)]
+        nulls = _null_mask(values)
+        for index in range(len(values)):
+            if not nulls[index]:
+                buckets[group_ids[index]].setdefault(values[index], None)
+        return ("distinct", buckets, numeric)
+    valid = ~_null_mask(values)
+    if name == "count":
+        return ("counts",
+                np.bincount(group_ids[valid],
+                            minlength=group_count).astype(np.int64))
+    grouped = group_ids[valid]
+    numeric = values[valid]
+    if isinstance(numeric, Nullable):
+        numeric = numeric.values  # all-valid after the null-mask slice
+    counts = np.bincount(grouped, minlength=group_count)
+    if name in ("sum", "avg"):
+        sums = np.bincount(grouped, weights=numeric.astype(np.float64),
+                           minlength=group_count)
+        return ("sums", sums, counts)
+    if name in ("min", "max"):
+        if numeric.dtype.kind in ("i", "f"):
+            fill = np.inf if name == "min" else -np.inf
+            accumulator = np.full(group_count, fill, dtype=np.float64)
+            operator = np.minimum if name == "min" else np.maximum
+            operator.at(accumulator, grouped, numeric.astype(np.float64))
+            return ("minmax_num", accumulator, counts)
+        extremes: list[Any] = [None] * group_count
+        for value, group in zip(numeric, grouped):
+            current = extremes[group]
+            if current is None:
+                extremes[group] = value
+            elif (value < current) if name == "min" else (value > current):
+                extremes[group] = value
+        return ("minmax_obj", extremes, counts)
+    raise ExecutionError(f"unknown aggregate function '{name}'")
+
+
+def _merge_partials(select: ast.Select, partials: list[_WorkerPartial],
+                    aggregates: dict[int, ast.FunctionCall],
+                    firsts: dict[int, ast.Expression]) -> _MergedAggregator:
+    """Fold per-worker partials into one group state, serial-identical.
+
+    Workers cover contiguous ascending row ranges, so visiting their local
+    groups in worker order reproduces the serial first-seen group order
+    (and first-row values) exactly.
+    """
+    mapping: dict[tuple, int] = {}
+    local_maps: list[np.ndarray] = []
+    for partial in partials:
+        local = np.empty(len(partial.keys), dtype=np.int64)
+        for position, key in enumerate(partial.keys):
+            group = mapping.get(key)
+            if group is None:
+                group = len(mapping)
+                mapping[key] = group
+            local[position] = group
+        local_maps.append(local)
+    seen = len(mapping)
+    group_count = seen if select.group_by else 1
+
+    merged_firsts = {
+        key: _merge_firsts([partial.firsts[key] for partial in partials],
+                           local_maps, seen)
+        for key in firsts}
+    merged_aggregates = {
+        key: _merge_aggregate(call,
+                              [partial.aggregates[key] for partial in partials],
+                              local_maps, group_count)
+        for key, call in aggregates.items()}
+    return _MergedAggregator(group_count, merged_firsts, merged_aggregates)
+
+
+def _merge_firsts(parts: list[np.ndarray], local_maps: list[np.ndarray],
+                  seen: int) -> np.ndarray:
+    """First-row values per global group (first contributor in worker order)."""
+    reference = None
+    for part in parts:
+        if len(part):
+            reference = part
+            break
+    if reference is None:
+        return np.array([], dtype=parts[0].dtype if parts else object)
+    dtype = reference.dtype
+    for part in parts:
+        if len(part) and part.dtype != dtype:
+            dtype = object
+            break
+    merged = np.empty(seen, dtype=dtype)
+    filled = np.zeros(seen, dtype=bool)
+    for part, local in zip(parts, local_maps):
+        if not len(part):
+            continue
+        wanted = ~filled[local]
+        if wanted.any():
+            merged[local[wanted]] = part[wanted]
+            filled[local[wanted]] = True
+    return merged
+
+
+def _merge_aggregate(call: ast.FunctionCall, parts: list[tuple],
+                     local_maps: list[np.ndarray], group_count: int
+                     ) -> np.ndarray:
+    """Combine one aggregate's worker partials into per-group results."""
+    name = call.name.lower()
+    kind = parts[0][0]
+    if kind == "counts":
+        totals = np.zeros(group_count, dtype=np.int64)
+        for (_, counts), local in zip(parts, local_maps):
+            if len(counts):
+                np.add.at(totals, local, counts)
+        return totals
+    if kind == "distinct":
+        numeric = parts[0][2]
+        buckets: list[dict] = [{} for _ in range(group_count)]
+        for (_, worker_buckets, _), local in zip(parts, local_maps):
+            for position, bucket in enumerate(worker_buckets):
+                target = buckets[int(local[position])]
+                for value in bucket:
+                    target.setdefault(value, None)
+        return _finalize_distinct(name, buckets, numeric)
+    if kind == "sums":
+        sums = np.zeros(group_count, dtype=np.float64)
+        counts = np.zeros(group_count, dtype=np.int64)
+        for (_, worker_sums, worker_counts), local in zip(parts, local_maps):
+            if len(worker_sums):
+                np.add.at(sums, local, worker_sums)
+                np.add.at(counts, local, worker_counts)
+        if name == "sum":
+            return _mask_empty(sums, counts)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            averages = sums / counts
+        return _mask_empty(averages, counts)
+    if kind == "minmax_num":
+        fill = np.inf if name == "min" else -np.inf
+        accumulator = np.full(group_count, fill, dtype=np.float64)
+        counts = np.zeros(group_count, dtype=np.int64)
+        operator = np.minimum if name == "min" else np.maximum
+        for (_, worker_acc, worker_counts), local in zip(parts, local_maps):
+            if len(worker_acc):
+                operator.at(accumulator, local, worker_acc)
+                np.add.at(counts, local, worker_counts)
+        return _mask_empty(accumulator, counts)
+    # minmax_obj: python compare loop (None marks still-empty groups)
+    extremes: list[Any] = [None] * group_count
+    for (_, worker_extremes, _), local in zip(parts, local_maps):
+        for position, value in enumerate(worker_extremes):
+            if value is None:
+                continue
+            group = int(local[position])
+            current = extremes[group]
+            if current is None:
+                extremes[group] = value
+            elif (value < current) if name == "min" else (value > current):
+                extremes[group] = value
+    return np.array(extremes, dtype=object)
+
+
+def _finalize_distinct(name: str, buckets: list[dict], numeric: bool
+                       ) -> np.ndarray:
+    """Final per-group values of a DISTINCT aggregate from merged value sets.
+
+    The buckets hold each group's distinct values in global first-occurrence
+    order -- exactly the row order the serial distinct-pair slice feeds its
+    kernels -- so sequential accumulation reproduces the serial results
+    bit for bit.
+    """
+    if name == "count":
+        return np.array([len(bucket) for bucket in buckets], dtype=np.int64)
+    if name in ("sum", "avg"):
+        sums = np.empty(len(buckets), dtype=np.float64)
+        counts = np.empty(len(buckets), dtype=np.int64)
+        for index, bucket in enumerate(buckets):
+            total = 0.0
+            for value in bucket:
+                total += float(value)
+            sums[index] = total
+            counts[index] = len(bucket)
+        if name == "avg":
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sums = sums / counts
+        return _mask_empty(sums, counts)
+    if numeric:
+        fill = np.inf if name == "min" else -np.inf
+        accumulator = np.full(len(buckets), fill, dtype=np.float64)
+        counts = np.empty(len(buckets), dtype=np.int64)
+        for index, bucket in enumerate(buckets):
+            counts[index] = len(bucket)
+            for value in bucket:
+                value = float(value)
+                if (value < accumulator[index]) if name == "min" \
+                        else (value > accumulator[index]):
+                    accumulator[index] = value
+        return _mask_empty(accumulator, counts)
+    results = np.full(len(buckets), None, dtype=object)
+    for index, bucket in enumerate(buckets):
+        best = None
+        for value in bucket:
+            if best is None:
+                best = value
+            elif (value < best) if name == "min" else (value > best):
+                best = value
+        results[index] = best
+    return results

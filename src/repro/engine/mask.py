@@ -30,6 +30,7 @@ The Kleene connectives follow the standard tables::
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator
 
 import numpy as np
@@ -64,25 +65,29 @@ class _ObjectViewMemo:
     A duplicate of the storage layer's :class:`IdentityMemo` shape, kept
     local so this module stays import-cycle-free below the storage package.
     Entries hold a strong reference to their key, so an id can never be
-    recycled while its entry is alive.
+    recycled while its entry is alive.  The memo is process-wide and reached
+    from morsel-parallel pool threads, so access serialises on a lock.
     """
 
-    __slots__ = ("capacity", "_entries")
+    __slots__ = ("capacity", "_entries", "_lock")
 
     def __init__(self, capacity: int = 512):
         self.capacity = capacity
         self._entries: dict[int, tuple[Any, np.ndarray]] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: Any) -> np.ndarray | None:
-        entry = self._entries.get(id(key))
-        if entry is not None and entry[0] is key:
-            return entry[1]
-        return None
+        with self._lock:
+            entry = self._entries.get(id(key))
+            if entry is not None and entry[0] is key:
+                return entry[1]
+            return None
 
     def put(self, key: Any, value: np.ndarray) -> None:
-        if len(self._entries) >= self.capacity:
-            self._entries.clear()
-        self._entries[id(key)] = (key, value)
+        with self._lock:
+            if len(self._entries) >= self.capacity:
+                self._entries.clear()
+            self._entries[id(key)] = (key, value)
 
 
 #: decoded object views of Nullable/Kleene instances, keyed by identity.

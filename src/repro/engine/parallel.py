@@ -1,0 +1,113 @@
+"""Morsel-driven worker pool for chunk-parallel query execution.
+
+The storage layer's fixed-size chunks (:data:`~repro.engine.storage.table.
+DEFAULT_CHUNK_ROWS` rows of typed segments, each with its own zone map) are a
+ready-made morsel unit: the column executor partitions a scan's chunk list
+into contiguous per-worker ranges and fans predicate evaluation, selection-
+vector construction and partial aggregation across the pool, merging the
+per-worker results (and their trace span lanes) deterministically on the
+coordinating thread.
+
+The pool itself is shared process-wide, created lazily on first use and
+sized by the largest ``EngineOptions.workers`` seen so far, so repeated
+queries (and multiple engines) reuse the same threads instead of paying
+thread start-up per query.  Tasks must be pure functions of their inputs:
+workers never submit nested tasks (the executor only parallelises
+subquery-free single-table blocks), which keeps the pool deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+#: thread-name prefix of pool workers; also the re-entrancy guard marker.
+THREAD_PREFIX = "repro-morsel"
+
+_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+
+
+def get_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared executor, grown (never shrunk) to at least ``workers``."""
+    global _pool, _pool_size
+    with _lock:
+        if _pool is None or _pool_size < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(max_workers=workers,
+                                       thread_name_prefix=THREAD_PREFIX)
+            _pool_size = workers
+        return _pool
+
+
+def pool_size() -> int:
+    """Current pool capacity (0 = not created yet)."""
+    return _pool_size
+
+
+def shutdown_pool() -> None:
+    """Tear the shared pool down (tests / interpreter shutdown hygiene)."""
+    global _pool, _pool_size
+    with _lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+            _pool = None
+            _pool_size = 0
+
+
+def run_tasks(workers: int, tasks: Sequence[Callable[[], Any]]) -> list:
+    """Run ``tasks`` on the shared pool, returning results in task order.
+
+    Single-task lists (and calls that already run on a pool thread, which
+    would otherwise risk pool starvation) execute inline.  The first task
+    exception propagates to the caller after every future has settled.
+    """
+    if len(tasks) <= 1 or workers <= 1 \
+            or threading.current_thread().name.startswith(THREAD_PREFIX):
+        return [task() for task in tasks]
+    pool = get_pool(workers)
+    futures = [pool.submit(task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def chunk_ranges(chunk_count: int, survivors: np.ndarray | None, workers: int
+                 ) -> list[tuple[int, int, np.ndarray]]:
+    """Partition a table's chunks into per-worker morsel ranges.
+
+    Returns ``(start_chunk, stop_chunk, surviving_chunks)`` triples that tile
+    ``[0, chunk_count)`` contiguously; ``surviving_chunks`` is the ascending
+    subset of the range the zone maps could not refute (``survivors=None``
+    means nothing was refuted).  Work is balanced by *surviving* chunk count,
+    while refuted chunks are attributed to the range containing them so the
+    per-range ``scanned + skipped`` sums reproduce the table totals exactly.
+    """
+    if survivors is None:
+        survivors = np.arange(chunk_count, dtype=np.int64)
+    else:
+        survivors = np.asarray(survivors, dtype=np.int64)
+    effective = min(int(workers), len(survivors))
+    if effective <= 1:
+        return [(0, chunk_count, survivors)]
+    pieces = np.array_split(survivors, effective)
+    ranges = []
+    for index, piece in enumerate(pieces):
+        start = 0 if index == 0 else int(pieces[index][0])
+        stop = chunk_count if index == effective - 1 else int(pieces[index + 1][0])
+        ranges.append((start, stop, piece))
+    return ranges
+
+
+def survivor_rows(survivors: np.ndarray, starts: np.ndarray,
+                  counts: np.ndarray) -> np.ndarray:
+    """Concatenated row indexes of ``survivors`` (ascending chunk order)."""
+    if len(survivors) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([
+        np.arange(starts[index], starts[index] + counts[index], dtype=np.int64)
+        for index in survivors
+    ])

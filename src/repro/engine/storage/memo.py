@@ -7,10 +7,16 @@ both guards against id reuse (CPython cannot recycle an id the memo still
 references) and lets ``get`` verify identity before trusting a hit.  A
 capacity clear bounds growth under many-distinct-query workloads (the
 pool's morphing produces an unbounded stream of fresh predicates).
+
+The memo is thread-safe: morsel-parallel scans and the batched driver's
+concurrent measurements hit the same per-table caches from pool threads, so
+``get``/``put`` serialise on a per-memo lock (the critical sections are a
+dict probe and an identity check -- far cheaper than the cached work).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 #: default number of entries kept before the memo is dropped wholesale.
@@ -20,23 +26,26 @@ DEFAULT_MEMO_CAPACITY = 512
 class IdentityMemo:
     """Maps tuples of objects (by identity) to cached values."""
 
-    __slots__ = ("capacity", "_entries")
+    __slots__ = ("capacity", "_entries", "_lock")
 
     def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY):
         self.capacity = capacity
         self._entries: dict[tuple[int, ...], tuple[list, Any]] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, keys: tuple) -> tuple[bool, Any]:
         """Return ``(hit, value)``; ``value`` may legitimately be None."""
-        entry = self._entries.get(tuple(map(id, keys)))
-        if entry is not None and all(a is b for a, b in zip(entry[0], keys)):
-            return True, entry[1]
-        return False, None
+        with self._lock:
+            entry = self._entries.get(tuple(map(id, keys)))
+            if entry is not None and all(a is b for a, b in zip(entry[0], keys)):
+                return True, entry[1]
+            return False, None
 
     def put(self, keys: tuple, value: Any) -> None:
-        if len(self._entries) >= self.capacity:
-            self._entries.clear()
-        self._entries[tuple(map(id, keys))] = (list(keys), value)
+        with self._lock:
+            if len(self._entries) >= self.capacity:
+                self._entries.clear()
+            self._entries[tuple(map(id, keys))] = (list(keys), value)

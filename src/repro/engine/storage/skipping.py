@@ -107,17 +107,18 @@ class ZoneIndex:
 
     # -- public -----------------------------------------------------------------
 
-    def selection(self, predicates: list[ast.Expression],
+    def survivors(self, predicates: list[ast.Expression],
                   resolve: Callable[[ast.ColumnRef], tuple[str, str] | None]
                   ) -> tuple[np.ndarray | None, int, int]:
-        """Initial selection for a scan filtered by ``predicates``.
+        """Chunk indexes a scan filtered by ``predicates`` must still read.
 
-        Returns ``(selection, scanned, skipped)``: ``selection`` is None when
+        Returns ``(survivors, scanned, skipped)``: ``survivors`` is None when
         no chunk could be refuted (scan everything, no gather overhead),
-        otherwise an int64 index covering exactly the surviving chunks.
-        ``scanned`` counts the chunks actually read and ``skipped`` the
-        refuted ones, so ``scanned + skipped`` is always the table's chunk
-        total.
+        otherwise the ascending int64 indexes of the surviving chunks --
+        the unit the morsel partitioner splits across workers.  ``scanned``
+        counts the chunks actually read and ``skipped`` the refuted ones, so
+        ``scanned + skipped`` is always the table's chunk total.  Refutation
+        results are memoised by predicate identity.
         """
         if not self.chunk_count:
             return None, 0, 0
@@ -136,15 +137,30 @@ class ZoneIndex:
         if survivors is None:
             return None, self.chunk_count, 0
         skipped = self.chunk_count - len(survivors)
-        scanned = self.chunk_count - skipped
-        if len(survivors) == 0:
-            return np.empty(0, dtype=np.int64), scanned, skipped
-        selection = np.concatenate([
+        return survivors, self.chunk_count - skipped, skipped
+
+    def rows_of(self, chunk_indexes: np.ndarray) -> np.ndarray:
+        """Concatenated row indexes of ``chunk_indexes`` (ascending order)."""
+        if len(chunk_indexes) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([
             np.arange(self.starts[index], self.starts[index] + self.counts[index],
                       dtype=np.int64)
-            for index in survivors
+            for index in chunk_indexes
         ])
-        return selection, scanned, skipped
+
+    def selection(self, predicates: list[ast.Expression],
+                  resolve: Callable[[ast.ColumnRef], tuple[str, str] | None]
+                  ) -> tuple[np.ndarray | None, int, int]:
+        """Initial selection for a scan filtered by ``predicates``.
+
+        Like :meth:`survivors` but with the surviving chunks expanded to an
+        int64 *row* selection (still None when nothing could be skipped).
+        """
+        survivors, scanned, skipped = self.survivors(predicates, resolve)
+        if survivors is None:
+            return None, scanned, skipped
+        return self.rows_of(survivors), scanned, skipped
 
     # -- refutation -------------------------------------------------------------
 

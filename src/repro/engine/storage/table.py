@@ -11,6 +11,7 @@ drop the caches, so stale views can never leak across inserts or re-creates.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
@@ -57,6 +58,11 @@ class StorageTable:
         self._rows_cache: list[tuple] | None = None
         self._stats_cache: TableStatistics | None = None
         self._zone_index: "ZoneIndex | None" = None
+        # guards the tail seal and the lazily-built cached views: concurrent
+        # readers (batched driver threads, morsel workers) must observe a
+        # fully-built chunk list / index, never a partially-sealed tail.
+        # Reentrant because the cached builders flush first.
+        self._lock = threading.RLock()
 
     # -- mutation -----------------------------------------------------------------
 
@@ -73,9 +79,10 @@ class StorageTable:
 
     def flush(self) -> None:
         """Seal any pending tail rows into a (possibly short) chunk."""
-        if self._tail:
-            self._seal(self._tail)
-            self._tail = []
+        with self._lock:
+            if self._tail:
+                self._seal(self._tail)
+                self._tail = []
 
     def _seal(self, rows: list[tuple]) -> None:
         start = self.chunks[-1].stop if self.chunks else 0
@@ -108,9 +115,10 @@ class StorageTable:
 
     def rows(self) -> list[tuple]:
         """All rows as decoded tuples (cached until the next mutation)."""
-        if self._rows_cache is None:
-            self._rows_cache = list(self.iter_rows())
-        return self._rows_cache
+        with self._lock:
+            if self._rows_cache is None:
+                self._rows_cache = list(self.iter_rows())
+            return self._rows_cache
 
     # -- column views --------------------------------------------------------------
 
@@ -174,15 +182,20 @@ class StorageTable:
         """The vectorised zone-map index over all chunks (cached)."""
         from repro.engine.storage.skipping import ZoneIndex
 
-        self.flush()
-        if self._zone_index is None:
-            self._zone_index = ZoneIndex(self)
-        return self._zone_index
+        with self._lock:
+            self.flush()
+            if self._zone_index is None:
+                self._zone_index = ZoneIndex(self)
+            return self._zone_index
 
     # -- statistics ----------------------------------------------------------------
 
     def statistics(self) -> TableStatistics:
         """Aggregate chunk zone maps into table statistics (cached)."""
+        with self._lock:
+            return self._statistics_locked()
+
+    def _statistics_locked(self) -> TableStatistics:
         if self._stats_cache is not None:
             return self._stats_cache
         self.flush()

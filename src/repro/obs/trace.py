@@ -13,9 +13,13 @@ shared :data:`NULL_SPAN` singleton whose operations are all no-ops, keeping
 the overhead on the hot path to a predictable few attribute checks (gated
 below 5% by ``benchmarks/test_bench_observability.py``).
 
-Spans currently assume single-threaded execution of one query (a plain
-stack); per-worker span lanes are a prerequisite for the morsel-parallelism
-roadmap item.
+The span *stack* belongs to the coordinating thread only.  Morsel-parallel
+operators give each worker its own span lane instead: the worker constructs
+a detached :class:`Span` (never touching the trace's stack), stamps it via
+:meth:`Span.close`, and the coordinator appends the finished lanes under the
+open operator span -- so worker lanes nest inside their operator's window
+and aggregate attributes (``chunks_scanned`` / ``chunks_skipped`` summed
+over lanes) keep the trace invariants the fuzzer asserts.
 """
 
 from __future__ import annotations
@@ -54,6 +58,17 @@ class Span:
             self.rows_out = rows_out
         if attributes:
             self.attributes.update(attributes)
+        return self
+
+    def close(self) -> "Span":
+        """Stamp the end time of a detached span (idempotent).
+
+        Worker lanes are plain spans owned by their pool thread -- no trace
+        stack involved -- so they are closed explicitly rather than through
+        a :class:`_SpanContext`.
+        """
+        if self.ended is None:
+            self.ended = time.perf_counter()
         return self
 
     def walk(self) -> Iterator["Span"]:

@@ -37,12 +37,13 @@ ALL_TOGGLES = list(itertools.product([False, True], repeat=5))
 
 
 def _options(compile_expressions, selection_vectors, zone_maps,
-             dictionary_encoding, null_masks=True) -> EngineOptions:
+             dictionary_encoding, null_masks=True, workers=1) -> EngineOptions:
     return EngineOptions(compile_expressions=compile_expressions,
                          selection_vectors=selection_vectors,
                          zone_maps=zone_maps,
                          dictionary_encoding=dictionary_encoding,
-                         null_masks=null_masks)
+                         null_masks=null_masks,
+                         workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -336,6 +337,25 @@ def _assert_trace_invariants(database: Database, result, context: str) -> None:
         total = len(database.storage(table).chunks)
         assert scanned + skipped == total, \
             f"{context}: scan of {table} covers {scanned}+{skipped} != {total} chunks"
+    # morsel-parallel operators: per-worker lane attributes must sum back to
+    # the operator span's totals (chunk accounting and row counts alike).
+    for span in trace.spans():
+        lanes = [child for child in span.children if child.name == "worker"]
+        if not lanes or span.name not in ("scan", "filter"):
+            continue
+        assert sum(lane.rows_out or 0 for lane in lanes) == span.rows_out, \
+            f"{context}: {span.name} worker lanes do not sum to rows_out"
+        if span.name == "scan":
+            lane_scanned = sum(lane.attributes.get("chunks_scanned", 0)
+                               for lane in lanes)
+            lane_skipped = sum(lane.attributes.get("chunks_skipped", 0)
+                               for lane in lanes)
+            assert lane_scanned == span.attributes.get("chunks_scanned"), \
+                f"{context}: worker lanes scanned {lane_scanned} chunks, " \
+                f"span says {span.attributes.get('chunks_scanned')}"
+            assert lane_skipped == span.attributes.get("chunks_skipped"), \
+                f"{context}: worker lanes skipped {lane_skipped} chunks, " \
+                f"span says {span.attributes.get('chunks_skipped')}"
 
 
 def _assert_parity(database: Database, sql: str, label: str) -> None:
@@ -344,18 +364,26 @@ def _assert_parity(database: Database, sql: str, label: str) -> None:
     expected = _canonical(reference.rows)
     seen: set[tuple] = set()
     for toggles in ALL_TOGGLES:
-        options = _options(*toggles)
-        for engine in (RowEngine(database, options=options),
-                       ColumnEngine(database, options=options)):
-            effective = (engine.strategy(), toggles[0]) \
-                if engine.strategy() == "row" else (engine.strategy(), *toggles)
-            if effective in seen:
+        for workers in (1, 4):
+            if workers > 1 and not toggles[1]:
+                # morsel parallelism rides on the selection-vector path; the
+                # materialising path ignores the knob, so skip the duplicate.
                 continue
-            seen.add(effective)
-            result = engine.execute(sql, trace=True)
-            config = (f"{engine.strategy()} compile={toggles[0]} "
-                      f"sel={toggles[1]} zones={toggles[2]} dict={toggles[3]} "
-                      f"masks={toggles[4]}")
+            options = _options(*toggles, workers=workers)
+            engines = [ColumnEngine(database, options=options)]
+            if workers == 1:
+                engines.insert(0, RowEngine(database, options=options))
+            for engine in engines:
+                effective = (engine.strategy(), toggles[0]) \
+                    if engine.strategy() == "row" \
+                    else (engine.strategy(), *toggles, workers)
+                if effective in seen:
+                    continue
+                seen.add(effective)
+                result = engine.execute(sql, trace=True)
+                config = (f"{engine.strategy()} compile={toggles[0]} "
+                          f"sel={toggles[1]} zones={toggles[2]} dict={toggles[3]} "
+                          f"masks={toggles[4]} workers={workers}")
             assert result.columns == reference.columns, \
                 f"{label} [{config}] columns differ on: {sql}"
             assert _canonical(result.rows) == expected, \

@@ -98,6 +98,38 @@ class TestTPCHParity:
                 assert result.columns == reference.columns, f"{label}: columns differ"
                 assert normalise(result.rows) == expected[1], f"{label}: rows differ"
 
+    @pytest.mark.parametrize("query_id", sorted(QUERIES))
+    def test_parallel_matches_serial(self, query_id, parity_db):
+        """Morsel-parallel execution (workers=4) is indistinguishable from
+        serial execution on every TPC-H query under every storage-toggle
+        combination that reaches the selection-vector path.  Non-float values
+        must match bit for bit; float aggregates may differ only by the
+        re-association of per-worker partial sums (last-ulp territory), so
+        they are compared with a tight relative tolerance instead."""
+        sql = QUERIES[query_id]
+        for compile_expressions, zone_maps, dictionary in \
+                itertools.product([False, True], repeat=3):
+            results = [
+                ColumnEngine(parity_db, options=EngineOptions(
+                    compile_expressions=compile_expressions,
+                    selection_vectors=True, zone_maps=zone_maps,
+                    dictionary_encoding=dictionary,
+                    workers=workers)).execute(sql)
+                for workers in (1, 4)
+            ]
+            serial, parallel = results
+            label = (f"Q{query_id} compile={compile_expressions} "
+                     f"zones={zone_maps} dict={dictionary}")
+            assert parallel.columns == serial.columns, f"{label}: columns differ"
+            assert len(parallel.rows) == len(serial.rows), f"{label}: row counts differ"
+            for row_index, (expected, got) in enumerate(zip(serial.rows, parallel.rows)):
+                for value_index, (want, have) in enumerate(zip(expected, got)):
+                    where = f"{label}: row {row_index} column {value_index}"
+                    if isinstance(want, float) and isinstance(have, float):
+                        assert have == pytest.approx(want, rel=1e-9, abs=1e-12), where
+                    else:
+                        assert have == want, where
+
 
 class TestAmbiguousColumns:
     def test_colframe_position_raises_on_ambiguity(self):
