@@ -7,7 +7,7 @@ the pool and to report back the performance results."
 """
 
 from repro.driver.config import DriverConfig, load_config
-from repro.driver.client import HTTPClient, InProcessClient
+from repro.driver.client import HTTPClient, InProcessClient, RetryPolicy
 from repro.driver.runner import BatchRunner, ExperimentDriver, RunOutcome, measure_query
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "load_config",
     "HTTPClient",
     "InProcessClient",
+    "RetryPolicy",
     "BatchRunner",
     "ExperimentDriver",
     "RunOutcome",

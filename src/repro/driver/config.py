@@ -21,6 +21,8 @@ The configuration file uses INI syntax (``configparser``), e.g.::
     batch_size = 8
     workers = 1
     engine_workers = 1
+    retries = 4
+    retry_delay = 0.05
 
 ``batch_size`` and ``workers`` drive the batched pipeline
 (:class:`repro.driver.runner.BatchRunner`).  ``workers`` above 1 measures
@@ -30,7 +32,10 @@ with ``workers`` above 1 carry ``extras["concurrent_workers"]`` so the
 analytics side can flag them.  ``engine_workers`` is a different knob
 entirely: it sets :attr:`repro.engine.engine.EngineOptions.workers`
 (morsel-parallel execution inside the column engine) for locally-built
-targets and does not compromise timing fidelity.
+targets and does not compromise timing fidelity.  ``retries`` and
+``retry_delay`` bound the runner's retry loop around failed platform round
+trips (decorrelated-jitter backoff; submissions stay safe to retry because
+they carry idempotency keys).
 """
 
 from __future__ import annotations
@@ -57,6 +62,12 @@ class DriverConfig:
     batch_size: int = 8
     workers: int = 1
     engine_workers: int = 1
+    #: how many times the runner retries a failed platform round trip
+    #: (claiming or submitting) before giving up on it; idempotency keys make
+    #: retried submissions safe.  0 disables retries.
+    retries: int = 4
+    #: base delay of the decorrelated-jitter backoff between retries.
+    retry_delay: float = 0.05
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -76,6 +87,10 @@ class DriverConfig:
             raise ConfigError("workers must be a positive integer")
         if self.engine_workers <= 0:
             raise ConfigError("engine_workers must be a positive integer")
+        if self.retries < 0:
+            raise ConfigError("retries must not be negative")
+        if self.retry_delay < 0:
+            raise ConfigError("retry_delay must not be negative")
 
 
 def load_config(path: str | Path) -> DriverConfig:
@@ -101,9 +116,11 @@ def load_config(path: str | Path) -> DriverConfig:
         batch_size = int(target.get("batch_size", "8"))
         workers = int(target.get("workers", "1"))
         engine_workers = int(target.get("engine_workers", "1"))
+        retries = int(target.get("retries", "4"))
+        retry_delay = float(target.get("retry_delay", "0.05"))
     except ValueError:
-        raise ConfigError("repeats, batch_size and workers must be integers and "
-                          "timeout a number") from None
+        raise ConfigError("repeats, batch_size, workers and retries must be "
+                          "integers and timeout/retry_delay numbers") from None
 
     extras = {
         key: value
@@ -121,5 +138,7 @@ def load_config(path: str | Path) -> DriverConfig:
         batch_size=batch_size,
         workers=workers,
         engine_workers=engine_workers,
+        retries=retries,
+        retry_delay=retry_delay,
         extras=extras,
     )

@@ -20,13 +20,18 @@ Two drivers share :func:`measure_query`:
 from __future__ import annotations
 
 import os
+import random
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.driver.client import PlatformClient
+from repro.driver.client import PlatformClient, RetryPolicy
 from repro.driver.config import DriverConfig
 from repro.engine.engine import Engine
 from repro.engine.plan import QueryPlan
+from repro.errors import TransportError
+from repro.obs import MetricsRegistry
 from repro.sqlparser import ast
 from repro.sqlparser.printer import to_sql
 
@@ -148,6 +153,8 @@ class ExperimentDriver:
             error=outcome.error,
             load_averages=load,
             extras=outcome.extras,
+            idempotency_key=uuid.uuid4().hex,
+            attempt=task.get("attempts"),
         )
 
     def run_all(self, experiment_id: int, max_tasks: int | None = None) -> int:
@@ -179,17 +186,52 @@ class BatchRunner:
     wall-clock times.  Use it for correctness sweeps and smoke runs, keep
     the default of 1 worker whenever the timings feed a discriminative
     verdict.
+
+    Fault tolerance: every platform round trip is retried up to
+    ``config.retries`` times with decorrelated-jitter backoff
+    (``config.retry_delay`` base).  Each measured outcome gets a fresh
+    idempotency key *before* the first submission attempt and keeps it across
+    retries, so a batch whose response was lost can be resubmitted blindly --
+    the platform replays already-accepted entries instead of duplicating
+    them.  When the whole batch keeps failing, the runner degrades to
+    per-result submission so one poison entry (or an unlucky fault) cannot
+    strand its batch-mates; results it ultimately cannot deliver are left to
+    the platform's lease expiry to reschedule.  ``metrics`` (optional) counts
+    ``client.retries``, ``client.batch_splits`` and ``client.gave_up``.
     """
 
     client: PlatformClient
     engine: Engine
     config: DriverConfig
+    metrics: MetricsRegistry | None = None
+    rng: random.Random = field(default_factory=random.Random)
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _with_retries(self, call):
+        """Run ``call`` retrying ``TransportError`` with decorrelated jitter."""
+        policy = RetryPolicy(attempts=self.config.retries,
+                             base_delay=self.config.retry_delay)
+        delay = policy.base_delay
+        for attempt in range(policy.attempts + 1):
+            try:
+                return call()
+            except TransportError:
+                if attempt == policy.attempts:
+                    raise
+                self._count("client.retries")
+                delay = policy.next_delay(delay, self.rng)
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def run_batch(self, experiment_id: int, count: int | None = None) -> int:
         """Claim and execute one batch; return how many tasks were executed."""
         batch_size = count if count is not None else self.config.batch_size
-        tasks = self.client.next_tasks(experiment_id, count=batch_size,
-                                       dbms=self.config.dbms)
+        tasks = self._with_retries(
+            lambda: self.client.next_tasks(experiment_id, count=batch_size,
+                                           dbms=self.config.dbms))
         if not tasks:
             return 0
 
@@ -222,7 +264,7 @@ class BatchRunner:
         else:
             outcomes = [run(task) for task in tasks]
 
-        self.client.submit_results([
+        submissions = [
             {
                 "task": task["id"],
                 "times": outcome.times,
@@ -230,19 +272,55 @@ class BatchRunner:
                 "load_averages": {"before": outcome.load_before,
                                   "after": outcome.load_after},
                 "extras": outcome.extras,
+                # one key per task *execution*, minted before the first
+                # submission attempt and reused across retries.
+                "idempotency_key": uuid.uuid4().hex,
+                # echo the lease's attempt number so the platform can fence
+                # out this submission if the lease was reassigned meanwhile.
+                "attempt": task.get("attempts"),
             }
             for task, outcome in zip(tasks, outcomes)
-        ])
+        ]
+        self._submit(submissions)
         return len(tasks)
 
+    def _submit(self, submissions: list[dict]) -> None:
+        """Deliver ``submissions``, degrading from batch to per-result mode."""
+        try:
+            self._with_retries(lambda: self.client.submit_results(submissions))
+            return
+        except TransportError:
+            self._count("client.batch_splits")
+        # the batch round trip kept failing; isolate each result so the
+        # deliverable ones land.  Keys stay the same, so entries that were
+        # accepted by a processed-but-unacknowledged batch attempt are
+        # replayed, not duplicated.
+        for submission in submissions:
+            try:
+                self._with_retries(
+                    lambda entry=submission: self.client.submit_results([entry]))
+            except TransportError:
+                # undeliverable: the platform's lease expiry will reschedule
+                # the task; losing the measurement is the contract here.
+                self._count("client.gave_up")
+
     def run_all(self, experiment_id: int, max_tasks: int | None = None) -> int:
-        """Drain the experiment's queue batch by batch; return the task count."""
+        """Drain the experiment's queue batch by batch; return the task count.
+
+        A batch whose *claim* round trip keeps failing ends the drain (the
+        queue is unreachable, not empty); submission failures are absorbed
+        per batch by :meth:`_submit`.
+        """
         executed = 0
         while max_tasks is None or executed < max_tasks:
             remaining = None if max_tasks is None else max_tasks - executed
             count = (self.config.batch_size if remaining is None
                      else min(self.config.batch_size, remaining))
-            ran = self.run_batch(experiment_id, count=count)
+            try:
+                ran = self.run_batch(experiment_id, count=count)
+            except TransportError:
+                self._count("client.claim_failures")
+                break
             if ran == 0:
                 break
             executed += ran

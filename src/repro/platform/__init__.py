@@ -13,7 +13,9 @@ This subpackage implements that platform as a library:
 * :mod:`repro.platform.service` -- the application service with access
   control (the operations the web GUI exposes),
 * :mod:`repro.platform.webapp` -- a WSGI JSON API exposing the service, used
-  by the remote experiment driver.
+  by the remote experiment driver,
+* :mod:`repro.platform.faults` -- seeded fault injection (unreliable
+  transports, flaky engines, store crashes) driving the chaos tests.
 """
 
 from repro.platform.models import (
@@ -24,12 +26,20 @@ from repro.platform.models import (
     Project,
     ResultRecord,
     Task,
+    TaskStatus,
     User,
     Visibility,
 )
 from repro.platform.store import Store
 from repro.platform.service import PlatformService
-from repro.platform.webapp import create_wsgi_app, PlatformServer
+from repro.platform.webapp import create_wsgi_app, PlatformServer, ThreadingWSGIServer
+from repro.platform.faults import (
+    FaultConfig,
+    FaultInjector,
+    FlakyEngine,
+    SimulatedCrash,
+    UnreliableClient,
+)
 
 __all__ = [
     "Comment",
@@ -39,10 +49,17 @@ __all__ = [
     "Project",
     "ResultRecord",
     "Task",
+    "TaskStatus",
     "User",
     "Visibility",
     "Store",
     "PlatformService",
     "create_wsgi_app",
     "PlatformServer",
+    "ThreadingWSGIServer",
+    "FaultConfig",
+    "FaultInjector",
+    "FlakyEngine",
+    "SimulatedCrash",
+    "UnreliableClient",
 ]

@@ -20,12 +20,25 @@ class Visibility(str, enum.Enum):
 
 
 class TaskStatus(str, enum.Enum):
-    """Lifecycle of one queued query execution."""
+    """Lifecycle of one queued query execution.
+
+    A task moves ``pending -> running`` when a contributor claims a lease on
+    it, and from ``running`` either to ``done`` (a successful result arrived),
+    back to ``pending`` (the result was an error, or the lease expired, and
+    the retry budget is not exhausted), or to the terminal ``failed`` state
+    once ``max_attempts`` leases have been burned.  ``failed`` doubles as the
+    dead-letter queue -- :data:`DEAD_LETTER` is an alias for it -- so operators
+    find every task that needs human attention under one status.  ``killed``
+    is the owner-initiated terminal state.  ``expired`` is retained for
+    databases written before leases retried automatically; the service no
+    longer assigns it.
+    """
 
     PENDING = "pending"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    DEAD_LETTER = "failed"  # alias: the terminal failed state is the dead-letter queue
     KILLED = "killed"
     EXPIRED = "expired"
 
@@ -147,6 +160,10 @@ class Experiment:
     template_limit: int = 100_000
     repeats: int = 5
     timeout_seconds: float = 60.0
+    #: retry budget copied onto every task at enqueue time: how many leases a
+    #: task may burn (execution errors or expired leases) before it is
+    #: dead-lettered instead of re-queued.
+    max_attempts: int = 3
     created_at: float = field(default_factory=time.time)
     id: int | None = None
 
@@ -180,8 +197,24 @@ class Task:
     assigned_to: str | None = None
     assigned_at: float | None = None
     timeout_seconds: float = 60.0
+    #: how many leases this task has burned so far.  Claiming a task
+    #: increments the counter, so ``attempts`` also fences stale submissions:
+    #: a result is only accepted for the lease (attempt number) it was
+    #: measured under.
+    attempts: int = 0
+    #: retry budget (copied from the experiment at enqueue time).
+    max_attempts: int = 3
+    #: the most recent failure (execution error or lease-expiry note);
+    #: preserved on the dead-lettered task for post-mortems.
+    last_error: str | None = None
     created_at: float = field(default_factory=time.time)
     id: int | None = None
+
+    def lease_expired(self, now: float) -> bool:
+        """Whether this task's lease has lapsed (only meaningful when running)."""
+        return (self.status == TaskStatus.RUNNING.value
+                and self.assigned_at is not None
+                and now - self.assigned_at > self.timeout_seconds)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -212,6 +245,10 @@ class ResultRecord:
     load_averages: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
     hidden: bool = False
+    #: client-generated key identifying one task execution.  A retried
+    #: submission carrying the same key replays this record instead of
+    #: inserting a duplicate (see ``PlatformService.submit_results``).
+    idempotency_key: str | None = None
     created_at: float = field(default_factory=time.time)
     id: int | None = None
 

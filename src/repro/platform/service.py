@@ -13,12 +13,21 @@ The service enforces the access-control model of Section 4.2:
 
 It also owns the execution queue ("The execution status is tracked in a
 queue, which enables killing queries that got stuck or when the results of an
-experiment are not delivered within a specified timeout interval").
+experiment are not delivered within a specified timeout interval").  Queue
+entries are *leases*: claiming a task starts a lease of the experiment's
+timeout, an overdue lease is swept back to pending (or dead-lettered once the
+task's retry budget is exhausted) on the next claim, and result submission is
+idempotent -- a client-generated key makes retried submissions replay the
+original record, and the lease's attempt number fences out submissions from
+contributors whose lease has already been reassigned.  All claim/submit
+transitions happen under one service-level lock so concurrent requests (the
+threaded web server) can never double-assign a task.
 """
 
 from __future__ import annotations
 
 import secrets
+import threading
 import time
 
 from repro.core import parse_grammar, serialize_grammar, validate
@@ -55,6 +64,11 @@ class PlatformService:
         #: accepted, queue timeouts); the webapp serves its snapshot at
         #: ``/api/metrics``.
         self.metrics = metrics or MetricsRegistry()
+        #: serialises every task-state transition (claim, sweep, submit,
+        #: kill).  The claim path reads pending tasks and persists the claim
+        #: under this lock, so two concurrent ``/api/tasks`` requests on the
+        #: threaded server can never assign the same task twice.
+        self._queue_lock = threading.RLock()
 
     # ------------------------------------------------------------------ users
 
@@ -169,6 +183,7 @@ class PlatformService:
                        grammar_text: str | None = None,
                        template_limit: int = DEFAULT_TEMPLATE_LIMIT,
                        repeats: int = 5, timeout_seconds: float = 60.0,
+                       max_attempts: int = 3,
                        guidance: Guidance | None = None) -> Experiment:
         """Attach an experiment to a project.
 
@@ -188,6 +203,8 @@ class PlatformService:
         report = validate(grammar)
         if not report.ok:
             raise ValidationError(f"grammar is invalid: {report.summary()}")
+        if max_attempts <= 0:
+            raise ValidationError("max_attempts must be a positive integer")
         experiment = Experiment(
             project_id=project.id,
             name=name,
@@ -199,6 +216,7 @@ class PlatformService:
             template_limit=template_limit,
             repeats=repeats,
             timeout_seconds=timeout_seconds,
+            max_attempts=max_attempts,
         )
         self.store.insert("experiments", experiment)
         return experiment
@@ -251,6 +269,7 @@ class PlatformService:
                 parent_key=repr(entry.parent_key) if entry.parent_key else None,
                 size=entry.query.size(),
                 timeout_seconds=experiment.timeout_seconds,
+                max_attempts=experiment.max_attempts,
             )
             self.store.insert("tasks", task)
             created.append(task)
@@ -265,30 +284,40 @@ class PlatformService:
 
     def next_tasks(self, contributor: User, experiment: Experiment, limit: int = 1,
                    dbms_label: str | None = None) -> list[Task]:
-        """Claim up to ``limit`` pending tasks of an experiment in one batch.
+        """Claim a lease on up to ``limit`` pending tasks in one atomic batch.
 
         This is the batched-driver entry point: one store scan and one batched
-        write claim the whole batch, instead of a round trip per task.
+        write claim the whole batch, instead of a round trip per task.  The
+        read-claim-persist sequence runs under the queue lock, so concurrent
+        claims partition the queue -- no task is ever assigned twice.  Every
+        claim first sweeps overdue leases back into the pending pool (or into
+        the dead-letter state), so lease expiry needs no background thread:
+        the queue heals whenever somebody asks for work.
+
+        Claiming burns one unit of the task's retry budget and stamps the
+        attempt number that a later submission must echo to be accepted.
         """
         project = self.store.project(experiment.project_id)
         self._require_contributor(contributor, project)
         if limit <= 0:
             raise ValidationError("the batch size must be a positive integer")
-        self.expire_stuck_tasks(experiment)
-        claimed: list[Task] = []
-        now = time.time()
-        for task in self.store.tasks(experiment.id):
-            if len(claimed) >= limit:
-                break
-            if task.status != TaskStatus.PENDING.value:
-                continue
-            if dbms_label is not None and task.dbms_label != dbms_label:
-                continue
-            task.status = TaskStatus.RUNNING.value
-            task.assigned_to = contributor.contributor_key
-            task.assigned_at = now
-            claimed.append(task)
-        self.store.update_many("tasks", claimed)
+        with self._queue_lock:
+            self._sweep_overdue_leases(experiment)
+            claimed: list[Task] = []
+            now = time.time()
+            for task in self.store.tasks(experiment.id):
+                if len(claimed) >= limit:
+                    break
+                if task.status != TaskStatus.PENDING.value:
+                    continue
+                if dbms_label is not None and task.dbms_label != dbms_label:
+                    continue
+                task.status = TaskStatus.RUNNING.value
+                task.assigned_to = contributor.contributor_key
+                task.assigned_at = now
+                task.attempts += 1
+                claimed.append(task)
+            self.store.update_many("tasks", claimed)
         self.metrics.counter("tasks.dispatched").inc(len(claimed))
         return claimed
 
@@ -297,24 +326,53 @@ class PlatformService:
         experiment = self.store.experiment(task.experiment_id)
         project = self.store.project(experiment.project_id)
         self._require_owner(acting, project)
-        task.status = TaskStatus.KILLED.value
-        self.store.update("tasks", task)
+        with self._queue_lock:
+            task.status = TaskStatus.KILLED.value
+            self.store.update("tasks", task)
         self.metrics.counter("tasks.killed").inc()
         return task
 
     def expire_stuck_tasks(self, experiment: Experiment) -> list[Task]:
-        """Expire running tasks whose results were not delivered within the timeout."""
-        expired: list[Task] = []
+        """Sweep running tasks whose results were not delivered within the timeout.
+
+        An overdue lease returns its task to the pending pool for another
+        contributor (counted as ``tasks.retried``) while the task still has
+        retry budget, and dead-letters it otherwise (``tasks.dead_lettered``).
+        Returns the swept tasks.  ``next_tasks`` calls this automatically; the
+        public method exists for owners and test harnesses that want to heal
+        the queue without claiming work.
+        """
+        with self._queue_lock:
+            return self._sweep_overdue_leases(experiment)
+
+    def _sweep_overdue_leases(self, experiment: Experiment) -> list[Task]:
+        """Re-queue / dead-letter overdue leases (queue lock must be held)."""
+        swept: list[Task] = []
+        retried = dead_lettered = 0
         now = time.time()
         for task in self.store.tasks(experiment.id):
-            if task.status != TaskStatus.RUNNING.value or task.assigned_at is None:
+            if not task.lease_expired(now):
                 continue
-            if now - task.assigned_at > task.timeout_seconds:
-                task.status = TaskStatus.EXPIRED.value
-                self.store.update("tasks", task)
-                expired.append(task)
-        self.metrics.counter("queue.timeouts").inc(len(expired))
-        return expired
+            if task.attempts >= task.max_attempts:
+                task.status = TaskStatus.DEAD_LETTER.value
+                task.last_error = (
+                    f"lease expired after {task.timeout_seconds:.1f}s on attempt "
+                    f"{task.attempts}/{task.max_attempts} (was assigned to "
+                    f"{task.assigned_to})")
+                dead_lettered += 1
+            else:
+                task.status = TaskStatus.PENDING.value
+                task.assigned_to = None
+                task.assigned_at = None
+                retried += 1
+            swept.append(task)
+        self.store.update_many("tasks", swept)
+        self.metrics.counter("queue.timeouts").inc(len(swept))
+        if retried:
+            self.metrics.counter("tasks.retried").inc(retried)
+        if dead_lettered:
+            self.metrics.counter("tasks.dead_lettered").inc(dead_lettered)
+        return swept
 
     def queue_status(self, experiment: Experiment) -> dict[str, int]:
         """Counts per task status for one experiment."""
@@ -327,7 +385,9 @@ class PlatformService:
 
     def submit_result(self, contributor: User, task: Task, times: list[float],
                       error: str | None = None, load_averages: dict | None = None,
-                      extras: dict | None = None) -> ResultRecord:
+                      extras: dict | None = None,
+                      idempotency_key: str | None = None,
+                      attempt: int | None = None) -> ResultRecord | None:
         """Record the outcome of a task run by ``contributor``."""
         return self.submit_results(contributor, [{
             "task": task,
@@ -335,20 +395,39 @@ class PlatformService:
             "error": error,
             "load_averages": load_averages,
             "extras": extras,
+            "idempotency_key": idempotency_key,
+            "attempt": attempt,
         }])[0]
 
     def submit_results(self, contributor: User,
-                       submissions: list[dict]) -> list[ResultRecord]:
-        """Record a batch of task outcomes in one transaction.
+                       submissions: list[dict]) -> list[ResultRecord | None]:
+        """Record a batch of task outcomes in one transaction, exactly once.
 
         Each submission is a dict with keys ``task`` (a :class:`Task` or its
         id), ``times``, and optional ``error`` / ``load_averages`` /
-        ``extras``.  The whole batch is validated before anything is written
-        and all writes commit atomically: an invalid submission rejects the
-        batch without recording anything.
+        ``extras`` / ``idempotency_key`` / ``attempt``.  The whole batch is
+        validated before anything is written and all fresh writes commit
+        atomically: an invalid submission rejects the batch without recording
+        anything.
+
+        Fault tolerance (per submission, position-aligned with the returned
+        list):
+
+        * a submission whose ``idempotency_key`` was already accepted
+          **replays** the original :class:`ResultRecord` instead of inserting
+          a duplicate (``results.deduplicated``) -- retrying a batch whose
+          response was lost is therefore always safe,
+        * a **stale** submission -- its task is no longer running, is leased
+          to another contributor, or carries an ``attempt`` number that does
+          not match the task's current lease -- is acknowledged but dropped
+          (``None`` in the returned list, ``results.stale``), so a slow
+          contributor cannot overwrite the outcome of a re-assigned task,
+        * a fresh *successful* submission completes the task; a fresh *error*
+          submission returns the task to the pending pool (``tasks.retried``)
+          until its retry budget is exhausted, then dead-letters it
+          (``tasks.dead_lettered``).
         """
-        records: list[ResultRecord] = []
-        tasks: list[Task] = []
+        prepared: list[dict] = []
         projects: dict[int, object] = {}
         for submission in submissions:
             task = submission.get("task")
@@ -364,31 +443,95 @@ class PlatformService:
             times = list(submission.get("times") or [])
             if error is None and not times:
                 raise ValidationError("a successful run must report at least one timing")
-            records.append(ResultRecord(
-                task_id=task.id,
-                experiment_id=task.experiment_id,
-                contributor_key=contributor.contributor_key,
-                dbms_label=task.dbms_label,
-                host_name=task.host_name,
-                query_sql=task.query_sql,
-                times=times,
-                error=error,
-                load_averages=submission.get("load_averages") or {},
-                extras=submission.get("extras") or {},
-            ))
-            task.status = TaskStatus.FAILED.value if error else TaskStatus.DONE.value
-            tasks.append(task)
-        self.store.apply_batch(
-            inserts=[("results", record) for record in records],
-            updates=[("tasks", task) for task in tasks],
-        )
-        self.metrics.counter("results.accepted").inc(len(records))
+            prepared.append({**submission, "task": task, "times": times})
+
+        # buffered metric increments, applied only after the batch commits:
+        # a crashed (rolled-back) batch is retried by the client and must not
+        # count its effects twice.
+        counters: dict[str, int] = {}
+        best_seconds: list[float] = []
+
+        with self._queue_lock:
+            records: list[ResultRecord | None] = []
+            inserts: list[ResultRecord] = []
+            task_updates: dict[int, Task] = {}
+            idempotency: list[tuple[str, ResultRecord]] = []
+            for submission in prepared:
+                key = submission.get("idempotency_key")
+                if key:
+                    replay_id = self.store.recall_submission(key)
+                    if replay_id is not None:
+                        records.append(self.store.result(replay_id))
+                        counters["results.deduplicated"] = \
+                            counters.get("results.deduplicated", 0) + 1
+                        continue
+                submitted: Task = submission["task"]
+                # fence against stale leases on the *current* task state, not
+                # the (possibly outdated) copy the client sent along.
+                current = task_updates.get(submitted.id) \
+                    or self.store.task(submitted.id)
+                attempt = submission.get("attempt")
+                if (current.status != TaskStatus.RUNNING.value
+                        or current.assigned_to != contributor.contributor_key
+                        or (attempt is not None and int(attempt) != current.attempts)):
+                    records.append(None)
+                    counters["results.stale"] = counters.get("results.stale", 0) + 1
+                    continue
+                error = submission.get("error")
+                record = ResultRecord(
+                    task_id=current.id,
+                    experiment_id=current.experiment_id,
+                    contributor_key=contributor.contributor_key,
+                    dbms_label=current.dbms_label,
+                    host_name=current.host_name,
+                    query_sql=current.query_sql,
+                    times=submission["times"],
+                    error=error,
+                    load_averages=submission.get("load_averages") or {},
+                    extras=submission.get("extras") or {},
+                    idempotency_key=key,
+                )
+                if error is None:
+                    current.status = TaskStatus.DONE.value
+                elif current.attempts >= current.max_attempts:
+                    current.status = TaskStatus.DEAD_LETTER.value
+                    current.last_error = error
+                    counters["tasks.dead_lettered"] = \
+                        counters.get("tasks.dead_lettered", 0) + 1
+                else:
+                    current.status = TaskStatus.PENDING.value
+                    current.assigned_to = None
+                    current.assigned_at = None
+                    current.last_error = error
+                    counters["tasks.retried"] = counters.get("tasks.retried", 0) + 1
+                records.append(record)
+                inserts.append(record)
+                task_updates[current.id] = current
+                if key:
+                    idempotency.append((key, record))
+                counters["results.accepted"] = counters.get("results.accepted", 0) + 1
+                if error is not None:
+                    counters["results.failed"] = counters.get("results.failed", 0) + 1
+                elif record.times:
+                    best_seconds.append(min(record.times))
+                # keep the caller's Task copy in sync with the persisted state
+                # (older call sites read task.status off the object they passed).
+                submission["synced"] = (submitted, current)
+            self.store.apply_batch(
+                inserts=[("results", record) for record in inserts],
+                updates=[("tasks", task) for task in task_updates.values()],
+                idempotency=idempotency,
+            )
+            for submission in prepared:
+                synced = submission.get("synced")
+                if synced is not None and synced[0] is not synced[1]:
+                    synced[0].__dict__.update(synced[1].__dict__)
+
+        for name, amount in counters.items():
+            self.metrics.counter(name).inc(amount)
         timings = self.metrics.histogram("results.best_seconds")
-        for record in records:
-            if record.error is not None:
-                self.metrics.counter("results.failed").inc()
-            elif record.times:
-                timings.observe(min(record.times))
+        for value in best_seconds:
+            timings.observe(value)
         return records
 
     def set_result_hidden(self, acting: User, result: ResultRecord, hidden: bool) -> ResultRecord:

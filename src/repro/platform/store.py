@@ -4,6 +4,27 @@ Every entity is stored as a JSON document in a two-column table
 (``id INTEGER PRIMARY KEY, body TEXT``).  The document approach keeps the
 store schema-stable while the entity dataclasses evolve, and an in-memory
 database (``path=":memory:"``) makes tests and the in-process driver cheap.
+
+Durability and concurrency:
+
+* file-backed databases open in **WAL mode** with a ``busy_timeout`` --
+  readers never block the writer, a second process can open the same file,
+  and a crash mid-transaction rolls back to the last commit on reopen,
+* every multi-row write (:meth:`insert_many`, :meth:`update_many`,
+  :meth:`apply_batch`) is one sqlite transaction: either every row of the
+  batch is visible after reopen or none is,
+* the **idempotency table** maps client-generated submission keys to result
+  ids inside the same transaction that inserts the result, so a retried
+  submission can replay the original record instead of inserting a duplicate,
+* hot lookups (``user_by_key`` / ``user_by_nickname``) go through
+  ``json_extract`` expression indexes instead of deserialising the table.
+
+``fault_hook`` is the seam for the fault-injection harness
+(:mod:`repro.platform.faults`): when set, it is invoked with a fault-point
+label before every write inside a batch and before the final commit, and may
+raise to simulate a crash at exactly that point.  The batch is rolled back so
+the connection stays usable -- the on-disk state is the same one a process
+kill at that point would leave behind after sqlite's recovery.
 """
 
 from __future__ import annotations
@@ -27,16 +48,35 @@ _TABLES = (
     "comments",
 )
 
+#: ``json_extract`` expression indexes created at startup: (name, table, path).
+#: The lookup SQL must repeat the indexed expression *verbatim* (a bound
+#: parameter in the path would not match the index expression).
+_INDEXES = (
+    ("users_by_contributor_key", "users", "$.contributor_key"),
+    ("users_by_nickname", "users", "$.nickname"),
+    ("tasks_by_experiment", "tasks", "$.experiment_id"),
+    ("results_by_experiment", "results", "$.experiment_id"),
+)
+
 T = TypeVar("T")
 
 
 class Store:
-    """Thread-safe JSON-document store over sqlite3."""
+    """Thread-safe JSON-document store over sqlite3 (WAL for file databases)."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:",
+                 fault_hook: Callable[[str], None] | None = None):
         self.path = path
+        #: optional fault-injection seam; see the module docstring.
+        self.fault_hook = fault_hook
         self._connection = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.RLock()
+        # WAL keeps readers and the writer concurrent and makes crash
+        # recovery a journal replay; a :memory: database reports "memory"
+        # here and simply ignores the request.
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA busy_timeout=5000")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
         self._create_tables()
 
     def close(self) -> None:
@@ -50,7 +90,24 @@ class Store:
                     f"CREATE TABLE IF NOT EXISTS {table} "
                     "(id INTEGER PRIMARY KEY AUTOINCREMENT, body TEXT NOT NULL)"
                 )
+            # one row per accepted submission key; the PRIMARY KEY makes a
+            # double-insert of the same key impossible even if two racing
+            # submissions pass the service-level replay check.
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS idempotency "
+                "(key TEXT PRIMARY KEY, result_id INTEGER NOT NULL) WITHOUT ROWID"
+            )
+            for name, table, json_path in _INDEXES:
+                self._connection.execute(
+                    f"CREATE INDEX IF NOT EXISTS {name} "
+                    f"ON {table} (json_extract(body, '{json_path}'))"
+                )
             self._connection.commit()
+
+    def _maybe_fault(self, point: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(point)
 
     # -- generic operations ------------------------------------------------------
 
@@ -72,54 +129,33 @@ class Store:
             return []
         with self._lock:
             ids: list[int] = []
-            for entity in entities:
-                payload = entity.to_dict()
-                payload.pop("id", None)
-                cursor = self._connection.execute(
-                    f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
-                )
-                entity.id = int(cursor.lastrowid)
-                ids.append(entity.id)
-            self._connection.commit()
-            return ids
-
-    def update_many(self, table: str, entities: list) -> None:
-        """Persist a batch of entities in one transaction."""
-        if not entities:
-            return
-        with self._lock:
-            for entity in entities:
-                if entity.id is None:
-                    raise NotFound(f"cannot update an unsaved entity in '{table}'")
-                payload = entity.to_dict()
-                payload.pop("id", None)
-                cursor = self._connection.execute(
-                    f"UPDATE {table} SET body = ? WHERE id = ?",
-                    (json.dumps(payload), entity.id),
-                )
-                if cursor.rowcount == 0:
-                    self._connection.rollback()
-                    raise NotFound(f"no entity with id {entity.id} in '{table}'")
-            self._connection.commit()
-
-    def apply_batch(self, inserts: list[tuple[str, object]],
-                    updates: list[tuple[str, object]]) -> None:
-        """Apply inserts and updates atomically: all writes commit together.
-
-        Each element is a ``(table, entity)`` pair.  When any update targets
-        a missing row the whole batch -- including the inserts -- is rolled
-        back, so callers never observe a half-applied batch.
-        """
-        with self._lock:
             try:
-                for table, entity in inserts:
+                for entity in entities:
+                    self._maybe_fault("insert_many.write")
                     payload = entity.to_dict()
                     payload.pop("id", None)
                     cursor = self._connection.execute(
                         f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
                     )
                     entity.id = int(cursor.lastrowid)
-                for table, entity in updates:
+                    ids.append(entity.id)
+                self._maybe_fault("insert_many.commit")
+            except Exception:
+                self._rollback()
+                for entity in entities:
+                    entity.id = None
+                raise
+            self._connection.commit()
+            return ids
+
+    def update_many(self, table: str, entities: list) -> None:
+        """Persist a batch of entities in one transaction (all or nothing)."""
+        if not entities:
+            return
+        with self._lock:
+            try:
+                for entity in entities:
+                    self._maybe_fault("update_many.write")
                     if entity.id is None:
                         raise NotFound(f"cannot update an unsaved entity in '{table}'")
                     payload = entity.to_dict()
@@ -130,12 +166,65 @@ class Store:
                     )
                     if cursor.rowcount == 0:
                         raise NotFound(f"no entity with id {entity.id} in '{table}'")
+                self._maybe_fault("update_many.commit")
             except Exception:
-                self._connection.rollback()
+                self._rollback()
+                raise
+            self._connection.commit()
+
+    def apply_batch(self, inserts: list[tuple[str, object]],
+                    updates: list[tuple[str, object]],
+                    idempotency: list[tuple[str, object]] = ()) -> None:
+        """Apply inserts, updates and idempotency rows atomically.
+
+        ``inserts`` and ``updates`` are ``(table, entity)`` pairs;
+        ``idempotency`` is ``(key, entity)`` pairs whose entity must be among
+        the inserts -- its assigned id is recorded under the key in the same
+        transaction, so a result and its replay marker become visible
+        together or not at all.  When any write fails (missing row, injected
+        crash, duplicate key) the whole batch rolls back and insert ids are
+        reset, so callers never observe a half-applied batch.
+        """
+        with self._lock:
+            try:
+                for table, entity in inserts:
+                    self._maybe_fault("apply_batch.insert")
+                    payload = entity.to_dict()
+                    payload.pop("id", None)
+                    cursor = self._connection.execute(
+                        f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+                    )
+                    entity.id = int(cursor.lastrowid)
+                for table, entity in updates:
+                    self._maybe_fault("apply_batch.update")
+                    if entity.id is None:
+                        raise NotFound(f"cannot update an unsaved entity in '{table}'")
+                    payload = entity.to_dict()
+                    payload.pop("id", None)
+                    cursor = self._connection.execute(
+                        f"UPDATE {table} SET body = ? WHERE id = ?",
+                        (json.dumps(payload), entity.id),
+                    )
+                    if cursor.rowcount == 0:
+                        raise NotFound(f"no entity with id {entity.id} in '{table}'")
+                for key, entity in idempotency:
+                    self._connection.execute(
+                        "INSERT INTO idempotency (key, result_id) VALUES (?, ?)",
+                        (key, entity.id),
+                    )
+                self._maybe_fault("apply_batch.commit")
+            except Exception:
+                self._rollback()
                 for _table, entity in inserts:
                     entity.id = None
                 raise
             self._connection.commit()
+
+    def _rollback(self) -> None:
+        try:
+            self._connection.rollback()
+        except sqlite3.Error:  # pragma: no cover - connection already gone
+            pass
 
     def update(self, table: str, entity) -> None:
         """Persist the current state of ``entity`` (must already have an id)."""
@@ -181,12 +270,47 @@ class Store:
              predicate: Callable[[T], bool]) -> list[T]:
         return [entity for entity in self.all(table, factory) if predicate(entity)]
 
+    def _find_indexed(self, table: str, json_path: str, value,
+                      factory: Callable[[dict], T]) -> list[T]:
+        """Rows whose ``json_extract(body, json_path)`` equals ``value``.
+
+        ``json_path`` must be one of the expressions in :data:`_INDEXES` so
+        sqlite can satisfy the lookup from the index (O(log n)) instead of a
+        full deserialising scan.  The path is interpolated, not bound: a
+        parameter would not match the indexed expression.
+        """
+        assert any(path == json_path and table == t for _n, t, path in _INDEXES)
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT id, body FROM {table} "
+                f"WHERE json_extract(body, '{json_path}') = ? ORDER BY id",
+                (value,),
+            ).fetchall()
+        return [self._build(row, factory) for row in rows]
+
     @staticmethod
     def _build(row: Iterable, factory: Callable[[dict], T]) -> T:
         entity_id, body = row
         payload = json.loads(body)
         payload["id"] = int(entity_id)
         return factory(payload)
+
+    # -- idempotent submissions ---------------------------------------------------
+
+    def recall_submission(self, key: str) -> int | None:
+        """The result id recorded under ``key``, or None for a fresh key."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT result_id FROM idempotency WHERE key = ?", (key,)
+            ).fetchone()
+        return int(row[0]) if row else None
+
+    def idempotency_size(self) -> int:
+        """Number of remembered submission keys (chaos-test accounting)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM idempotency").fetchone()
+        return int(row[0])
 
     # -- typed convenience accessors ----------------------------------------------
 
@@ -197,13 +321,13 @@ class Store:
         return self.get("users", user_id, models.User.from_dict)
 
     def user_by_nickname(self, nickname: str) -> models.User | None:
-        matches = self.find("users", models.User.from_dict,
-                            lambda user: user.nickname == nickname)
+        matches = self._find_indexed("users", "$.nickname", nickname,
+                                     models.User.from_dict)
         return matches[0] if matches else None
 
     def user_by_key(self, contributor_key: str) -> models.User | None:
-        matches = self.find("users", models.User.from_dict,
-                            lambda user: user.contributor_key == contributor_key)
+        matches = self._find_indexed("users", "$.contributor_key", contributor_key,
+                                     models.User.from_dict)
         return matches[0] if matches else None
 
     def projects(self) -> list[models.Project]:
@@ -235,19 +359,19 @@ class Store:
         return self.get("experiments", experiment_id, models.Experiment.from_dict)
 
     def tasks(self, experiment_id: int | None = None) -> list[models.Task]:
-        tasks = self.all("tasks", models.Task.from_dict)
         if experiment_id is None:
-            return tasks
-        return [task for task in tasks if task.experiment_id == experiment_id]
+            return self.all("tasks", models.Task.from_dict)
+        return self._find_indexed("tasks", "$.experiment_id", experiment_id,
+                                  models.Task.from_dict)
 
     def task(self, task_id: int) -> models.Task:
         return self.get("tasks", task_id, models.Task.from_dict)
 
     def results(self, experiment_id: int | None = None) -> list[models.ResultRecord]:
-        results = self.all("results", models.ResultRecord.from_dict)
         if experiment_id is None:
-            return results
-        return [result for result in results if result.experiment_id == experiment_id]
+            return self.all("results", models.ResultRecord.from_dict)
+        return self._find_indexed("results", "$.experiment_id", experiment_id,
+                                  models.ResultRecord.from_dict)
 
     def result(self, result_id: int) -> models.ResultRecord:
         return self.get("results", result_id, models.ResultRecord.from_dict)

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import json
 import threading
+from socketserver import ThreadingMixIn
 from typing import Callable
-from wsgiref.simple_server import WSGIRequestHandler, make_server
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro import __version__
 from repro.errors import AccessDenied, NotFound, PlatformError, ValidationError
@@ -88,7 +89,14 @@ def _read_body(environ) -> dict:
     raw = environ["wsgi.input"].read(length)
     if not raw:
         return {}
-    return json.loads(raw.decode("utf-8"))
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # malformed JSON is the client's fault: 400, not a generic 500.
+        raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ValidationError("request body must be a JSON object")
+    return body
 
 
 def _dispatch(service: PlatformService, method: str, path: str, query: dict,
@@ -143,11 +151,17 @@ def _dispatch(service: PlatformService, method: str, path: str, query: dict,
                 "error": entry.get("error"),
                 "load_averages": entry.get("load_averages") or {},
                 "extras": entry.get("extras") or {},
+                "idempotency_key": entry.get("idempotency_key"),
+                "attempt": entry.get("attempt"),
             }
             for entry in body.get("results", [])
         ]
         records = service.submit_results(contributor, submissions)
-        return "200 OK", {"results": [record.to_dict() for record in records]}
+        # a ``null`` entry acknowledges a stale submission that was
+        # deliberately dropped; the client must not resubmit it.
+        return "200 OK", {"results": [
+            record.to_dict() if record is not None else None for record in records
+        ]}
 
     if path == "/api/result" and method == "POST":
         contributor = service.authenticate(key)
@@ -159,8 +173,10 @@ def _dispatch(service: PlatformService, method: str, path: str, query: dict,
             error=body.get("error"),
             load_averages=body.get("load_averages") or {},
             extras=body.get("extras") or {},
+            idempotency_key=body.get("idempotency_key"),
+            attempt=body.get("attempt"),
         )
-        return "200 OK", {"result": result.to_dict()}
+        return "200 OK", {"result": result.to_dict() if result is not None else None}
 
     if path == "/api/results" and method == "GET":
         experiment = service.store.experiment(int(query["experiment"]))
@@ -177,12 +193,32 @@ class _QuietHandler(WSGIRequestHandler):
         pass
 
 
-class PlatformServer:
-    """A background HTTP server wrapping the WSGI app (used by driver tests/examples)."""
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """WSGI server handling each request on its own daemon thread.
 
-    def __init__(self, service: PlatformService, host: str = "127.0.0.1", port: int = 0):
+    ``wsgiref``'s default server is single-threaded, which would serialise
+    every contributor behind the slowest request and hide concurrency bugs
+    from the chaos/load tests.  Handler threads are daemonic so a hung
+    request cannot block interpreter shutdown; request-level consistency is
+    the service's job (its queue lock makes claim/submit transitions atomic).
+    """
+
+    daemon_threads = True
+
+
+class PlatformServer:
+    """A background HTTP server wrapping the WSGI app (used by driver tests/examples).
+
+    ``application`` overrides the WSGI callable (the fault-injection tests
+    wrap the real app in deliberately misbehaving middleware).
+    """
+
+    def __init__(self, service: PlatformService, host: str = "127.0.0.1",
+                 port: int = 0, application: Callable | None = None):
         self.service = service
-        self._server = make_server(host, port, create_wsgi_app(service),
+        self._server = make_server(host, port,
+                                   application or create_wsgi_app(service),
+                                   server_class=ThreadingWSGIServer,
                                    handler_class=_QuietHandler)
         self.host = host
         self.port = self._server.server_address[1]

@@ -74,7 +74,11 @@ class TestServiceBatching:
         ])
         assert len(records) == 2
         assert claimed[0].status == TaskStatus.DONE.value
-        assert claimed[1].status == TaskStatus.FAILED.value
+        # a first error re-pends the task for another attempt instead of
+        # failing it outright (retry budget: experiment.max_attempts).
+        assert claimed[1].status == TaskStatus.PENDING.value
+        assert claimed[1].attempts == 1
+        assert claimed[1].last_error == "ExecutionError: boom"
         assert records[1].error == "ExecutionError: boom"
 
     def test_submit_results_batch_validates_before_writing(self, platform):

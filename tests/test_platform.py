@@ -142,11 +142,27 @@ class TestQueueAndResults:
         assert result.best == pytest.approx(0.09)
         assert service.queue_status(experiment)["done"] == 1
 
-    def test_failed_result_marks_task_failed(self, populated):
+    def test_failed_result_requeues_until_budget_then_dead_letters(self, populated):
         service, owner, contributor, experiment, tasks = self._queue(populated)
         task = service.next_task(contributor, experiment)
+        # an error burns the lease but the task returns to the pending pool
+        # while it still has retry budget (max_attempts defaults to 3).
         service.submit_result(contributor, task, times=[], error="syntax error")
+        assert task.status == "pending" and task.attempts == 1
+        assert task.last_error == "syntax error"
+        # burn the remaining budget: same task, two more failing leases.
+        for attempt in (2, 3):
+            claimed = service.next_tasks(contributor, experiment, limit=len(tasks))
+            failing = next(entry for entry in claimed if entry.id == task.id)
+            assert failing.attempts == attempt
+            service.submit_result(contributor, failing, times=[], error="syntax error")
+        assert failing.status == "failed"
         assert service.queue_status(experiment)["failed"] == 1
+        assert service.metrics.counter("tasks.retried").value == 2
+        assert service.metrics.counter("tasks.dead_lettered").value == 1
+        # dead-lettered means terminal: the task is never handed out again.
+        again = service.next_tasks(contributor, experiment, limit=len(tasks) + 1)
+        assert task.id not in {entry.id for entry in again}
 
     def test_empty_success_rejected(self, populated):
         service, owner, contributor, experiment, tasks = self._queue(populated)
@@ -168,6 +184,72 @@ class TestQueueAndResults:
         service.store.update("tasks", task)
         expired = service.expire_stuck_tasks(experiment)
         assert [entry.id for entry in expired] == [task.id]
+        # an expired lease with budget left goes back to the pending pool
+        # with its assignment cleared, ready to be claimed again.
+        swept = service.store.task(task.id)
+        assert swept.status == "pending"
+        assert swept.assigned_to is None and swept.assigned_at is None
+        assert service.metrics.counter("tasks.retried").value == 1
+
+    def test_expired_lease_without_budget_dead_letters(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        task.assigned_at -= 10_000
+        task.attempts = task.max_attempts  # budget already spent
+        service.store.update("tasks", task)
+        service.expire_stuck_tasks(experiment)
+        dead = service.store.task(task.id)
+        assert dead.status == "failed"
+        assert "lease expired" in (dead.last_error or "")
+        assert service.metrics.counter("tasks.dead_lettered").value == 1
+
+    def test_claiming_sweeps_overdue_leases(self, populated):
+        """A fresh claim may hand out a task whose previous lease expired."""
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        claimed = service.next_tasks(contributor, experiment, limit=len(tasks))
+        assert len(claimed) == len(tasks)  # queue fully leased out
+        stuck = claimed[0]
+        stuck.assigned_at -= 10_000
+        service.store.update("tasks", stuck)
+        # no explicit expiry call: next_tasks runs the sweep itself.
+        reclaimed = service.next_tasks(contributor, experiment, limit=len(tasks))
+        assert [entry.id for entry in reclaimed] == [stuck.id]
+        assert reclaimed[0].attempts == 2
+
+    def test_late_result_for_reclaimed_lease_is_dropped(self, populated):
+        """Attempt fencing: a slow worker cannot overwrite a re-leased task."""
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        first = service.next_task(contributor, experiment)
+        stale_attempt = first.attempts
+        first.assigned_at -= 10_000
+        service.store.update("tasks", first)
+        service.expire_stuck_tasks(experiment)
+        reclaimed = service.next_tasks(contributor, experiment, limit=len(tasks))
+        assert first.id in {entry.id for entry in reclaimed}
+        # the slow first worker finally reports, echoing its old attempt.
+        late = service.submit_result(contributor, service.store.task(first.id),
+                                     times=[0.5], attempt=stale_attempt)
+        assert late is None  # acknowledged but dropped
+        assert service.store.task(first.id).status == "running"  # lease intact
+        assert service.metrics.counter("results.stale").value == 1
+
+    def test_idempotent_resubmission_replays_original(self, populated):
+        service, owner, contributor, experiment, tasks = self._queue(populated)
+        task = service.next_task(contributor, experiment)
+        key = "deadbeef" * 4
+        first = service.submit_result(contributor, task, times=[0.2, 0.1],
+                                      idempotency_key=key, attempt=task.attempts)
+        again = service.submit_result(contributor, task, times=[9.9],
+                                      idempotency_key=key, attempt=task.attempts)
+        assert again.id == first.id and again.times == [0.2, 0.1]
+        assert len(service.store.results(experiment.id)) == 1
+        assert service.metrics.counter("results.deduplicated").value == 1
+
+    def test_max_attempts_must_be_positive(self, populated):
+        service, owner, _, _, project, _ = populated
+        with pytest.raises(ValidationError):
+            service.add_experiment(owner, project, "bad", QUERIES[6],
+                                   max_attempts=0)
 
     def test_hidden_results_only_visible_to_members(self, populated):
         service, owner, contributor, experiment, tasks = self._queue(populated)
@@ -251,3 +333,46 @@ class TestWebAPI:
             client = HTTPClient(server.url, "wrong-key")
             with pytest.raises(TransportError):
                 client.next_task(experiment.id)
+
+    @pytest.mark.parametrize("body", [b"{not json", b"\xff\xfe garbage", b'["a list"]'])
+    def test_http_malformed_body_is_a_400(self, populated, body):
+        """A broken request body is the client's fault (400), never a 500."""
+        import urllib.error
+        import urllib.request
+
+        service, _, contributor, _, _, experiment = populated
+        with PlatformServer(service) as server:
+            request = urllib.request.Request(
+                f"{server.url}/api/task", data=body, method="POST")
+            request.add_header("Content-Type", "application/json")
+            request.add_header("X-Sqalpel-Key", contributor.contributor_key)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+
+class TestIndexedLookups:
+    def test_user_lookups_round_trip(self, service):
+        users = [service.register_user(f"user{i}", f"user{i}@example.org")
+                 for i in range(10)]
+        probe = users[7]
+        assert service.store.user_by_key(probe.contributor_key).id == probe.id
+        assert service.store.user_by_nickname("user3").id == users[3].id
+        assert service.store.user_by_key("no-such-key") is None
+        assert service.store.user_by_nickname("nobody") is None
+
+    def test_lookup_sees_updates(self, service):
+        user = service.register_user("old-name", "u@example.org")
+        user.nickname = "new-name"
+        service.store.update("users", user)
+        assert service.store.user_by_nickname("old-name") is None
+        assert service.store.user_by_nickname("new-name").id == user.id
+
+    def test_lookup_uses_the_expression_index(self, service):
+        """The query plan must hit the json_extract index, not scan the table."""
+        plan = service.store._connection.execute(
+            "EXPLAIN QUERY PLAN SELECT id, body FROM users "
+            "WHERE json_extract(body, '$.contributor_key') = ?", ("x",)
+        ).fetchall()
+        detail = " ".join(str(row) for row in plan)
+        assert "users_by_contributor_key" in detail
