@@ -8,9 +8,16 @@ executing the bare physical plan on the paper's running examples -- TPC-H Q1
 on the row engine and Q6 on the column engine.  The overhead of actually
 *enabling* span collection is recorded informationally alongside.
 
-A run writes ``BENCH_observability.json`` plus a sample EXPLAIN ANALYZE span
-tree (``BENCH_observability_trace.json``) into ``BENCH_ARTIFACT_DIR`` or the
-current directory, so CI archives a real trace next to the numbers.
+A second gate covers the *platform* telemetry added on top of the engine:
+the warm claim -> execute -> submit loop with full tracing (spans, structured
+logs, flight recorder) must stay within ``PLATFORM_OBS_MAX_OVERHEAD``
+(default 5%) of the same loop with ``TelemetryConfig.disabled()``.
+
+A run writes ``BENCH_observability.json`` (engine + platform sections), a
+sample EXPLAIN ANALYZE span tree (``BENCH_observability_trace.json``) and a
+stitched end-to-end task timeline from a fault-forced retry
+(``BENCH_task_timeline.json``) into ``BENCH_ARTIFACT_DIR`` or the current
+directory, so CI archives a real cross-process trace next to the numbers.
 """
 
 from __future__ import annotations
@@ -23,13 +30,28 @@ from pathlib import Path
 
 import pytest
 
+from repro.analytics import profiles_by_trace, stitch_timelines, timeline_report
+from repro.driver import BatchRunner, DriverConfig, InProcessClient
 from repro.engine import ColumnEngine, EngineOptions, RowEngine
 from repro.engine.result import QueryResult
+from repro.obs import JsonLogger, TelemetryConfig
+from repro.platform import (
+    FaultConfig,
+    FaultInjector,
+    FlakyEngine,
+    PlatformService,
+)
+from repro.platform.models import Task
 from repro.tpch import QUERIES
 from repro.workflow import build_tpch_database
 
 #: committed ceiling on the relative overhead of the tracing-disabled path.
 MAX_OVERHEAD = float(os.environ.get("OBS_BENCH_MAX_OVERHEAD", "0.05"))
+
+#: committed ceiling on the relative overhead of full platform telemetry on
+#: the warm claim -> execute -> submit loop.
+PLATFORM_MAX_OVERHEAD = float(
+    os.environ.get("PLATFORM_OBS_MAX_OVERHEAD", "0.05"))
 
 #: (query id, engine kind, samples per contestant)
 MATRIX = [
@@ -117,11 +139,161 @@ def test_disabled_tracing_overhead_is_bounded(tpch_db, benchmark, run_once):
 
     sample = ColumnEngine(tpch_db).execute("explain analyze " + QUERIES[6])
     artifact_dir = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
-    (artifact_dir / "BENCH_observability.json").write_text(json.dumps({
+    _merge_artifact(artifact_dir / "BENCH_observability.json", {
         "max_overhead": MAX_OVERHEAD,
         "entries": entries,
-    }, indent=2))
+    })
     (artifact_dir / "BENCH_observability_trace.json").write_text(
         json.dumps(sample.trace.to_dict(), indent=2))
 
     assert not failures, "; ".join(failures)
+
+
+def _merge_artifact(path: Path, update: dict) -> None:
+    """Read-modify-write one section of a shared JSON artifact."""
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(update)
+    path.write_text(json.dumps(data, indent=2))
+
+
+# ---------------------------------------------------------------------------
+# platform telemetry overhead
+# ---------------------------------------------------------------------------
+
+#: tasks pre-enqueued per contestant: each sample consumes one task from
+#: each queue, keeping the loop warm and the queues equal in depth.
+PLATFORM_SAMPLES = 150
+
+PLATFORM_SQL = QUERIES[6]
+
+
+def _platform_loop(tpch_db, telemetry: TelemetryConfig, tasks: int):
+    """A warm claim -> execute -> submit pipeline consuming one task per call."""
+    service = PlatformService(
+        telemetry=telemetry,
+        logger=JsonLogger() if telemetry.enabled else None)
+    owner = service.register_user("owner", "owner@example.org")
+    contributor = service.register_user("worker", "worker@example.org")
+    service.register_dbms("columnstore", "1.0")
+    service.register_host("bench")
+    project = service.create_project(owner, "bench")
+    service.invite_contributor(owner, project, contributor)
+    experiment = service.add_experiment(owner, project, "bench-exp",
+                                        PLATFORM_SQL, repeats=1,
+                                        timeout_seconds=60.0)
+    for index in range(tasks):
+        service.store.insert("tasks", Task(
+            experiment_id=experiment.id, query_sql=PLATFORM_SQL,
+            query_key=f"bench-{index}", dbms_label="columnstore-1.0",
+            host_name="bench", timeout_seconds=60.0))
+    engine = ColumnEngine(tpch_db, options=EngineOptions(workers=1))
+    engine.execute(engine.prepare(PLATFORM_SQL))  # warm kernels + plan cache
+    # repeats=5 is the paper's default protocol ("each experiment is run
+    # five times"); only the first repetition is traced (by design, see
+    # ``measure_query``), so the loop also exercises the amortisation a
+    # real driver run gets.
+    config = DriverConfig(key=contributor.contributor_key,
+                          dbms="columnstore-1.0", host="bench",
+                          repeats=5, retries=0, batch_size=1,
+                          trace_tasks=telemetry.enabled, telemetry=telemetry)
+    runner = BatchRunner(
+        client=InProcessClient(service, contributor.contributor_key),
+        engine=engine, config=config,
+        logger=service.log if telemetry.enabled else None)
+
+    def step():
+        assert runner.run_batch(experiment.id, count=1) == 1
+
+    return step
+
+
+def test_platform_telemetry_overhead_is_bounded(tpch_db):
+    """Full tracing must cost < PLATFORM_OBS_MAX_OVERHEAD on the warm loop."""
+    telemetry_on = _platform_loop(tpch_db, TelemetryConfig(),
+                                  tasks=PLATFORM_SAMPLES + 1)
+    telemetry_off = _platform_loop(tpch_db, TelemetryConfig.disabled(),
+                                   tasks=PLATFORM_SAMPLES + 1)
+    # one unmeasured warm-up lap each (store pages, logger stream, caches).
+    telemetry_on()
+    telemetry_off()
+    on_samples: list[float] = []
+    off_samples: list[float] = []
+    for _ in range(PLATFORM_SAMPLES):
+        started = time.perf_counter()
+        telemetry_on()
+        on_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        telemetry_off()
+        off_samples.append(time.perf_counter() - started)
+    enabled = statistics.median(on_samples)
+    disabled = statistics.median(off_samples)
+    # adjacent calls share scheduler/frequency conditions, so the median of
+    # the *paired* differences isolates the telemetry cost from drift that
+    # per-contestant medians taken over the whole run would fold in.
+    marginal = statistics.median(on - off for on, off
+                                 in zip(on_samples, off_samples))
+    overhead = marginal / disabled if disabled else 0.0
+    print(f"platform loop: telemetry-off={disabled * 1000:.3f}ms "
+          f"telemetry-on={enabled * 1000:.3f}ms "
+          f"paired marginal={marginal * 1000:.3f}ms ({overhead:+.1%})")
+
+    artifact_dir = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+    _merge_artifact(artifact_dir / "BENCH_observability.json", {
+        "platform": {
+            "max_overhead": PLATFORM_MAX_OVERHEAD,
+            "samples": PLATFORM_SAMPLES,
+            "telemetry_off_seconds": disabled,
+            "telemetry_on_seconds": enabled,
+            "overhead": overhead,
+        },
+    })
+    assert overhead <= PLATFORM_MAX_OVERHEAD, \
+        f"platform telemetry overhead {overhead:.1%} > {PLATFORM_MAX_OVERHEAD:.0%}"
+
+
+def test_task_timeline_artifact(tpch_db):
+    """Emit a stitched end-to-end timeline crossing a fault-injected retry."""
+    telemetry = TelemetryConfig()
+    service = PlatformService(telemetry=telemetry, logger=JsonLogger())
+    owner = service.register_user("owner", "owner@example.org")
+    contributor = service.register_user("worker", "worker@example.org")
+    service.register_dbms("columnstore", "1.0")
+    service.register_host("bench")
+    project = service.create_project(owner, "timeline")
+    service.invite_contributor(owner, project, contributor)
+    experiment = service.add_experiment(owner, project, "timeline-exp",
+                                        PLATFORM_SQL, repeats=1,
+                                        timeout_seconds=60.0)
+    service.store.insert("tasks", Task(
+        experiment_id=experiment.id, query_sql=PLATFORM_SQL,
+        query_key="timeline-0", dbms_label="columnstore-1.0",
+        host_name="bench", timeout_seconds=60.0))
+    engine = ColumnEngine(tpch_db, options=EngineOptions(workers=1))
+    config = DriverConfig(key=contributor.contributor_key,
+                          dbms="columnstore-1.0", host="bench",
+                          repeats=1, retries=0, batch_size=1, trace_tasks=True,
+                          telemetry=telemetry)
+    client = InProcessClient(service, contributor.contributor_key)
+    # attempt 1 fails via an injected engine fault, attempt 2 succeeds: the
+    # archived timeline shows a retry crossing under a single trace id.
+    flaky = FlakyEngine(engine, FaultInjector(FaultConfig(fail_task=1.0), seed=9))
+    assert BatchRunner(client=client, engine=flaky,
+                       config=config).run_batch(experiment.id, count=1) == 1
+    assert BatchRunner(client=client, engine=engine,
+                       config=config).run_batch(experiment.id, count=1) == 1
+
+    results = service.store.results(experiment.id)
+    timelines = stitch_timelines(tasks=service.store.tasks(experiment.id),
+                                 results=results,
+                                 span_sources=[service.spans],
+                                 profiles=profiles_by_trace(results))
+    assert len(timelines) == 1
+    assert timelines[0].attempts == 2 and timelines[0].outcome == "done"
+    artifact_dir = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+    (artifact_dir / "BENCH_task_timeline.json").write_text(
+        json.dumps(timeline_report(timelines), indent=2))

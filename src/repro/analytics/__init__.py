@@ -16,7 +16,9 @@ the figures as tables/CSV:
 * :mod:`repro.analytics.views` -- the grammar page and query-pool page
   summaries (Figures 5 and 6),
 * :mod:`repro.analytics.profiles` -- scan-efficiency / plan-quality report
-  aggregated from the execution profiles the driver submits with results.
+  aggregated from the execution profiles the driver submits with results,
+* :mod:`repro.analytics.timeline` -- per-task end-to-end timelines stitched
+  from driver- and server-side span records sharing one trace id.
 """
 
 from repro.analytics.speedup import SpeedupPoint, SpeedupReport, speedup_report
@@ -24,7 +26,19 @@ from repro.analytics.components import ComponentReport, component_report
 from repro.analytics.differential import Differential, differential
 from repro.analytics.history import HistoryNode, HistoryEdge, ExperimentHistory, experiment_history
 from repro.analytics.views import grammar_view, pool_view
-from repro.analytics.profiles import EngineProfileSummary, ProfileReport, profile_report
+from repro.analytics.profiles import (
+    EngineProfileSummary,
+    ProfileReport,
+    profile_report,
+    profiles_by_trace,
+)
+from repro.analytics.timeline import (
+    TaskTimeline,
+    read_span_log,
+    stitch_timelines,
+    timeline_lines,
+    timeline_report,
+)
 
 __all__ = [
     "SpeedupPoint",
@@ -43,4 +57,10 @@ __all__ = [
     "EngineProfileSummary",
     "ProfileReport",
     "profile_report",
+    "profiles_by_trace",
+    "TaskTimeline",
+    "read_span_log",
+    "stitch_timelines",
+    "timeline_lines",
+    "timeline_report",
 ]

@@ -104,6 +104,27 @@ def _label_of(record, profile: dict) -> str:
     return label or profile.get("engine") or "unknown"
 
 
+def profiles_by_trace(records) -> dict[str, dict]:
+    """Index the execution profiles carried by ``records`` by trace id.
+
+    The driver stamps ``extras["trace_id"]`` (and mirrors it into the
+    profile dict) on every traced submission, so this join lets
+    ``analytics/timeline.py`` hang engine-side statistics -- phase
+    timings, scan counters, plan-cache behaviour -- off the matching task
+    timeline.  Records without a trace id are skipped; when a trace was
+    submitted more than once (retries), the last profile wins, matching
+    the platform's last-write-wins result semantics.
+    """
+    joined: dict[str, dict] = {}
+    for record in records:
+        extras = _extras_of(record)
+        profile = extras.get("profile") or {}
+        trace_id = profile.get("trace_id") or extras.get("trace_id")
+        if trace_id:
+            joined[str(trace_id)] = profile
+    return joined
+
+
 def profile_report(records) -> ProfileReport:
     """Aggregate the profiles carried by ``records`` into a report.
 

@@ -9,7 +9,13 @@ Sub-commands:
 * ``demo``                    -- run the end-to-end demo scenario on a tiny
   TPC-H instance (grammar -> pool -> queue -> driver -> analytics),
 * ``explain [sql-file] [--tpch N] [--analyze]`` -- print the plan tree (or,
-  with ``--analyze``, the traced execution) of a query on a built-in engine.
+  with ``--analyze``, the traced execution) of a query on a built-in engine,
+* ``metrics [--server URL | --store PATH]`` -- pretty-print a platform
+  metrics snapshot (live ``/api/metrics`` fetch, or queue counts computed
+  offline from a store file),
+* ``timeline [--flight-log PATH] [--json PATH]`` -- stitch span records into
+  per-task timelines: render a flight-recorder / span JSONL log, or run the
+  demo scenario with telemetry enabled and show where each task's time went.
 """
 
 from __future__ import annotations
@@ -45,6 +51,29 @@ def main(argv: list[str] | None = None) -> int:
     demo_parser.add_argument("--pool-size", type=int, default=12)
     demo_parser.add_argument("--workers", type=int, default=1,
                              help="column-engine morsel workers (1 = serial)")
+    demo_parser.add_argument("--metrics", action="store_true",
+                             help="also print the platform metrics snapshot")
+
+    metrics_parser = commands.add_parser(
+        "metrics", help="pretty-print a platform metrics snapshot")
+    metrics_parser.add_argument("--server", default=None, metavar="URL",
+                                help="fetch /api/metrics from a running server")
+    metrics_parser.add_argument("--store", default=None, metavar="PATH",
+                                help="compute queue counts offline from a store file")
+    metrics_parser.add_argument("--json", action="store_true",
+                                help="print the raw snapshot as JSON")
+
+    timeline_parser = commands.add_parser(
+        "timeline", help="stitch span records into per-task timelines")
+    timeline_parser.add_argument("--flight-log", default=None, metavar="PATH",
+                                 help="flight-recorder / span JSONL log to render "
+                                      "(default: run the telemetry demo)")
+    timeline_parser.add_argument("--json", default=None, metavar="PATH",
+                                 help="also write the stitched report as JSON")
+    timeline_parser.add_argument("--limit", type=int, default=0,
+                                 help="show at most N timelines (0 = all)")
+    timeline_parser.add_argument("--scale-factor", type=float, default=0.001)
+    timeline_parser.add_argument("--pool-size", type=int, default=6)
 
     explain_parser = commands.add_parser(
         "explain", help="print the plan (or traced execution) of a query")
@@ -68,6 +97,8 @@ def main(argv: list[str] | None = None) -> int:
         "table2": _cmd_table2,
         "demo": _cmd_demo,
         "explain": _cmd_explain,
+        "metrics": _cmd_metrics,
+        "timeline": _cmd_timeline,
     }[arguments.command]
     return handler(arguments)
 
@@ -151,6 +182,126 @@ def _cmd_demo(arguments) -> int:
                                 pool_size=arguments.pool_size,
                                 workers=arguments.workers)
     print(summary.describe())
+    if arguments.metrics and summary.metrics:
+        print()
+        for line in _metrics_lines(summary.metrics):
+            print(line)
+    return 0
+
+
+def _metrics_lines(snapshot: dict) -> list[str]:
+    """Render a metrics snapshot as aligned text lines."""
+    lines = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        lines.append("counters:")
+        lines.extend(f"  {name:<40} {value}"
+                     for name, value in sorted(counters.items()))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(f"  {name:<40} {value:.3f}"
+                     for name, value in sorted(gauges.items()))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        lines.append("histograms:")
+        for name, summary in sorted(histograms.items()):
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            quantiles = " ".join(
+                f"{label}={summary[label] * 1000.0:.2f}ms"
+                for label in ("p50", "p95", "p99")
+                if summary.get(label) is not None)
+            lines.append(f"  {name:<40} count={count} "
+                         f"mean={(summary.get('mean') or 0.0) * 1000.0:.2f}ms "
+                         f"{quantiles}")
+    derived = snapshot.get("derived") or {}
+    if derived:
+        lines.append("derived:")
+        lines.extend(f"  {name:<40} {value:.1%}"
+                     for name, value in sorted(derived.items()))
+    return lines or ["(no metrics recorded)"]
+
+
+def _store_snapshot(path: str) -> dict:
+    """Queue counts computed offline from a platform store file."""
+    import time
+
+    from repro.platform.store import Store
+
+    store = Store(path)
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    now = time.time()
+    oldest_lease = None
+    for task in store.tasks():
+        counters[f"queue.{task.status}"] = counters.get(f"queue.{task.status}", 0) + 1
+        if task.status == "running" and task.assigned_at is not None:
+            age = now - task.assigned_at
+            oldest_lease = age if oldest_lease is None else max(oldest_lease, age)
+    counters["results.stored"] = len(store.results())
+    if oldest_lease is not None:
+        gauges["queue.oldest_lease_seconds"] = oldest_lease
+    return {"counters": counters, "gauges": gauges, "histograms": {}, "derived": {}}
+
+
+def _cmd_metrics(arguments) -> int:
+    import json
+
+    if bool(arguments.server) == bool(arguments.store):
+        print("metrics needs exactly one of --server URL or --store PATH",
+              file=sys.stderr)
+        return 2
+    if arguments.server:
+        import urllib.request
+
+        url = arguments.server.rstrip("/") + "/api/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                snapshot = json.loads(response.read().decode("utf-8"))
+        except OSError as exc:
+            print(f"cannot fetch {url}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        snapshot = _store_snapshot(arguments.store)
+    if arguments.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        for line in _metrics_lines(snapshot):
+            print(line)
+    return 0
+
+
+def _cmd_timeline(arguments) -> int:
+    import json
+    from pathlib import Path as _Path
+
+    from repro.analytics import (read_span_log, stitch_timelines,
+                                 timeline_lines, timeline_report)
+
+    if arguments.flight_log:
+        spans = read_span_log(arguments.flight_log)
+        timelines = stitch_timelines(span_sources=[spans])
+    else:
+        from repro.obs import TelemetryConfig
+        from repro.workflow import run_demo_scenario
+
+        summary = run_demo_scenario(scale_factor=arguments.scale_factor,
+                                    pool_size=arguments.pool_size,
+                                    telemetry=TelemetryConfig())
+        timelines = summary.timelines
+    shown = timelines[:arguments.limit] if arguments.limit > 0 else timelines
+    for line in timeline_lines(shown):
+        print(line)
+    if len(shown) < len(timelines):
+        print(f"... {len(timelines) - len(shown)} more timelines "
+              f"(raise --limit to see them)")
+    if arguments.json:
+        report = timeline_report(timelines)
+        _Path(arguments.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True), encoding="utf-8")
+        print(f"wrote {report['tasks']}-task timeline report to {arguments.json}")
     return 0
 
 

@@ -31,7 +31,15 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.errors import TransportError
-from repro.obs import MetricsRegistry
+from repro.obs import (
+    NULL_LOGGER,
+    JsonLogger,
+    MetricsRegistry,
+    SpanContext,
+    current_context,
+    new_span_id,
+    new_trace_id,
+)
 from repro.platform.models import Experiment, Task
 from repro.platform.service import PlatformService
 
@@ -104,23 +112,26 @@ class HTTPClient:
     def __init__(self, base_url: str, contributor_key: str, timeout: float = 30.0,
                  retry: RetryPolicy | None = RetryPolicy(),
                  metrics: MetricsRegistry | None = None,
-                 rng: random.Random | None = None):
+                 rng: random.Random | None = None,
+                 logger: JsonLogger | None = None):
         self.base_url = base_url.rstrip("/")
         self.contributor_key = contributor_key
         self.timeout = timeout
         self.retry = retry
         self.metrics = metrics
+        self.log = (logger or NULL_LOGGER).bind("client")
         self._rng = rng or random.Random()
 
     # -- raw helpers -------------------------------------------------------------
 
-    def _request_once(self, method: str, path: str,
-                      payload: dict | None = None) -> dict | list:
+    def _request_once(self, method: str, path: str, payload: dict | None,
+                      context: SpanContext) -> dict | list:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(url, data=data, method=method)
         request.add_header("Content-Type", "application/json")
         request.add_header("X-Sqalpel-Key", self.contributor_key)
+        request.add_header("Traceparent", context.to_traceparent())
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             return json.loads(response.read().decode("utf-8"))
 
@@ -128,9 +139,14 @@ class HTTPClient:
         policy = self.retry
         attempts = policy.attempts if policy is not None else 0
         delay = policy.base_delay if policy is not None else 0.0
+        # one traceparent per logical request, continuing the ambient span
+        # context when there is one (e.g. the driver executing a traced
+        # task); retries reuse it, so the server-side ``http`` spans of
+        # every attempt share a trace id.
+        context = current_context() or SpanContext(new_trace_id(), new_span_id())
         for attempt in range(attempts + 1):
             try:
-                return self._request_once(method, path, payload)
+                return self._request_once(method, path, payload, context)
             except urllib.error.HTTPError as exc:
                 detail = exc.read().decode("utf-8", errors="replace")
                 transient = policy is not None and exc.code in policy.retry_statuses
@@ -143,12 +159,20 @@ class HTTPClient:
                 delay = (min(retry_after, policy.max_delay)
                          if retry_after is not None
                          else policy.next_delay(delay, self._rng))
+                self.log.warning("client.retry", method=method, path=path,
+                                 status=exc.code, delay=delay,
+                                 attempt=attempt + 1,
+                                 trace_id=context.trace_id)
             except (urllib.error.URLError, TimeoutError) as exc:
                 if policy is None or attempt == attempts:
                     raise TransportError(
                         f"cannot reach the platform at {self.base_url}{path}: {exc}"
                     ) from exc
                 delay = policy.next_delay(delay, self._rng)
+                self.log.warning("client.retry", method=method, path=path,
+                                 error=str(exc), delay=delay,
+                                 attempt=attempt + 1,
+                                 trace_id=context.trace_id)
             if self.metrics is not None:
                 self.metrics.counter("client.retries").inc()
             time.sleep(delay)

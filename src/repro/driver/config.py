@@ -36,6 +36,24 @@ targets and does not compromise timing fidelity.  ``retries`` and
 ``retry_delay`` bound the runner's retry loop around failed platform round
 trips (decorrelated-jitter backoff; submissions stay safe to retry because
 they carry idempotency keys).
+
+An optional ``[telemetry]`` section configures the driver's tracing::
+
+    [telemetry]
+    enabled = true
+    trace_tasks = true
+    span_capacity = 2048
+    flight_capacity = 32
+    slow_task_seconds = 1.0
+    span_log = /tmp/driver-spans.jsonl
+    flight_log = /tmp/flight.jsonl
+
+``trace_tasks`` turns on per-task driver spans (claim/execute/submit plus
+the engine's nested ``QueryTrace``); ``span_log`` appends every recorded
+span as JSONL when a drain finishes, ready for
+``analytics/timeline.py`` / the CLI ``timeline`` subcommand.  The
+remaining knobs mirror :class:`repro.obs.TelemetryConfig` (shared with
+the service's flight recorder).
 """
 
 from __future__ import annotations
@@ -45,6 +63,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.obs import TelemetryConfig
 
 
 @dataclass
@@ -68,6 +87,13 @@ class DriverConfig:
     retries: int = 4
     #: base delay of the decorrelated-jitter backoff between retries.
     retry_delay: float = 0.05
+    #: record per-task driver spans (execute / submit / backoff, with the
+    #: engine's QueryTrace nested under the execute span).
+    trace_tasks: bool = False
+    #: JSONL file the runner appends its recorded spans to after a drain.
+    span_log: str | None = None
+    #: shared telemetry knobs (span/flight capacities, slow threshold, sinks).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -126,6 +152,15 @@ def load_config(path: str | Path) -> DriverConfig:
         key: value
         for key, value in (parser["extras"].items() if "extras" in parser else [])
     }
+    telemetry_section = dict(parser["telemetry"]) if "telemetry" in parser else {}
+    try:
+        telemetry = TelemetryConfig.from_mapping(telemetry_section)
+    except ValueError:
+        raise ConfigError("span_capacity/flight_capacity must be integers and "
+                          "slow_task_seconds a number") from None
+    trace_tasks = telemetry.enabled and str(
+        telemetry_section.get("trace_tasks", "false")).strip().lower() \
+        in ("1", "true", "yes", "on")
     return DriverConfig(
         key=sqalpel.get("key", ""),
         dbms=target.get("dbms", sqalpel.get("dbms", "")),
@@ -140,5 +175,8 @@ def load_config(path: str | Path) -> DriverConfig:
         engine_workers=engine_workers,
         retries=retries,
         retry_delay=retry_delay,
+        trace_tasks=trace_tasks,
+        span_log=telemetry.span_log,
+        telemetry=telemetry,
         extras=extras,
     )

@@ -31,7 +31,18 @@ from repro.driver.config import DriverConfig
 from repro.engine.engine import Engine
 from repro.engine.plan import QueryPlan
 from repro.errors import TransportError
-from repro.obs import MetricsRegistry
+from repro.obs import (
+    NULL_LOGGER,
+    JsonLogger,
+    MetricsRegistry,
+    QueryTrace,
+    SpanContext,
+    SpanRecorder,
+    export_query_trace,
+    new_span_id,
+    use_context,
+    write_span_log,
+)
 from repro.sqlparser import ast
 from repro.sqlparser.printer import to_sql
 
@@ -57,6 +68,8 @@ class RunOutcome:
     load_after: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
     timed_out: bool = False
+    #: engine span tree of the first repetition when tracing was requested.
+    trace: QueryTrace | None = None
 
     @property
     def best(self) -> float | None:
@@ -68,7 +81,8 @@ class RunOutcome:
 
 
 def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
-                  repeats: int = 5, timeout: float | None = None) -> RunOutcome:
+                  repeats: int = 5, timeout: float | None = None,
+                  trace: bool = False) -> RunOutcome:
     """Run ``query`` ``repeats`` times on ``engine`` and collect execution times.
 
     The query is prepared (parsed and planned) exactly once; every repetition
@@ -83,6 +97,11 @@ def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
     (``extras["timed_out"] = True``) and the remaining repetitions are
     skipped.  ``rows`` keeps the count of the last successful repetition even
     when a later repetition fails.
+
+    ``trace=True`` records the engine's span tree (``QueryTrace``) for the
+    *first* repetition only and attaches it as :attr:`RunOutcome.trace` --
+    one traced repetition gives the timeline its operator breakdown while
+    the remaining repetitions keep their timing fidelity.
     """
     if isinstance(query, str):
         sql = query
@@ -100,15 +119,23 @@ def measure_query(engine: Engine, query: "str | ast.Select | QueryPlan",
 
     profile: dict | None = None
     if plan is not None:
-        for _ in range(repeats):
+        for repetition in range(repeats):
             try:
-                result = engine.execute(plan)
+                # pass ``trace`` only when tracing this repetition: stub
+                # engines in tests (and any duck-typed engine) need not know
+                # the keyword unless tracing is actually requested.
+                if trace and repetition == 0:
+                    result = engine.execute(plan, trace=True)
+                else:
+                    result = engine.execute(plan)
             except Exception as exc:
                 outcome.error = f"{type(exc).__name__}: {exc}"
                 break
             outcome.times.append(result.elapsed)
             outcome.rows = len(result.rows)
             profile = result.profile()
+            if repetition == 0 and trace:
+                outcome.trace = getattr(result, "trace", None)
             if timeout is not None and result.elapsed > timeout:
                 outcome.timed_out = True
                 break
@@ -145,17 +172,29 @@ class ExperimentDriver:
             return None
         outcome = measure_query(self.engine, task["query_sql"],
                                 repeats=self.config.repeats,
-                                timeout=self.config.timeout)
+                                timeout=self.config.timeout,
+                                trace=self.config.trace_tasks)
+        trace_id = task.get("trace_id")
+        if trace_id:
+            # the submitted extras (and the engine profile inside them) carry
+            # the task's trace id so platform-side analytics can join them
+            # to the stitched timeline instead of aggregating blind.
+            outcome.extras["trace_id"] = trace_id
+            profile = outcome.extras.get("profile")
+            if isinstance(profile, dict):
+                profile["trace_id"] = trace_id
         load = {"before": outcome.load_before, "after": outcome.load_after}
-        return self.client.submit_result(
-            task_id=task["id"],
-            times=outcome.times,
-            error=outcome.error,
-            load_averages=load,
-            extras=outcome.extras,
-            idempotency_key=uuid.uuid4().hex,
-            attempt=task.get("attempts"),
-        )
+        submit_context = SpanContext(trace_id, new_span_id()) if trace_id else None
+        with use_context(submit_context):
+            return self.client.submit_result(
+                task_id=task["id"],
+                times=outcome.times,
+                error=outcome.error,
+                load_averages=load,
+                extras=outcome.extras,
+                idempotency_key=uuid.uuid4().hex,
+                attempt=task.get("attempts"),
+            )
 
     def run_all(self, experiment_id: int, max_tasks: int | None = None) -> int:
         """Drain the experiment's queue; return how many tasks were executed."""
@@ -198,6 +237,18 @@ class BatchRunner:
     strand its batch-mates; results it ultimately cannot deliver are left to
     the platform's lease expiry to reschedule.  ``metrics`` (optional) counts
     ``client.retries``, ``client.batch_splits`` and ``client.gave_up``.
+
+    Telemetry: with ``config.trace_tasks`` on, every task execution records
+    driver-side spans into ``spans`` under the task's platform-minted trace
+    id -- ``driver.execute`` (nesting the engine's ``QueryTrace`` from the
+    first repetition), ``driver.submit``, and ``driver.backoff`` around
+    retry sleeps.  The submitted extras always carry the trace id; the span
+    records themselves ride along when the execution is worth server-side
+    stitching (failed, retried, or slow -- see ``_ship_spans``), so the
+    server can flight-record a complete timeline without every clean fast
+    submission paying the shipping cost.
+    ``logger`` (optional) makes retry/degradation decisions structured log
+    events.
     """
 
     client: PlatformClient
@@ -205,25 +256,49 @@ class BatchRunner:
     config: DriverConfig
     metrics: MetricsRegistry | None = None
     rng: random.Random = field(default_factory=random.Random)
+    logger: JsonLogger | None = None
+    spans: SpanRecorder | None = None
+
+    def __post_init__(self) -> None:
+        self.log = (self.logger or NULL_LOGGER).bind("driver")
+        if self.spans is None and self.config.trace_tasks:
+            self.spans = SpanRecorder(self.config.telemetry.span_capacity or 2048)
 
     def _count(self, name: str, amount: float = 1) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc(amount)
 
-    def _with_retries(self, call):
-        """Run ``call`` retrying ``TransportError`` with decorrelated jitter."""
+    def _with_retries(self, call, operation: str = "",
+                      trace_ids: tuple | list = ()):
+        """Run ``call`` retrying ``TransportError`` with decorrelated jitter.
+
+        Retry sleeps are recorded as ``driver.backoff`` spans on every trace
+        id in ``trace_ids`` (the tasks whose delivery is waiting on the
+        backoff), so stitched timelines show backoff waits as their own
+        phase.
+        """
         policy = RetryPolicy(attempts=self.config.retries,
                              base_delay=self.config.retry_delay)
         delay = policy.base_delay
         for attempt in range(policy.attempts + 1):
             try:
                 return call()
-            except TransportError:
+            except TransportError as exc:
                 if attempt == policy.attempts:
                     raise
                 self._count("client.retries")
                 delay = policy.next_delay(delay, self.rng)
+                self.log.warning("client.retry", operation=operation or None,
+                                 attempt=attempt + 1, delay=delay,
+                                 error=str(exc))
+                slept_at = time.time()
                 time.sleep(delay)
+                if self.spans is not None:
+                    for trace_id in trace_ids:
+                        self.spans.record("driver.backoff", trace_id,
+                                          start=slept_at,
+                                          operation=operation or None,
+                                          attempt=attempt + 1, delay=delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def run_batch(self, experiment_id: int, count: int | None = None) -> int:
@@ -231,7 +306,8 @@ class BatchRunner:
         batch_size = count if count is not None else self.config.batch_size
         tasks = self._with_retries(
             lambda: self.client.next_tasks(experiment_id, count=batch_size,
-                                           dbms=self.config.dbms))
+                                           dbms=self.config.dbms),
+            operation="claim")
         if not tasks:
             return 0
 
@@ -249,9 +325,27 @@ class BatchRunner:
         def run(task: dict) -> RunOutcome:
             sql = task["query_sql"]
             prepared = plans.get(sql)
-            return measure_query(self.engine, prepared if prepared is not None else sql,
-                                 repeats=self.config.repeats,
-                                 timeout=self.config.timeout)
+            started = time.time()
+            outcome = measure_query(self.engine,
+                                    prepared if prepared is not None else sql,
+                                    repeats=self.config.repeats,
+                                    timeout=self.config.timeout,
+                                    trace=self.spans is not None)
+            if self.spans is not None and task.get("trace_id"):
+                execute_span = self.spans.record(
+                    "driver.execute", task["trace_id"],
+                    start=started, end=time.time(),
+                    task=task.get("id"), attempt=task.get("attempts"),
+                    rows=outcome.rows, repeats=len(outcome.times),
+                    error=outcome.error)
+                if outcome.trace is not None:
+                    # the engine's whole span tree nests under this task's
+                    # execute span: one trace id covers SQL parse -> morsel
+                    # workers -> HTTP submit.
+                    export_query_trace(outcome.trace, task["trace_id"],
+                                       parent_span_id=execute_span["span_id"],
+                                       recorder=self.spans)
+            return outcome
 
         if self.config.workers > 1:
             with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
@@ -263,6 +357,21 @@ class BatchRunner:
                 outcome.extras["concurrent_workers"] = self.config.workers
         else:
             outcomes = [run(task) for task in tasks]
+
+        for task, outcome in zip(tasks, outcomes):
+            trace_id = task.get("trace_id")
+            if not trace_id:
+                continue
+            # the submitted extras (and the engine profile inside them)
+            # carry the task's trace id so platform-side analytics can join
+            # engine stats to the stitched timeline; with tracing on, the
+            # driver's span records for this task ride along too.
+            outcome.extras["trace_id"] = trace_id
+            profile = outcome.extras.get("profile")
+            if isinstance(profile, dict):
+                profile["trace_id"] = trace_id
+            if self.spans is not None and self._ship_spans(task, outcome):
+                outcome.extras["spans"] = self.spans.spans(trace_id)
 
         submissions = [
             {
@@ -284,25 +393,86 @@ class BatchRunner:
         self._submit(submissions)
         return len(tasks)
 
+    def _ship_spans(self, task: dict, outcome: RunOutcome) -> bool:
+        """Whether this submission carries the driver's span records.
+
+        Spans ride along when the task's story is worth server-side
+        stitching -- a failure, a retried task, or an execution that
+        cleared the slow-task threshold (the same cases the server's
+        flight recorder retains).  The uneventful fast path keeps its
+        spans client-side (still exportable via ``span_log``), so clean
+        submissions stay lean on the wire and in the result store.
+        """
+        if outcome.error is not None:
+            return True
+        if (task.get("attempts") or 0) > 1:
+            return True
+        return sum(outcome.times) >= self.config.telemetry.slow_task_seconds
+
+    def _trace_ids(self, submissions: list[dict]) -> list[str]:
+        return [trace_id for trace_id in
+                ((submission.get("extras") or {}).get("trace_id")
+                 for submission in submissions) if trace_id]
+
+    def _record_submit(self, submissions: list[dict], started: float,
+                       mode: str) -> None:
+        if self.spans is None:
+            return
+        ended = time.time()
+        for submission in submissions:
+            trace_id = (submission.get("extras") or {}).get("trace_id")
+            if trace_id:
+                self.spans.record("driver.submit", trace_id,
+                                  start=started, end=ended,
+                                  task=submission.get("task"),
+                                  attempt=submission.get("attempt"), mode=mode)
+
+    def _submit_context(self, submissions: list[dict]) -> "use_context":
+        """Ambient span context for a submission round trip.
+
+        A single-task submission inherits its task's trace id, so the
+        ``traceparent`` the HTTP client stamps makes the server-side
+        ``http`` span part of the task's own timeline; a multi-task batch
+        gets request-level correlation only (the client mints a fresh id).
+        """
+        trace_ids = self._trace_ids(submissions)
+        if len(submissions) == 1 and len(trace_ids) == 1:
+            return use_context(SpanContext(trace_ids[0], new_span_id()))
+        return use_context(None)
+
     def _submit(self, submissions: list[dict]) -> None:
         """Deliver ``submissions``, degrading from batch to per-result mode."""
+        trace_ids = self._trace_ids(submissions)
+        started = time.time()
         try:
-            self._with_retries(lambda: self.client.submit_results(submissions))
+            with self._submit_context(submissions):
+                self._with_retries(
+                    lambda: self.client.submit_results(submissions),
+                    operation="submit", trace_ids=trace_ids)
+            self._record_submit(submissions, started, "batch")
             return
         except TransportError:
             self._count("client.batch_splits")
+            self.log.warning("client.batch_split", batch=len(submissions))
         # the batch round trip kept failing; isolate each result so the
         # deliverable ones land.  Keys stay the same, so entries that were
         # accepted by a processed-but-unacknowledged batch attempt are
         # replayed, not duplicated.
         for submission in submissions:
+            started = time.time()
             try:
-                self._with_retries(
-                    lambda entry=submission: self.client.submit_results([entry]))
-            except TransportError:
+                with self._submit_context([submission]):
+                    self._with_retries(
+                        lambda entry=submission: self.client.submit_results([entry]),
+                        operation="submit",
+                        trace_ids=self._trace_ids([submission]))
+                self._record_submit([submission], started, "single")
+            except TransportError as exc:
                 # undeliverable: the platform's lease expiry will reschedule
                 # the task; losing the measurement is the contract here.
                 self._count("client.gave_up")
+                self.log.error("client.gave_up", task=submission.get("task"),
+                               error=str(exc))
 
     def run_all(self, experiment_id: int, max_tasks: int | None = None) -> int:
         """Drain the experiment's queue batch by batch; return the task count.
@@ -320,8 +490,21 @@ class BatchRunner:
                 ran = self.run_batch(experiment_id, count=count)
             except TransportError:
                 self._count("client.claim_failures")
+                self.log.error("client.claim_failed", experiment=experiment_id)
                 break
             if ran == 0:
                 break
             executed += ran
+        self.export_spans()
         return executed
+
+    def export_spans(self, path: str | None = None) -> int:
+        """Append the recorded driver spans to a JSONL file.
+
+        ``path`` defaults to ``config.span_log``; returns how many records
+        were written (0 when tracing is off or no sink is configured).
+        """
+        sink = path or self.config.span_log
+        if self.spans is None or not sink:
+            return 0
+        return write_span_log(sink, self.spans.spans())

@@ -9,16 +9,46 @@ on it without cycles:
   executors and rendered by ``EXPLAIN ANALYZE``,
 * :mod:`repro.obs.metrics` -- the per-query :class:`MetricsContext`
   (replacing the old process-global instrumentation counters) and the
-  :class:`MetricsRegistry` behind the platform's ``/api/metrics``.
+  :class:`MetricsRegistry` (counters / latency histograms with
+  percentiles / gauges / derived rates) behind ``/api/metrics``,
+* :mod:`repro.obs.propagate` -- W3C-style ``traceparent`` propagation,
+  the ambient :class:`SpanContext`, and the cross-process
+  :class:`SpanRecorder` whose records ``analytics/timeline.py`` stitches
+  into end-to-end task timelines,
+* :mod:`repro.obs.log` -- the structured JSON-lines :class:`JsonLogger`
+  (trace-correlated, registry-counted) used across the platform,
+* :mod:`repro.obs.flight` -- :class:`TelemetryConfig` knobs and the
+  :class:`FlightRecorder` ring of slowest/failed task traces.
 """
 
+from repro.obs.flight import (
+    FlightRecorder,
+    TelemetryConfig,
+)
+from repro.obs.log import (
+    NULL_LOGGER,
+    JsonLogger,
+    parse_log_lines,
+)
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsContext,
     MetricsRegistry,
     count,
     current_metrics,
+)
+from repro.obs.propagate import (
+    SpanContext,
+    SpanRecorder,
+    current_context,
+    export_query_trace,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    use_context,
+    write_span_log,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -30,11 +60,26 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
+    "Gauge",
     "Histogram",
+    "JsonLogger",
     "MetricsContext",
     "MetricsRegistry",
+    "NULL_LOGGER",
+    "SpanContext",
+    "SpanRecorder",
+    "TelemetryConfig",
     "count",
+    "current_context",
     "current_metrics",
+    "export_query_trace",
+    "new_span_id",
+    "new_trace_id",
+    "parse_log_lines",
+    "parse_traceparent",
+    "use_context",
+    "write_span_log",
     "NULL_SPAN",
     "QueryTrace",
     "Span",

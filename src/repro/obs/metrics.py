@@ -24,6 +24,7 @@ see the README's Observability section for the full list.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextvars import ContextVar
 
 _ACTIVE: ContextVar["MetricsContext | None"] = ContextVar(
@@ -125,13 +126,19 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary statistics of an observed quantity.
+    """Streaming summary statistics plus percentile estimates.
 
-    Keeps count/sum/min/max (enough for means and rates) instead of buckets:
-    the platform's consumers want compact JSON, not quantile sketches.
+    Keeps exact count/sum/min/max and a bounded sliding reservoir of the
+    most recent observations for p50/p95/p99 -- recent-window quantiles
+    are what latency dashboards want anyway, and the fixed-size deque
+    keeps a long-running service at a constant footprint (no unbounded
+    sample lists, no bucket configuration).
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
+    RESERVOIR = 512
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_samples", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -139,6 +146,7 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._samples: deque[float] = deque(maxlen=self.RESERVOIR)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -147,24 +155,81 @@ class Histogram:
             self.total += value
             self.minimum = value if self.minimum is None else min(self.minimum, value)
             self.maximum = value if self.maximum is None else max(self.maximum, value)
+            self._samples.append(value)
+
+    def percentile(self, fraction: float) -> float | None:
+        """Nearest-rank percentile over the recent reservoir (None if empty)."""
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return None
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[rank]
 
     def summary(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self.count, self.total
+            minimum, maximum = self.minimum, self.maximum
+
+        def pct(fraction: float) -> float | None:
+            if not ordered:
+                return None
+            rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+            return ordered[rank]
+
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": (self.total / self.count) if self.count else None,
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": (total / count) if count else None,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
         }
+
+
+class Gauge:
+    """A named point-in-time value (queue depth, oldest lease age)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
 
 
 class MetricsRegistry:
     """Named counters and histograms behind one lock (service-level totals)."""
 
+    #: derived rate -> (numerator counter, denominator counter).  The
+    #: numerators prefer the structured logger's ``log.events.*`` counters
+    #: when those exist (the "log-derived" rates: they count decisions as
+    #: logged, surviving even if a service counter is bypassed) and fall
+    #: back to the service's own accounting counters.
+    DERIVED_RATES = {
+        "tasks.retry_rate": (("log.events.task.retried", "tasks.retried"),
+                             ("tasks.dispatched",)),
+        "tasks.dead_letter_rate": (("log.events.task.dead_lettered",
+                                    "tasks.dead_lettered"),
+                                   ("tasks.enqueued",)),
+    }
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -180,12 +245,36 @@ class MetricsRegistry:
                 histogram = self._histograms[name] = Histogram(name)
             return histogram
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
+
+    def _derived(self, counters: dict[str, float]) -> dict[str, float]:
+        derived: dict[str, float] = {}
+        for name, (numerators, denominators) in self.DERIVED_RATES.items():
+            numerator = next((counters[key] for key in numerators
+                              if key in counters), 0.0)
+            denominator = next((counters[key] for key in denominators
+                                if key in counters), 0.0)
+            if denominator:
+                derived[name] = numerator / denominator
+        return derived
+
     def snapshot(self) -> dict:
         """JSON-friendly view of every registered metric."""
         with self._lock:
-            return {
-                "counters": {name: counter.value
-                             for name, counter in sorted(self._counters.items())},
-                "histograms": {name: histogram.summary()
-                               for name, histogram in sorted(self._histograms.items())},
-            }
+            counters = {name: counter.value
+                        for name, counter in sorted(self._counters.items())}
+            histograms = {name: histogram.summary()
+                          for name, histogram in sorted(self._histograms.items())}
+            gauges = {name: gauge.value
+                      for name, gauge in sorted(self._gauges.items())}
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "gauges": gauges,
+            "derived": self._derived(counters),
+        }

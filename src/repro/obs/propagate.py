@@ -1,0 +1,348 @@
+"""Cross-process trace propagation: traceparent ids and span records.
+
+:mod:`repro.obs.trace` stops at the engine boundary -- a
+:class:`~repro.obs.trace.QueryTrace` is one process's view of one
+execution.  The platform needs the *other* half of the story: a task is
+minted on the service, claimed over HTTP by a driver, executed, and its
+result submitted (possibly several times, across retries and workers).
+This module carries one trace id across those hops, W3C Trace Context
+style:
+
+* a ``traceparent`` header ``00-<32 hex trace id>-<16 hex span id>-01``
+  travels on every HTTP request (:func:`parse_traceparent` /
+  :meth:`SpanContext.to_traceparent`);
+* the ambient :func:`current_context` context variable lets the HTTP
+  client stamp outgoing requests without plumbing arguments through
+  every call site (same pattern as ``MetricsContext``);
+* a :class:`SpanRecorder` collects finished *span records* -- flat,
+  JSON-friendly dicts keyed by trace id -- on both sides of the wire.
+  Driver- and server-side records for the same task share its trace id,
+  so ``analytics/timeline.py`` can stitch them into one end-to-end
+  timeline.
+
+Span records use epoch seconds (``time.time``) so records from different
+processes line up on one axis; :func:`export_query_trace` converts an
+engine trace's ``perf_counter`` timestamps with a per-export clock
+offset and hangs the whole tree under a driver span, giving a single
+trace id coverage from SQL parse down to morsel workers and back up
+through the HTTP submit.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import secrets
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.trace import QueryTrace, Span
+
+_TRACEPARENT_VERSION = "00"
+_TRACE_FLAGS = "01"  # always sampled: recording is opt-in upstream instead
+
+# ids need uniqueness, not unpredictability: a cryptographically seeded
+# Mersenne Twister avoids the per-id ``os.urandom`` syscall that
+# ``secrets.token_hex`` pays (several ids are minted per task on the
+# claim -> submit hot path).  ``| 1`` keeps ids non-zero, which the W3C
+# spec (and ``parse_traceparent``) treats as invalid.
+_ids = random.Random(secrets.randbits(128))
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id."""
+    return f"{_ids.getrandbits(128) | 1:032x}"
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span id."""
+    return f"{_ids.getrandbits(64) | 1:016x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The (trace id, span id) pair that crosses a process boundary."""
+
+    trace_id: str
+    span_id: str
+
+    def to_traceparent(self) -> str:
+        """Serialise as a W3C ``traceparent`` header value."""
+        return f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-{_TRACE_FLAGS}"
+
+    def child(self) -> "SpanContext":
+        """A context for a child span: same trace, fresh span id."""
+        return SpanContext(self.trace_id, new_span_id())
+
+
+def _is_hex(value: str) -> bool:
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_traceparent(header: str | None) -> SpanContext | None:
+    """Parse a ``traceparent`` header; None on anything malformed.
+
+    Strict on shape (version-trace-span-flags, correct widths, hex, and
+    non-zero ids per the W3C spec) but tolerant of unknown versions and
+    flags: a bad header degrades to "no incoming context" rather than an
+    error, because telemetry must never fail a request.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16 \
+            or len(flags) != 2:
+        return None
+    if not (_is_hex(version) and _is_hex(trace_id) and _is_hex(span_id)
+            and _is_hex(flags)):
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id.lower(), span_id.lower())
+
+
+_CURRENT: ContextVar[SpanContext | None] = ContextVar(
+    "repro_trace_context", default=None)
+
+
+def current_context() -> SpanContext | None:
+    """The span context ambient on this thread/task, if any."""
+    return _CURRENT.get()
+
+
+class use_context:
+    """Context manager installing ``ctx`` as the ambient span context."""
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: SpanContext | None):
+        self._context = context
+        self._token = None
+
+    def __enter__(self) -> SpanContext | None:
+        self._token = _CURRENT.set(self._context)
+        return self._context
+
+    def __exit__(self, *_exc) -> bool:
+        _CURRENT.reset(self._token)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# span records
+# ---------------------------------------------------------------------------
+
+
+def _sanitize(value: Any) -> Any:
+    """Coerce an attribute value to something json.dumps accepts.
+
+    Engine traces carry numpy scalars (chunk counts, row totals); span
+    records travel through JSON sinks (HTTP extras, the flight-recorder
+    log), so everything non-primitive is folded to a primitive here.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalar -> python scalar
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def sanitize_attributes(attributes: dict) -> dict[str, Any]:
+    return {str(key): _sanitize(value) for key, value in attributes.items()}
+
+
+class _RecordedSpan:
+    """Context manager timing one span record (closed + stored on exit)."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "SpanRecorder", record: dict):
+        self._recorder = recorder
+        self.record = record
+
+    def __enter__(self) -> dict:
+        return self.record
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self.record["end"] = time.time()
+        if exc is not None:
+            self.record["attributes"].setdefault("error", _sanitize(exc))
+        self.record["attributes"] = sanitize_attributes(self.record["attributes"])
+        self._recorder.append(self.record)
+        return False
+
+
+class SpanRecorder:
+    """A bounded, thread-safe sink of finished span records.
+
+    Each record is a flat dict -- ``{name, trace_id, span_id,
+    parent_span_id, start, end, attributes}`` with epoch-second
+    timestamps -- so records from the driver and the service (different
+    processes, different clocks for ``perf_counter``) merge on one
+    timeline.  The deque bound keeps a long-running service at a fixed
+    memory footprint; ``capacity=0`` disables recording entirely (every
+    call stays a cheap no-op), which is how telemetry-off paths avoid
+    paying for span bookkeeping.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        # eviction is manual (not deque maxlen) so the per-trace index stays
+        # in sync; the index makes spans(trace_id) O(spans of that trace)
+        # instead of O(capacity), which the claim->submit hot loop relies on.
+        self._spans: deque[dict] = deque()
+        self._by_trace: dict[str, list[dict]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def append(self, record: dict) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._append_locked(record)
+
+    def extend(self, records: Iterable[dict]) -> None:
+        """Append many records under one lock acquisition (hot-path batches)."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            for record in records:
+                self._append_locked(record)
+
+    def _append_locked(self, record: dict) -> None:
+        if len(self._spans) >= self.capacity:
+            oldest = self._spans.popleft()
+            bucket = self._by_trace.get(oldest.get("trace_id"))
+            if bucket:
+                if bucket[0] is oldest:  # FIFO: the globally oldest record
+                    bucket.pop(0)        # is also its trace's oldest
+                else:  # defensive; identical records inserted twice
+                    try:
+                        bucket.remove(oldest)
+                    except ValueError:
+                        pass
+                if not bucket:
+                    self._by_trace.pop(oldest.get("trace_id"), None)
+        self._spans.append(record)
+        self._by_trace.setdefault(record.get("trace_id"), []).append(record)
+
+    def record(self, name: str, trace_id: str,
+               parent_span_id: str | None = None,
+               span_id: str | None = None,
+               start: float | None = None, end: float | None = None,
+               **attributes) -> dict:
+        """Store (and return) an already-finished span record.
+
+        ``start``/``end`` default to "now", making point events (a dedup
+        hit, a lease decision) zero-width spans on the timeline.
+        """
+        now = time.time()
+        record = {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": span_id or new_span_id(),
+            "parent_span_id": parent_span_id,
+            "start": now if start is None else start,
+            "end": now if end is None else end,
+            "attributes": sanitize_attributes(attributes),
+        }
+        self.append(record)
+        return record
+
+    def span(self, name: str, trace_id: str,
+             parent_span_id: str | None = None, **attributes) -> _RecordedSpan:
+        """Open a timed span record (a context manager yielding the dict).
+
+        The caller may mutate ``record["attributes"]`` inside the block;
+        the record is stamped and stored on exit.
+        """
+        record = {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": new_span_id(),
+            "parent_span_id": parent_span_id,
+            "start": time.time(),
+            "end": None,
+            "attributes": dict(attributes),
+        }
+        return _RecordedSpan(self, record)
+
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        """Recorded spans, oldest first (optionally for one trace only)."""
+        with self._lock:
+            if trace_id is None:
+                return list(self._spans)
+            return list(self._by_trace.get(trace_id, ()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def export_query_trace(trace: QueryTrace, trace_id: str,
+                       parent_span_id: str | None = None,
+                       recorder: SpanRecorder | None = None) -> list[dict]:
+    """Flatten an engine :class:`QueryTrace` into cross-process records.
+
+    The engine's spans are timed with ``perf_counter``; one clock offset
+    (sampled here, at export) rebases them onto the epoch axis shared by
+    every other record of the trace.  Parent/child links become
+    ``parent_span_id`` references, with the trace's root hung under
+    ``parent_span_id`` -- typically the driver's ``driver.execute``
+    span -- so the whole engine tree nests inside the task timeline.
+    """
+    offset = time.time() - time.perf_counter()
+    records: list[dict] = []
+
+    def visit(span: Span, parent: str | None) -> None:
+        ended = span.ended if span.ended is not None else time.perf_counter()
+        attributes = sanitize_attributes(span.attributes)
+        if span.rows_in is not None:
+            attributes["rows_in"] = _sanitize(span.rows_in)
+        if span.rows_out is not None:
+            attributes["rows_out"] = _sanitize(span.rows_out)
+        record = {
+            "name": f"engine.{span.name}" if span.name != "query" else "engine.query",
+            "trace_id": trace_id,
+            "span_id": new_span_id(),
+            "parent_span_id": parent,
+            "start": span.started + offset,
+            "end": ended + offset,
+            "attributes": attributes,
+        }
+        records.append(record)
+        if recorder is not None:
+            recorder.append(record)
+        for child in span.children:
+            visit(child, record["span_id"])
+
+    visit(trace.root, parent_span_id)
+    return records
+
+
+def write_span_log(path: str, spans: Iterable[dict]) -> int:
+    """Append span records to a JSONL file; returns the number written."""
+    written = 0
+    with open(path, "a", encoding="utf-8") as sink:
+        for record in spans:
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written

@@ -207,6 +207,11 @@ class Task:
     #: the most recent failure (execution error or lease-expiry note);
     #: preserved on the dead-lettered task for post-mortems.
     last_error: str | None = None
+    #: the W3C trace id this task's whole journey is recorded under -- minted
+    #: once (at enqueue, or lazily at first claim for tasks inserted directly
+    #: into the store) and stable across retries, so driver- and server-side
+    #: spans of every attempt stitch into one timeline.
+    trace_id: str | None = None
     created_at: float = field(default_factory=time.time)
     id: int | None = None
 
@@ -217,7 +222,10 @@ class Task:
                 and now - self.assigned_at > self.timeout_seconds)
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        # shallow on purpose: every field is a scalar, and tasks are
+        # serialised on every claim/sweep scan -- asdict's recursive
+        # deep-copy machinery is measurable on that hot path.
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Task":
@@ -262,7 +270,11 @@ class ResultRecord:
         return self.error is not None
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        # shallow on purpose: ``extras`` may carry dozens of shipped span
+        # records, and every consumer JSON-encodes the payload immediately
+        # (store row, HTTP response) -- asdict would deep-copy the whole
+        # span list first, which dominated the submit path under profile.
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResultRecord":

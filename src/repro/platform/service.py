@@ -45,7 +45,15 @@ from repro.platform.models import (
     User,
     Visibility,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import (
+    NULL_LOGGER,
+    FlightRecorder,
+    JsonLogger,
+    MetricsRegistry,
+    SpanRecorder,
+    TelemetryConfig,
+    new_trace_id,
+)
 from repro.platform.store import Store
 from repro.pool.guidance import Guidance
 from repro.pool.morph import Morpher, Strategy
@@ -58,12 +66,30 @@ class PlatformService:
     """Facade over the store implementing the platform's use cases."""
 
     def __init__(self, store: Store | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 logger: JsonLogger | None = None,
+                 telemetry: TelemetryConfig | None = None):
         self.store = store or Store()
         #: service-level counters/histograms (tasks dispatched, results
         #: accepted, queue timeouts); the webapp serves its snapshot at
         #: ``/api/metrics``.
         self.metrics = metrics or MetricsRegistry()
+        #: telemetry knobs shared by the span recorder and flight recorder;
+        #: ``TelemetryConfig.disabled()`` turns both into cheap no-ops.
+        self.telemetry = telemetry or TelemetryConfig()
+        #: structured JSON-lines logger (``NULL_LOGGER`` by default: the
+        #: service stays silent unless a sink is attached).
+        self.log = (logger or NULL_LOGGER).bind("service")
+        #: server-side span records (claim / sweep / submit / dedup), keyed
+        #: by each task's stable trace id so ``analytics/timeline.py`` can
+        #: stitch them against the driver's spans.
+        self.spans = SpanRecorder(
+            self.telemetry.span_capacity if self.telemetry.enabled else 0)
+        #: ring buffer of the slowest / failed task traces.
+        self.flight = FlightRecorder(
+            self.telemetry.flight_capacity if self.telemetry.enabled else 0,
+            slow_task_seconds=self.telemetry.slow_task_seconds,
+            sink_path=self.telemetry.flight_log)
         #: serialises every task-state transition (claim, sweep, submit,
         #: kill).  The claim path reads pending tasks and persists the claim
         #: under this lock, so two concurrent ``/api/tasks`` requests on the
@@ -270,9 +296,18 @@ class PlatformService:
                 size=entry.query.size(),
                 timeout_seconds=experiment.timeout_seconds,
                 max_attempts=experiment.max_attempts,
+                trace_id=new_trace_id(),
             )
             self.store.insert("tasks", task)
             created.append(task)
+        if self.spans.enabled:
+            for task in created:
+                self.spans.record("enqueue", task.trace_id, task=task.id,
+                                  experiment=experiment.id,
+                                  dbms=task.dbms_label, host=task.host_name)
+        if created:
+            self.log.info("tasks.enqueued", experiment=experiment.id,
+                          count=len(created), dbms=dbms_label, host=host_name)
         self.metrics.counter("tasks.enqueued").inc(len(created))
         return created
 
@@ -316,8 +351,21 @@ class PlatformService:
                 task.assigned_to = contributor.contributor_key
                 task.assigned_at = now
                 task.attempts += 1
+                if task.trace_id is None:
+                    # tasks inserted directly into the store (older data,
+                    # test harnesses) get their trace id at first claim.
+                    task.trace_id = new_trace_id()
                 claimed.append(task)
             self.store.update_many("tasks", claimed)
+        if self.spans.enabled:
+            for task in claimed:
+                self.spans.record("claim", task.trace_id, start=now,
+                                  task=task.id, attempt=task.attempts,
+                                  contributor=contributor.nickname,
+                                  experiment=experiment.id)
+        if claimed:
+            self.log.info("tasks.dispatched", experiment=experiment.id,
+                          count=len(claimed), contributor=contributor.nickname)
         self.metrics.counter("tasks.dispatched").inc(len(claimed))
         return claimed
 
@@ -329,6 +377,8 @@ class PlatformService:
         with self._queue_lock:
             task.status = TaskStatus.KILLED.value
             self.store.update("tasks", task)
+        self.log.warning("task.killed", task=task.id, trace_id=task.trace_id,
+                         killed_by=acting.nickname)
         self.metrics.counter("tasks.killed").inc()
         return task
 
@@ -346,33 +396,78 @@ class PlatformService:
             return self._sweep_overdue_leases(experiment)
 
     def _sweep_overdue_leases(self, experiment: Experiment) -> list[Task]:
-        """Re-queue / dead-letter overdue leases (queue lock must be held)."""
+        """Re-queue / dead-letter overdue leases (queue lock must be held).
+
+        The sweep already walks every task of the experiment, so it doubles
+        as the sampling point for the queue gauges: pending depth and the
+        age of the oldest live lease (both post-sweep).
+        """
         swept: list[Task] = []
         retried = dead_lettered = 0
+        pending = 0
+        oldest_lease = 0.0
         now = time.time()
         for task in self.store.tasks(experiment.id):
-            if not task.lease_expired(now):
-                continue
-            if task.attempts >= task.max_attempts:
-                task.status = TaskStatus.DEAD_LETTER.value
-                task.last_error = (
-                    f"lease expired after {task.timeout_seconds:.1f}s on attempt "
-                    f"{task.attempts}/{task.max_attempts} (was assigned to "
-                    f"{task.assigned_to})")
-                dead_lettered += 1
-            else:
-                task.status = TaskStatus.PENDING.value
-                task.assigned_to = None
-                task.assigned_at = None
-                retried += 1
-            swept.append(task)
+            if task.lease_expired(now):
+                if task.attempts >= task.max_attempts:
+                    task.status = TaskStatus.DEAD_LETTER.value
+                    task.last_error = (
+                        f"lease expired after {task.timeout_seconds:.1f}s on attempt "
+                        f"{task.attempts}/{task.max_attempts} (was assigned to "
+                        f"{task.assigned_to})")
+                    dead_lettered += 1
+                    outcome = "dead_letter"
+                else:
+                    task.status = TaskStatus.PENDING.value
+                    task.assigned_to = None
+                    task.assigned_at = None
+                    retried += 1
+                    outcome = "retried"
+                swept.append(task)
+                if self.spans.enabled and task.trace_id:
+                    self.spans.record("sweep", task.trace_id, start=now,
+                                      task=task.id, outcome=outcome,
+                                      attempt=task.attempts)
+                event = "task.retried" if outcome == "retried" else "task.dead_lettered"
+                self.log.warning(event, task=task.id, trace_id=task.trace_id,
+                                 attempt=task.attempts, reason="lease_expired")
+                if outcome == "dead_letter":
+                    self._record_flight(task, "dead_letter", now)
+            if task.status == TaskStatus.PENDING.value:
+                pending += 1
+            elif task.status == TaskStatus.RUNNING.value and task.assigned_at:
+                oldest_lease = max(oldest_lease, now - task.assigned_at)
         self.store.update_many("tasks", swept)
+        self.metrics.gauge("queue.depth").set(pending)
+        self.metrics.gauge("queue.oldest_lease_seconds").set(oldest_lease)
         self.metrics.counter("queue.timeouts").inc(len(swept))
         if retried:
             self.metrics.counter("tasks.retried").inc(retried)
         if dead_lettered:
             self.metrics.counter("tasks.dead_lettered").inc(dead_lettered)
         return swept
+
+    def _record_flight(self, task: Task, outcome: str, now: float) -> None:
+        """Offer a terminal task to the flight recorder (with its spans).
+
+        Slowness is measured over the final attempt's *processing* time
+        (lease grant to terminal outcome), not the task's queue age: a
+        task that sat in a deep queue but executed in milliseconds is a
+        capacity signal -- visible in the queue gauges -- not a slow
+        task worth a flight entry.
+        """
+        if not self.flight.enabled or not task.trace_id:
+            return
+        duration = now - (task.assigned_at or task.created_at)
+        if outcome == "done" and duration < self.flight.slow_task_seconds:
+            # a fast success can never be retained: skip gathering its spans.
+            return
+        self.flight.record(
+            task_id=task.id, trace_id=task.trace_id, outcome=outcome,
+            duration=duration,
+            spans=self.spans.spans(task.trace_id),
+            attempts=task.attempts, last_error=task.last_error,
+            query_key=task.query_key, dbms=task.dbms_label)
 
     def queue_status(self, experiment: Experiment) -> dict[str, int]:
         """Counts per task status for one experiment."""
@@ -445,11 +540,17 @@ class PlatformService:
                 raise ValidationError("a successful run must report at least one timing")
             prepared.append({**submission, "task": task, "times": times})
 
-        # buffered metric increments, applied only after the batch commits:
-        # a crashed (rolled-back) batch is retried by the client and must not
-        # count its effects twice.
+        # buffered metric increments / span records / log events / flight
+        # entries, applied only after the batch commits: a crashed
+        # (rolled-back) batch is retried by the client and must not count,
+        # trace, or log its effects twice.
         counters: dict[str, int] = {}
         best_seconds: list[float] = []
+        span_buffer: list[dict] = []
+        ingest_buffer: list[dict] = []
+        log_buffer: list[tuple[str, str, dict]] = []
+        flight_buffer: list[tuple[Task, str]] = []
+        batch_started = time.time()
 
         with self._queue_lock:
             records: list[ResultRecord | None] = []
@@ -464,6 +565,18 @@ class PlatformService:
                         records.append(self.store.result(replay_id))
                         counters["results.deduplicated"] = \
                             counters.get("results.deduplicated", 0) + 1
+                        replayed: Task = submission["task"]
+                        trace_id = getattr(replayed, "trace_id", None)
+                        if trace_id:
+                            span_buffer.append({
+                                "name": "submit", "trace_id": trace_id,
+                                "task": replayed.id, "outcome": "dedup",
+                                "dedup": True, "idempotency_key": key,
+                            })
+                        log_buffer.append(("info", "result.deduplicated", {
+                            "task": replayed.id, "trace_id": trace_id,
+                            "idempotency_key": key,
+                        }))
                         continue
                 submitted: Task = submission["task"]
                 # fence against stale leases on the *current* task state, not
@@ -476,6 +589,16 @@ class PlatformService:
                         or (attempt is not None and int(attempt) != current.attempts)):
                     records.append(None)
                     counters["results.stale"] = counters.get("results.stale", 0) + 1
+                    if current.trace_id:
+                        span_buffer.append({
+                            "name": "submit", "trace_id": current.trace_id,
+                            "task": current.id, "outcome": "stale",
+                            "attempt": attempt,
+                        })
+                    log_buffer.append(("warning", "result.stale", {
+                        "task": current.id, "trace_id": current.trace_id,
+                        "attempt": attempt, "task_status": current.status,
+                    }))
                     continue
                 error = submission.get("error")
                 record = ResultRecord(
@@ -491,19 +614,61 @@ class PlatformService:
                     extras=submission.get("extras") or {},
                     idempotency_key=key,
                 )
+                if current.trace_id is None:
+                    current.trace_id = new_trace_id()
                 if error is None:
                     current.status = TaskStatus.DONE.value
+                    outcome = "done"
                 elif current.attempts >= current.max_attempts:
                     current.status = TaskStatus.DEAD_LETTER.value
                     current.last_error = error
                     counters["tasks.dead_lettered"] = \
                         counters.get("tasks.dead_lettered", 0) + 1
+                    outcome = "dead_letter"
                 else:
                     current.status = TaskStatus.PENDING.value
                     current.assigned_to = None
                     current.assigned_at = None
                     current.last_error = error
                     counters["tasks.retried"] = counters.get("tasks.retried", 0) + 1
+                    outcome = "retried"
+                profile = record.extras.get("profile") \
+                    if isinstance(record.extras, dict) else None
+                if isinstance(record.extras, dict):
+                    # driver-side span records ride along in the extras;
+                    # ingesting them gives the server's recorder (and the
+                    # flight entries built from it) the full cross-process
+                    # timeline of this task.
+                    shipped = record.extras.get("spans")
+                    if isinstance(shipped, list):
+                        ingest_buffer.extend(
+                            span for span in shipped
+                            if isinstance(span, dict) and span.get("trace_id"))
+                span_buffer.append({
+                    "name": "submit", "trace_id": current.trace_id,
+                    "task": current.id, "attempt": current.attempts,
+                    "outcome": outcome, "dedup": False,
+                    "rows": (profile or {}).get("rows"),
+                    "error": error,
+                })
+                log_buffer.append(("info", "result.accepted", {
+                    "task": current.id, "trace_id": current.trace_id,
+                    "attempt": current.attempts, "outcome": outcome,
+                    "contributor": contributor.nickname,
+                }))
+                if outcome == "retried":
+                    log_buffer.append(("warning", "task.retried", {
+                        "task": current.id, "trace_id": current.trace_id,
+                        "attempt": current.attempts, "reason": "error_result",
+                        "error": error,
+                    }))
+                elif outcome == "dead_letter":
+                    log_buffer.append(("error", "task.dead_lettered", {
+                        "task": current.id, "trace_id": current.trace_id,
+                        "attempt": current.attempts, "error": error,
+                    }))
+                if outcome in ("done", "dead_letter"):
+                    flight_buffer.append((current, outcome))
                 records.append(record)
                 inserts.append(record)
                 task_updates[current.id] = current
@@ -527,6 +692,41 @@ class PlatformService:
                 if synced is not None and synced[0] is not synced[1]:
                     synced[0].__dict__.update(synced[1].__dict__)
 
+        # the batch committed: flush the buffered telemetry.  Submit spans
+        # share the batch's window (arrival -> commit) on the timeline.
+        if self.spans.enabled:
+            # a retried submission re-ships every span the driver recorded
+            # for the task so far; ingest each span record exactly once
+            # (checking only against the same trace keeps this off the
+            # O(capacity) path).
+            seen: dict[str, set] = {}
+            fresh: list[dict] = []
+            for shipped in ingest_buffer:
+                trace_id = shipped.get("trace_id")
+                ids = seen.get(trace_id)
+                if ids is None:
+                    ids = seen[trace_id] = {
+                        span.get("span_id")
+                        for span in self.spans.spans(trace_id)}
+                if shipped.get("span_id") in ids:
+                    continue
+                ids.add(shipped.get("span_id"))
+                fresh.append(shipped)
+            self.spans.extend(fresh)
+            for buffered in span_buffer:
+                name = buffered.pop("name")
+                trace_id = buffered.pop("trace_id")
+                attributes = {key: value for key, value in buffered.items()
+                              if value is not None}
+                self.spans.record(name, trace_id, start=batch_started,
+                                  **attributes)
+        for level, event, fields in log_buffer:
+            self.log.log(level, event,
+                         **{key: value for key, value in fields.items()
+                            if value is not None})
+        now = time.time()
+        for task, outcome in flight_buffer:
+            self._record_flight(task, outcome, now)
         for name, amount in counters.items():
             self.metrics.counter(name).inc(amount)
         timings = self.metrics.histogram("results.best_seconds")

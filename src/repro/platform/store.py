@@ -35,7 +35,15 @@ import threading
 from typing import Callable, Iterable, TypeVar
 
 from repro.errors import NotFound
+from repro.obs import NULL_LOGGER, JsonLogger
 from repro.platform import models
+
+
+def _encode(payload: dict) -> str:
+    """Serialise a row body; compact separators, since nobody reads raw rows
+    and result rows can carry dozens of shipped span records in ``extras``."""
+    return json.dumps(payload, separators=(",", ":"))
+
 
 _TABLES = (
     "users",
@@ -65,10 +73,14 @@ class Store:
     """Thread-safe JSON-document store over sqlite3 (WAL for file databases)."""
 
     def __init__(self, path: str = ":memory:",
-                 fault_hook: Callable[[str], None] | None = None):
+                 fault_hook: Callable[[str], None] | None = None,
+                 logger: JsonLogger | None = None):
         self.path = path
         #: optional fault-injection seam; see the module docstring.
         self.fault_hook = fault_hook
+        #: structured logger for the fault paths (rolled-back batches);
+        #: silent by default.
+        self.log = (logger or NULL_LOGGER).bind("store")
         self._connection = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.RLock()
         # WAL keeps readers and the writer concurrent and makes crash
@@ -117,7 +129,7 @@ class Store:
         payload.pop("id", None)
         with self._lock:
             cursor = self._connection.execute(
-                f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+                f"INSERT INTO {table} (body) VALUES (?)", (_encode(payload),)
             )
             self._connection.commit()
             entity.id = int(cursor.lastrowid)
@@ -135,13 +147,13 @@ class Store:
                     payload = entity.to_dict()
                     payload.pop("id", None)
                     cursor = self._connection.execute(
-                        f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+                        f"INSERT INTO {table} (body) VALUES (?)", (_encode(payload),)
                     )
                     entity.id = int(cursor.lastrowid)
                     ids.append(entity.id)
                 self._maybe_fault("insert_many.commit")
-            except Exception:
-                self._rollback()
+            except Exception as exc:
+                self._rollback("insert_many", exc)
                 for entity in entities:
                     entity.id = None
                 raise
@@ -162,13 +174,13 @@ class Store:
                     payload.pop("id", None)
                     cursor = self._connection.execute(
                         f"UPDATE {table} SET body = ? WHERE id = ?",
-                        (json.dumps(payload), entity.id),
+                        (_encode(payload), entity.id),
                     )
                     if cursor.rowcount == 0:
                         raise NotFound(f"no entity with id {entity.id} in '{table}'")
                 self._maybe_fault("update_many.commit")
-            except Exception:
-                self._rollback()
+            except Exception as exc:
+                self._rollback("update_many", exc)
                 raise
             self._connection.commit()
 
@@ -192,7 +204,7 @@ class Store:
                     payload = entity.to_dict()
                     payload.pop("id", None)
                     cursor = self._connection.execute(
-                        f"INSERT INTO {table} (body) VALUES (?)", (json.dumps(payload),)
+                        f"INSERT INTO {table} (body) VALUES (?)", (_encode(payload),)
                     )
                     entity.id = int(cursor.lastrowid)
                 for table, entity in updates:
@@ -203,7 +215,7 @@ class Store:
                     payload.pop("id", None)
                     cursor = self._connection.execute(
                         f"UPDATE {table} SET body = ? WHERE id = ?",
-                        (json.dumps(payload), entity.id),
+                        (_encode(payload), entity.id),
                     )
                     if cursor.rowcount == 0:
                         raise NotFound(f"no entity with id {entity.id} in '{table}'")
@@ -213,14 +225,18 @@ class Store:
                         (key, entity.id),
                     )
                 self._maybe_fault("apply_batch.commit")
-            except Exception:
-                self._rollback()
+            except Exception as exc:
+                self._rollback("apply_batch", exc)
                 for _table, entity in inserts:
                     entity.id = None
                 raise
             self._connection.commit()
 
-    def _rollback(self) -> None:
+    def _rollback(self, operation: str = "",
+                  cause: Exception | None = None) -> None:
+        self.log.error("store.rollback", operation=operation,
+                       error=str(cause) if cause is not None else None,
+                       error_type=type(cause).__name__ if cause is not None else None)
         try:
             self._connection.rollback()
         except sqlite3.Error:  # pragma: no cover - connection already gone
@@ -235,7 +251,7 @@ class Store:
         with self._lock:
             cursor = self._connection.execute(
                 f"UPDATE {table} SET body = ? WHERE id = ?",
-                (json.dumps(payload), entity.id),
+                (_encode(payload), entity.id),
             )
             self._connection.commit()
             if cursor.rowcount == 0:

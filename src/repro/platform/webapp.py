@@ -32,26 +32,59 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from socketserver import ThreadingMixIn
 from typing import Callable
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro import __version__
 from repro.errors import AccessDenied, NotFound, PlatformError, ValidationError
+from repro.obs import (
+    JsonLogger,
+    SpanContext,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    use_context,
+)
 from repro.platform.service import PlatformService
 
+#: endpoints with their own latency histogram; anything else shares one
+#: "unmatched" series so probing garbage paths cannot grow the registry
+#: without bound.
+_ENDPOINTS = frozenset((
+    "/api/ping", "/api/projects", "/api/experiments", "/api/task",
+    "/api/tasks", "/api/result", "/api/results/batch", "/api/results",
+    "/api/queue", "/api/metrics",
+))
 
-def create_wsgi_app(service: PlatformService) -> Callable:
-    """Build the WSGI application closure over ``service``."""
+
+def create_wsgi_app(service: PlatformService,
+                    logger: JsonLogger | None = None) -> Callable:
+    """Build the WSGI application closure over ``service``.
+
+    The closure is also the telemetry middleware: every request opens a
+    server span (continuing the caller's ``traceparent`` when one is
+    sent), is timed into a per-endpoint latency histogram
+    (``http.request_seconds.<path>``), and emits one structured
+    ``http.request`` log record.  ``logger`` defaults to the service's
+    logger (silent unless the service was given a sink).
+    """
+    log = (logger if logger is not None else service.log).bind("webapp")
 
     def application(environ, start_response):
         method = environ.get("REQUEST_METHOD", "GET")
         path = environ.get("PATH_INFO", "/")
         query = _parse_query(environ.get("QUERY_STRING", ""))
         key = environ.get("HTTP_X_SQALPEL_KEY", "")
+        incoming = parse_traceparent(environ.get("HTTP_TRACEPARENT"))
+        server_context = SpanContext(
+            incoming.trace_id if incoming else new_trace_id(), new_span_id())
+        started = time.time()
         try:
-            body = _read_body(environ)
-            status, payload = _dispatch(service, method, path, query, key, body)
+            with use_context(server_context):
+                body = _read_body(environ)
+                status, payload = _dispatch(service, method, path, query, key, body)
         except AccessDenied as exc:
             status, payload = "403 Forbidden", {"error": str(exc)}
         except NotFound as exc:
@@ -62,6 +95,24 @@ def create_wsgi_app(service: PlatformService) -> Callable:
             status, payload = "400 Bad Request", {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
             status, payload = "500 Internal Server Error", {"error": str(exc)}
+        ended = time.time()
+        endpoint = path if path in _ENDPOINTS else "unmatched"
+        code = int(status.split(" ", 1)[0])
+        service.metrics.histogram(f"http.request_seconds.{endpoint}") \
+            .observe(ended - started)
+        service.metrics.counter(f"http.responses.{code // 100}xx").inc()
+        if service.spans.enabled:
+            service.spans.record(
+                "http", server_context.trace_id,
+                span_id=server_context.span_id,
+                parent_span_id=incoming.span_id if incoming else None,
+                start=started, end=ended,
+                method=method, endpoint=endpoint, status=code)
+        log.log("info" if code < 500 else "error", "http.request",
+                method=method, path=path, status=code,
+                elapsed=ended - started,
+                trace_id=server_context.trace_id,
+                span_id=server_context.span_id)
         encoded = json.dumps(payload).encode("utf-8")
         start_response(status, [
             ("Content-Type", "application/json"),
@@ -193,6 +244,28 @@ class _QuietHandler(WSGIRequestHandler):
         pass
 
 
+def _handler_class(logger: JsonLogger | None) -> type[WSGIRequestHandler]:
+    """A request-handler class routing stdlib access logs through ``logger``.
+
+    ``BaseHTTPRequestHandler`` writes one raw line to stderr per request,
+    which interleaves badly under concurrent claimers; with a structured
+    logger attached those lines become ``http.access`` JSON records on the
+    shared sink (one ``write`` each, so they never shear), and without one
+    the handler is fully quiet -- tests and the in-process driver see no
+    request logging at all.
+    """
+    if logger is None:
+        return _QuietHandler
+    access_log = logger.bind("webapp")
+
+    class _StructuredHandler(WSGIRequestHandler):
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            access_log.info("http.access", client=self.address_string(),
+                            message=format % args)
+
+    return _StructuredHandler
+
+
 class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
     """WSGI server handling each request on its own daemon thread.
 
@@ -214,12 +287,13 @@ class PlatformServer:
     """
 
     def __init__(self, service: PlatformService, host: str = "127.0.0.1",
-                 port: int = 0, application: Callable | None = None):
+                 port: int = 0, application: Callable | None = None,
+                 logger: JsonLogger | None = None):
         self.service = service
         self._server = make_server(host, port,
-                                   application or create_wsgi_app(service),
+                                   application or create_wsgi_app(service, logger),
                                    server_class=ThreadingWSGIServer,
-                                   handler_class=_QuietHandler)
+                                   handler_class=_handler_class(logger))
         self.host = host
         self.port = self._server.server_address[1]
         self._thread: threading.Thread | None = None

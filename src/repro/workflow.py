@@ -17,15 +17,19 @@ from repro.analytics import (
     ComponentReport,
     ExperimentHistory,
     SpeedupReport,
+    TaskTimeline,
     component_report,
     experiment_history,
+    profiles_by_trace,
     speedup_report,
+    stitch_timelines,
 )
 from repro.data import populate_tpch
 from repro.driver.client import InProcessClient
 from repro.driver.config import DriverConfig
 from repro.driver.runner import BatchRunner
 from repro.engine import ColumnEngine, Database, Engine, RowEngine
+from repro.obs import TelemetryConfig
 from repro.platform.models import Experiment, Project, User
 from repro.platform.service import PlatformService
 from repro.pool.morph import Morpher
@@ -71,6 +75,10 @@ class DemoSummary:
     speedup: SpeedupReport | None = None
     components: ComponentReport | None = None
     history: ExperimentHistory | None = None
+    #: the service's metrics snapshot taken after the drain.
+    metrics: dict | None = None
+    #: per-task end-to-end timelines (only when telemetry was enabled).
+    timelines: list[TaskTimeline] = field(default_factory=list)
 
     def describe(self) -> str:
         """A terse, printable account of the run."""
@@ -113,6 +121,23 @@ class DemoSummary:
                 f"{len(self.history.edges)} morph edges, "
                 f"{len(self.history.error_nodes())} errors"
             )
+        if self.metrics:
+            counters = self.metrics.get("counters", {})
+            derived = self.metrics.get("derived", {})
+            lines.append(
+                f"queue metrics    : {counters.get('tasks.enqueued', 0)} enqueued, "
+                f"{counters.get('tasks.dispatched', 0)} dispatched, "
+                f"retry_rate={derived.get('tasks.retry_rate', 0.0):.1%}"
+            )
+        if self.timelines:
+            phase_totals: dict[str, float] = {}
+            for timeline in self.timelines:
+                for phase, seconds in timeline.phases.items():
+                    phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+            phases = " ".join(f"{name}={seconds:.3f}s"
+                              for name, seconds in sorted(phase_totals.items()))
+            lines.append(
+                f"telemetry        : {len(self.timelines)} task timelines ({phases})")
         return "\n".join(lines)
 
 
@@ -131,18 +156,26 @@ def run_experiment_on_engines(pool: QueryPool, engines: list[Engine], repeats: i
 def run_demo_scenario(baseline_sql: str = DEFAULT_BASELINE, scale_factor: float = 0.001,
                       pool_size: int = 12, repeats: int = 3, seed: int = 7,
                       use_platform_queue: bool = True,
-                      workers: int = 1) -> DemoSummary:
+                      workers: int = 1,
+                      telemetry: TelemetryConfig | None = None) -> DemoSummary:
     """Run the full demo loop and return the collected artefacts.
 
     The loop mirrors Sections 5.3-5.6 of the paper: project + experiment
     definition, pool construction and morphing, queueing, driver-based result
     contribution for each registered DBMS, and the three analytics reports.
+
+    ``telemetry`` (an enabled :class:`~repro.obs.TelemetryConfig`) switches
+    on the end-to-end tracing pipeline: the service records server-side
+    spans, the drivers trace each task's execution (engine ``QueryTrace``
+    included) and the summary carries stitched per-task timelines plus a
+    metrics snapshot.
     """
     database = build_tpch_database(scale_factor=scale_factor)
     row_engine, column_engine = build_engines(database, workers=workers)
     engines: list[Engine] = [row_engine, column_engine]
+    tracing = telemetry is not None and telemetry.enabled
 
-    service = PlatformService()
+    service = PlatformService(telemetry=telemetry)
     owner = service.register_user("owner", "owner@example.org")
     contributor = service.register_user("contributor", "contributor@example.org")
     host = service.register_host("laptop", cpu="generic-x86", memory_gb=16, os="linux")
@@ -165,6 +198,7 @@ def run_demo_scenario(baseline_sql: str = DEFAULT_BASELINE, scale_factor: float 
     Morpher(pool, seed=seed).grow_to(pool_size)
 
     executed = 0
+    runners: list[BatchRunner] = []
     if use_platform_queue:
         for engine in engines:
             service.enqueue_pool(owner, experiment, pool, dbms_label=engine.label,
@@ -172,10 +206,12 @@ def run_demo_scenario(baseline_sql: str = DEFAULT_BASELINE, scale_factor: float 
         for engine in engines:
             config = DriverConfig(key=contributor.contributor_key, dbms=engine.label,
                                   host=host.name, repeats=repeats, timeout=120.0,
-                                  batch_size=8)
+                                  batch_size=8, trace_tasks=tracing,
+                                  telemetry=telemetry or TelemetryConfig())
             runner = BatchRunner(
                 client=InProcessClient(service, contributor.contributor_key),
                 engine=engine, config=config)
+            runners.append(runner)
             executed += runner.run_all(experiment.id)
         _replay_results_into_pool(service, experiment, pool)
     else:
@@ -189,6 +225,16 @@ def run_demo_scenario(baseline_sql: str = DEFAULT_BASELINE, scale_factor: float 
                                      comparison=row_engine.label)
     summary.components = component_report(pool, system=row_engine.label)
     summary.history = experiment_history(pool, system=row_engine.label)
+    summary.metrics = service.metrics.snapshot()
+    if tracing and use_platform_queue:
+        results = service.store.results(experiment.id)
+        summary.timelines = stitch_timelines(
+            tasks=service.store.tasks(experiment.id),
+            results=results,
+            span_sources=[service.spans,
+                          *(runner.spans for runner in runners
+                            if runner.spans is not None)],
+            profiles=profiles_by_trace(results))
     return summary
 
 

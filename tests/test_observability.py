@@ -167,7 +167,14 @@ class TestMetricsRegistry:
         assert counter.value == 3
         histogram = Histogram("h")
         assert histogram.summary() == {"count": 0, "sum": 0.0, "min": None,
-                                       "max": None, "mean": None}
+                                       "max": None, "mean": None,
+                                       "p50": None, "p95": None, "p99": None}
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["p50"] == 51.0
+        assert summary["p95"] == 96.0
+        assert summary["p99"] == 100.0
 
 
 # ---------------------------------------------------------------------------
